@@ -1,0 +1,88 @@
+// Command vfpgabench regenerates every table and figure of the
+// reproduction's evaluation plan (DESIGN.md §4). Each experiment
+// operationalizes one qualitative claim of the paper.
+//
+// Usage:
+//
+//	vfpgabench                 # run everything, print tables
+//	vfpgabench -run T1,F3      # run selected experiments
+//	vfpgabench -quick          # reduced sweeps
+//	vfpgabench -csv out/       # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F7) or 'all'")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+
+	var selected []bench.Experiment
+	if *run == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vfpgabench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: render %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("   [%s ran in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vfpgabench: %v\n", err)
+				failed = true
+				continue
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vfpgabench: csv %s: %v\n", e.ID, err)
+				failed = true
+			}
+			f.Close()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,188 @@
+// Command vfpgasim runs one workload scenario under a chosen FPGA
+// manager and prints per-task metrics plus the manager's counters —
+// the interactive companion to vfpgabench.
+//
+// Usage:
+//
+//	vfpgasim -scenario multimedia -manager dynamic
+//	vfpgasim -scenario telecom -manager partition -sched rr -slice 5ms
+//	vfpgasim -scenario synthetic -manager exclusive -tasks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "multimedia", "multimedia | telecom | diagnosis | storage | synthetic")
+	manager := flag.String("manager", "dynamic", "dynamic | partition | overlay | paged | exclusive | software | merged")
+	sched := flag.String("sched", "rr", "fifo | rr | priority")
+	slice := flag.Duration("slice", 10*time.Millisecond, "round-robin time slice")
+	tasks := flag.Int("tasks", 6, "task count (synthetic scenario)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	cols := flag.Int("cols", 32, "device columns")
+	rows := flag.Int("rows", 16, "device rows")
+	gantt := flag.Bool("gantt", false, "print an ASCII scheduling timeline")
+	flag.Parse()
+
+	if err := run(*scenario, *manager, *sched, sim.Time(slice.Nanoseconds()), *tasks, *seed, *cols, *rows, *gantt); err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64, cols, rows int, gantt bool) error {
+	var set *workload.Set
+	switch scenario {
+	case "multimedia":
+		cfg := workload.DefaultMultimedia()
+		cfg.Seed = seed
+		set = workload.Multimedia(cfg)
+	case "telecom":
+		cfg := workload.DefaultTelecom()
+		cfg.Seed = seed
+		set = workload.Telecom(cfg)
+	case "diagnosis":
+		cfg := workload.DefaultDiagnosis()
+		cfg.Seed = seed
+		set = workload.Diagnosis(cfg)
+	case "storage":
+		cfg := workload.DefaultStorage()
+		cfg.Seed = seed
+		set = workload.Storage(cfg)
+	case "synthetic":
+		set = workload.Synthetic(workload.SyntheticConfig{
+			Tasks: tasks, OpsPerTask: 6, EvalsPerOp: 30_000,
+			ComputeTime: 300 * sim.Microsecond, SwitchProb: 0.3, Seed: seed,
+		})
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Geometry.Cols, opt.Geometry.Rows = cols, rows
+	opt.Seed = seed + 1
+	k := sim.New()
+	e := core.NewEngine(opt)
+	fmt.Printf("compiling %d circuits for a %v device...\n", len(set.Circuits), opt.Geometry)
+	for _, nl := range set.Circuits {
+		if err := e.AddCircuit(nl); err != nil {
+			return err
+		}
+		c := e.Lib[nl.Name]
+		fmt.Printf("  %s\n", c)
+	}
+
+	var mgr hostos.FPGA
+	switch manager {
+	case "dynamic":
+		mgr = core.NewDynamicLoader(k, e)
+	case "partition":
+		pm, err := core.NewPartitionManager(k, e, core.PartitionConfig{
+			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+		})
+		if err != nil {
+			return err
+		}
+		mgr = pm
+	case "overlay":
+		// The most-used circuit (first in the set) stays resident.
+		om, initCost, err := core.NewOverlayManager(k, e, set.CircuitNames()[:1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("overlay init download: %v\n", initCost)
+		mgr = om
+	case "paged":
+		pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 16, Policy: core.LRU, Seed: seed})
+		if err != nil {
+			return err
+		}
+		mgr = pl
+	case "exclusive":
+		mgr = baseline.NewExclusive(k, e)
+	case "software":
+		mgr = baseline.NewSoftware(e, 20)
+	case "merged":
+		m, initCost, err := baseline.NewMerged(k, e, set.CircuitNames())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged init download: %v\n", initCost)
+		mgr = m
+	default:
+		return fmt.Errorf("unknown manager %q", manager)
+	}
+
+	osCfg := hostos.Config{TimeSlice: slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
+	switch sched {
+	case "fifo":
+		osCfg.Policy = hostos.FIFO
+	case "rr":
+		osCfg.Policy = hostos.RR
+	case "priority":
+		osCfg.Policy = hostos.Priority
+	default:
+		return fmt.Errorf("unknown scheduler %q", sched)
+	}
+	osim := hostos.New(k, osCfg, mgr)
+	if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
+		att.AttachOS(osim)
+	}
+	var tlog *hostos.EventLog
+	if gantt {
+		tlog = hostos.NewEventLog(0)
+		osim.AttachTrace(tlog)
+	}
+	set.Spawn(osim)
+	k.Run()
+	if !osim.AllDone() {
+		return fmt.Errorf("simulation ended with unfinished tasks")
+	}
+
+	tbl := &trace.Table{
+		ID:      "RUN",
+		Title:   fmt.Sprintf("%s under %s (%s, slice %v)", scenario, manager, sched, slice),
+		Columns: []string{"task", "turnaround_ms", "cpu_ms", "hw_ms", "overhead_ms", "wait_ms", "block_ms", "preempts"},
+	}
+	for _, t := range osim.Tasks() {
+		tbl.AddRow(t.Name,
+			fmt.Sprintf("%.3f", t.Turnaround().Milliseconds()),
+			fmt.Sprintf("%.3f", t.CPUTime.Milliseconds()),
+			fmt.Sprintf("%.3f", t.HWTime.Milliseconds()),
+			fmt.Sprintf("%.3f", t.Overhead.Milliseconds()),
+			fmt.Sprintf("%.3f", t.ReadyWait.Milliseconds()),
+			fmt.Sprintf("%.3f", t.BlockWait.Milliseconds()),
+			t.Preemptions)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	m := &e.M
+	fmt.Printf("makespan: %v   ctx switches: %d\n", osim.Makespan(), osim.CtxSwitches)
+	fmt.Printf("manager: loads=%d evictions=%d readbacks=%d restores=%d rollbacks=%d\n",
+		m.Loads.Value(), m.Evictions.Value(), m.Readbacks.Value(), m.Restores.Value(), m.Rollbacks.Value())
+	fmt.Printf("         page faults=%d gc runs=%d relocations=%d blocks=%d muxed ops=%d\n",
+		m.PageFaults.Value(), m.GCRuns.Value(), m.Relocations.Value(), m.Blocks.Value(), m.MuxedOps.Value())
+	fmt.Printf("         config time=%v readback time=%v restore time=%v\n",
+		m.ConfigTime, m.ReadbackTime, m.RestoreTime)
+	fmt.Printf("device:  %d/%d CLBs configured at end, mean occupancy %.1f CLBs\n",
+		e.Dev.UsedCells(), opt.Geometry.NumCLBs(), m.Util.Average(int64(k.Now())))
+	if tlog != nil {
+		fmt.Println()
+		fmt.Println("timeline ('#' running, '.' ready, 'b' blocked):")
+		fmt.Print(tlog.Gantt(100, osim.Makespan()))
+	}
+	return nil
+}

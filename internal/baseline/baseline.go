@@ -1,0 +1,323 @@
+// Package baseline implements the comparison points the paper argues
+// against (or names as limiting cases):
+//
+//   - Exclusive — §4's "more drastic solution": the FPGA is a
+//     non-preemptable resource held by one task until it completes, with
+//     everyone else suspended ("implicitly forcing the scheduling to a
+//     strictly FIFO policy");
+//   - Merged — §3's "trivial solution": if the FPGA is large enough,
+//     merge all circuits into one configuration and never reconfigure;
+//   - Software — run the algorithm on the host processor instead, at the
+//     slowdown the paper's motivation assumes FPGAs exist to avoid.
+//
+// All three implement hostos.FPGA, so experiments swap them for the VFPGA
+// managers without touching the workload.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// Exclusive models the non-preemptable FPGA: the first task to use it
+// holds it until exit; reconfiguration happens only between holders.
+type Exclusive struct {
+	E  *core.Engine
+	K  *sim.Kernel
+	OS *hostos.OS
+
+	holder   *hostos.Task
+	resident string
+	pins     []int
+	mux      int
+	waiters  []*hostos.Task
+}
+
+var _ hostos.FPGA = (*Exclusive)(nil)
+
+// NewExclusive returns an exclusive-FPGA baseline over the engine.
+func NewExclusive(k *sim.Kernel, e *core.Engine) *Exclusive {
+	return &Exclusive{E: e, K: k}
+}
+
+// AttachOS wires the baseline to the OS for unblocking waiters.
+func (x *Exclusive) AttachOS(os *hostos.OS) { x.OS = os }
+
+// Register implements hostos.FPGA.
+func (x *Exclusive) Register(t *hostos.Task, circuit string) error {
+	_, err := x.E.Circuit(circuit)
+	return err
+}
+
+func (x *Exclusive) circuitOf(t *hostos.Task) *compile.Circuit {
+	c, err := x.E.Circuit(t.CurrentRequest().Circuit)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Acquire implements hostos.FPGA: the device is granted whole, FIFO.
+func (x *Exclusive) Acquire(t *hostos.Task) (sim.Time, bool) {
+	if x.holder != nil && x.holder != t {
+		x.E.M.Blocks.Inc()
+		x.waiters = append(x.waiters, t)
+		return 0, false
+	}
+	x.holder = t
+	c := x.circuitOf(t)
+	if x.resident == c.Name {
+		return 0, true
+	}
+	var cost sim.Time
+	if x.resident != "" {
+		old, _ := x.E.Circuit(x.resident)
+		x.E.Dev.ClearRegion(old.BS.Region(0, 0))
+		x.E.FreePins(x.pins)
+		x.E.M.Evictions.Inc()
+	}
+	pins, mux, err := x.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
+	if err != nil {
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
+	in, out := pinBinding(c, pins)
+	if _, _, err := c.BS.Apply(x.E.Dev, 0, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+		panic(fmt.Sprintf("baseline: apply %s: %v", c.Name, err))
+	}
+	if x.E.Opt.Timing.PartialReconfig {
+		cost = c.BS.ConfigCost(x.E.Opt.Timing)
+	} else {
+		cost = x.E.Opt.Timing.FullConfigTime(x.E.Opt.Geometry)
+	}
+	x.E.M.Loads.Inc()
+	x.E.M.ConfigTime += cost
+	x.resident = c.Name
+	x.pins = pins
+	x.mux = mux
+	return cost, true
+}
+
+// ExecTime implements hostos.FPGA.
+func (x *Exclusive) ExecTime(t *hostos.Task) sim.Time {
+	c := x.circuitOf(t)
+	req := t.CurrentRequest()
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	mux := x.mux
+	if mux == 0 {
+		mux = 1
+	}
+	return x.E.ExecQuantum(pure, mux)
+}
+
+// Preemptable implements hostos.FPGA: never (the defining property).
+func (x *Exclusive) Preemptable(t *hostos.Task) bool { return false }
+
+// Preempt implements hostos.FPGA; unreachable given Preemptable.
+func (x *Exclusive) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	panic("baseline: exclusive FPGA cannot be preempted")
+}
+
+// Resume implements hostos.FPGA; in-flight ops are never interrupted, so
+// resuming costs nothing (the op state is intact).
+func (x *Exclusive) Resume(t *hostos.Task) sim.Time { return 0 }
+
+// Complete implements hostos.FPGA: the resource stays with the holder.
+func (x *Exclusive) Complete(t *hostos.Task) {}
+
+// Remove implements hostos.FPGA: the holder's exit releases the device.
+func (x *Exclusive) Remove(t *hostos.Task) {
+	if x.holder != t {
+		return
+	}
+	x.holder = nil
+	ws := x.waiters
+	x.waiters = nil
+	for _, w := range ws {
+		x.OS.Unblock(w)
+	}
+}
+
+// Holder returns the task currently owning the device (nil if free).
+func (x *Exclusive) Holder() *hostos.Task { return x.holder }
+
+// Merged models the all-circuits-in-one configuration: every registered
+// circuit is loaded side by side at initialization and never moves. It
+// fails construction when the device is too small — which is exactly the
+// regime the VFPGA exists for.
+type Merged struct {
+	E     *core.Engine
+	K     *sim.Kernel
+	slots map[string]int // circuit -> strip origin column
+	muxOf map[string]int
+}
+
+var _ hostos.FPGA = (*Merged)(nil)
+
+// NewMerged loads every circuit in the engine library (in the given
+// deterministic order) side by side. It returns the initialization cost
+// (one big download) or an error if the circuits do not all fit.
+func NewMerged(k *sim.Kernel, e *core.Engine, order []string) (*Merged, sim.Time, error) {
+	m := &Merged{E: e, K: k, slots: map[string]int{}, muxOf: map[string]int{}}
+	x := 0
+	var cost sim.Time
+	for _, name := range order {
+		c, err := e.Circuit(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if x+c.BS.W > e.Opt.Geometry.Cols {
+			return nil, 0, fmt.Errorf("baseline: merged circuits need more than %d columns (%s does not fit at %d)",
+				e.Opt.Geometry.Cols, name, x)
+		}
+		pins, mux, err := e.AllocPins(c.BS.NumIn + c.BS.NumOut)
+		if err != nil {
+			return nil, 0, err
+		}
+		in, out := pinBinding(c, pins)
+		if _, _, err := c.BS.Apply(e.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+			return nil, 0, err
+		}
+		m.slots[name] = x
+		m.muxOf[name] = mux
+		cost += c.BS.ConfigCost(e.Opt.Timing)
+		e.M.Loads.Inc()
+		x += c.BS.W
+	}
+	e.M.ConfigTime += cost
+	return m, cost, nil
+}
+
+// Register implements hostos.FPGA.
+func (m *Merged) Register(t *hostos.Task, circuit string) error {
+	if _, ok := m.slots[circuit]; !ok {
+		return fmt.Errorf("baseline: circuit %q not merged at init", circuit)
+	}
+	return nil
+}
+
+// Acquire implements hostos.FPGA: everything is always loaded.
+func (m *Merged) Acquire(t *hostos.Task) (sim.Time, bool) { return 0, true }
+
+// ExecTime implements hostos.FPGA.
+func (m *Merged) ExecTime(t *hostos.Task) sim.Time {
+	req := t.CurrentRequest()
+	c, err := m.E.Circuit(req.Circuit)
+	if err != nil {
+		panic(err)
+	}
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	return m.E.ExecQuantum(pure, m.muxOf[req.Circuit])
+}
+
+// Preemptable implements hostos.FPGA: circuits never move, so preemption
+// is free.
+func (m *Merged) Preemptable(t *hostos.Task) bool { return true }
+
+// Preempt implements hostos.FPGA.
+func (m *Merged) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	req := t.CurrentRequest()
+	n := req.Evaluations + req.Cycles
+	if n <= 0 {
+		return 0, done
+	}
+	per := total / sim.Time(n)
+	if per <= 0 {
+		return 0, done
+	}
+	return 0, (done / per) * per
+}
+
+// Resume implements hostos.FPGA.
+func (m *Merged) Resume(t *hostos.Task) sim.Time { return 0 }
+
+// Complete implements hostos.FPGA.
+func (m *Merged) Complete(t *hostos.Task) {}
+
+// Remove implements hostos.FPGA.
+func (m *Merged) Remove(t *hostos.Task) {}
+
+// Software runs every "FPGA" operation on the host CPU at a slowdown
+// factor — the no-FPGA null hypothesis of the paper's motivation.
+type Software struct {
+	E *core.Engine
+	// Slowdown multiplies the hardware execution time (the paper's
+	// motivation: general-purpose processors "cannot satisfy performance
+	// requirements"). Typical datapaths gain 10-100x on FPGAs.
+	Slowdown int64
+}
+
+var _ hostos.FPGA = (*Software)(nil)
+
+// NewSoftware returns a software-execution baseline.
+func NewSoftware(e *core.Engine, slowdown int64) *Software {
+	if slowdown <= 0 {
+		slowdown = 20
+	}
+	return &Software{E: e, Slowdown: slowdown}
+}
+
+// Register implements hostos.FPGA.
+func (s *Software) Register(t *hostos.Task, circuit string) error {
+	_, err := s.E.Circuit(circuit)
+	return err
+}
+
+// Acquire implements hostos.FPGA: there is nothing to load.
+func (s *Software) Acquire(t *hostos.Task) (sim.Time, bool) { return 0, true }
+
+// ExecTime implements hostos.FPGA.
+func (s *Software) ExecTime(t *hostos.Task) sim.Time {
+	req := t.CurrentRequest()
+	c, err := s.E.Circuit(req.Circuit)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod * sim.Time(s.Slowdown)
+}
+
+// Preemptable implements hostos.FPGA: software state lives in memory.
+func (s *Software) Preemptable(t *hostos.Task) bool { return true }
+
+// Preempt implements hostos.FPGA: no work is lost.
+func (s *Software) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	return 0, done
+}
+
+// Resume implements hostos.FPGA.
+func (s *Software) Resume(t *hostos.Task) sim.Time { return 0 }
+
+// Complete implements hostos.FPGA.
+func (s *Software) Complete(t *hostos.Task) {}
+
+// Remove implements hostos.FPGA.
+func (s *Software) Remove(t *hostos.Task) {}
+
+// pinBinding mirrors core's wrap-around binding for baselines.
+func pinBinding(c *compile.Circuit, pins []int) ([]int, []int) {
+	in := make([]int, c.BS.NumIn)
+	out := make([]int, c.BS.NumOut)
+	if len(pins) == 0 {
+		for i := range in {
+			in[i] = -1
+		}
+		for i := range out {
+			out[i] = -1
+		}
+		return in, out
+	}
+	k := 0
+	for i := range in {
+		in[i] = pins[k%len(pins)]
+		k++
+	}
+	for i := range out {
+		out[i] = pins[k%len(pins)]
+		k++
+	}
+	return in, out
+}

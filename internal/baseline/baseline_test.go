@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func testEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Geometry = fabric.Geometry{Cols: 24, Rows: 8, TracksPerChannel: 12, PinsPerSide: 24}
+	e := core.NewEngine(opt)
+	for _, nl := range []*netlist.Netlist{netlist.Adder(8), netlist.Parity(16), netlist.Counter(8)} {
+		if err := e.AddCircuit(nl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func fpgaOp(circuit string, evals int64) hostos.Op {
+	return hostos.UseFPGA(hostos.FPGARequest{Circuit: circuit, Evaluations: evals})
+}
+
+func TestExclusiveSerializes(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	x := NewExclusive(k, e)
+	os := hostos.New(k, hostos.Config{Policy: hostos.RR, TimeSlice: sim.Millisecond}, x)
+	x.AttachOS(os)
+	a, _ := os.Spawn("a", 0, []hostos.Op{fpgaOp("adder8", 100_000), hostos.Compute(2 * sim.Millisecond)})
+	b, _ := os.Spawn("b", 0, []hostos.Op{hostos.Compute(100 * sim.Microsecond), fpgaOp("parity16", 100)})
+	k.Run()
+	if a.State() != hostos.TaskDone || b.State() != hostos.TaskDone {
+		t.Fatal("not done")
+	}
+	if b.BlockWait == 0 {
+		t.Fatal("b should have waited for the exclusive device")
+	}
+	if b.Finished <= a.Finished {
+		t.Fatal("b must finish after a exits")
+	}
+	if e.M.Blocks.Value() == 0 {
+		t.Fatal("blocks not counted")
+	}
+	if x.Holder() != nil {
+		t.Fatal("device not released")
+	}
+}
+
+func TestExclusiveNonPreemptable(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	x := NewExclusive(k, e)
+	os := hostos.New(k, hostos.Config{Policy: hostos.RR, TimeSlice: sim.Millisecond}, x)
+	x.AttachOS(os)
+	hw, _ := os.Spawn("hw", 0, []hostos.Op{fpgaOp("adder8", 400_000)})
+	os.Spawn("cpu", 0, []hostos.Op{hostos.Compute(sim.Millisecond)})
+	k.Run()
+	if hw.Preemptions != 0 {
+		t.Fatal("exclusive op was preempted")
+	}
+}
+
+func TestExclusiveSameTaskSwitchesCircuits(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	x := NewExclusive(k, e)
+	os := hostos.New(k, hostos.Config{Policy: hostos.FIFO}, x)
+	x.AttachOS(os)
+	a, _ := os.Spawn("a", 0, []hostos.Op{fpgaOp("adder8", 10), fpgaOp("parity16", 10), fpgaOp("adder8", 10)})
+	k.Run()
+	if a.State() != hostos.TaskDone {
+		t.Fatal("not done")
+	}
+	if e.M.Loads.Value() != 3 {
+		t.Fatalf("loads = %d, want 3 (holder may still reconfigure)", e.M.Loads.Value())
+	}
+}
+
+func TestMergedZeroReconfig(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	m, initCost, err := NewMerged(k, e, []string{"adder8", "parity16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initCost <= 0 {
+		t.Fatal("no init cost")
+	}
+	loadsAfterInit := e.M.Loads.Value()
+	os := hostos.New(k, hostos.Config{Policy: hostos.RR, TimeSlice: sim.Millisecond}, m)
+	a, _ := os.Spawn("a", 0, []hostos.Op{fpgaOp("adder8", 1000), fpgaOp("parity16", 1000), fpgaOp("adder8", 1000)})
+	k.Run()
+	if a.State() != hostos.TaskDone {
+		t.Fatal("not done")
+	}
+	if e.M.Loads.Value() != loadsAfterInit {
+		t.Fatal("merged baseline reconfigured at run time")
+	}
+	if a.Overhead >= sim.Millisecond {
+		t.Fatalf("merged overhead %v should be tiny", a.Overhead)
+	}
+}
+
+func TestMergedRejectsOversizedSet(t *testing.T) {
+	k := sim.New()
+	opt := core.DefaultOptions()
+	opt.Geometry = fabric.Geometry{Cols: 4, Rows: 8, TracksPerChannel: 12, PinsPerSide: 24}
+	e := core.NewEngine(opt)
+	if err := e.AddCircuit(netlist.Adder(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddCircuit(netlist.Multiplier(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewMerged(k, e, []string{"adder8", "mul4"}); err == nil {
+		t.Fatal("merged set larger than device accepted")
+	}
+}
+
+func TestMergedRejectsUnknownCircuit(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	m, _, err := NewMerged(k, e, []string{"adder8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(nil, "parity16"); err == nil {
+		t.Fatal("unmerged circuit registered")
+	}
+}
+
+func TestSoftwareSlowdown(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	s := NewSoftware(e, 20)
+	os := hostos.New(k, hostos.Config{Policy: hostos.FIFO}, s)
+	a, _ := os.Spawn("a", 0, []hostos.Op{fpgaOp("adder8", 1000)})
+	k.Run()
+	hwTime := sim.Time(1000) * e.Lib["adder8"].ClockPeriod
+	if a.HWTime != 20*hwTime {
+		t.Fatalf("software time %v, want %v", a.HWTime, 20*hwTime)
+	}
+	if e.M.Loads.Value() != 0 {
+		t.Fatal("software baseline loaded a bitstream")
+	}
+}
+
+func TestSoftwareDefaultSlowdown(t *testing.T) {
+	if NewSoftware(testEngine(t), 0).Slowdown != 20 {
+		t.Fatal("default slowdown not applied")
+	}
+}
+
+func TestSoftwarePreemptionLossless(t *testing.T) {
+	k := sim.New()
+	e := testEngine(t)
+	s := NewSoftware(e, 10)
+	os := hostos.New(k, hostos.Config{Policy: hostos.RR, TimeSlice: sim.Millisecond}, s)
+	hw, _ := os.Spawn("hw", 0, []hostos.Op{fpgaOp("adder8", 40_000)})
+	os.Spawn("cpu", 0, []hostos.Op{hostos.Compute(3 * sim.Millisecond)})
+	k.Run()
+	want := sim.Time(40_000) * e.Lib["adder8"].ClockPeriod * 10
+	if hw.HWTime != want {
+		t.Fatalf("software HW time %v, want %v", hw.HWTime, want)
+	}
+}

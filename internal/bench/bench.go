@@ -1,0 +1,177 @@
+// Package bench is the experiment harness: one runner per table (T1-T5)
+// and figure (F1-F7) of the reproduction's evaluation plan (see DESIGN.md
+// §4 — the paper itself publishes no quantitative results, so each runner
+// operationalizes one of its qualitative claims).
+//
+// Runners are deterministic: the same Config produces byte-identical
+// tables. Quick mode shrinks the sweeps for use under `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	Seed  uint64
+	Quick bool // reduced sweeps (used by go test benchmarks)
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*trace.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Dynamic loading overhead vs reconfiguration mode", T1DynamicLoadingOverhead},
+		{"T2", "Sequential preemption: save/restore vs rollback", T2StatePreemption},
+		{"T3", "Fixed vs variable partitioning", T3Partitioning},
+		{"T4", "Overlaying: resident common functions", T4Overlay},
+		{"T5", "I/O pin multiplexing", T5IOMux},
+		{"F1", "Virtual capacity: large application on small devices", F1VirtualCapacity},
+		{"F2", "Exclusive vs dynamic vs partitioned scheduling", F2SchedulingModes},
+		{"F3", "Merged circuit vs dynamic loading crossover", F3MergedVsDynamic},
+		{"F4", "Fragmentation and garbage collection", F4Fragmentation},
+		{"F5", "Pagination: page size x replacement policy", F5Pagination},
+		{"F6", "Segmentation vs monolithic configuration", F6Segmentation},
+		{"F7", "Application scenarios (multimedia, telecom, diagnosis)", F7Applications},
+		{"F8", "Multi-board virtualization (one big vs several small)", F8MultiBoard},
+		{"A1", "Ablation: logic optimizer area/download savings", A1OptimizerAblation},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// benchGeometry is the default experiment device: 16 rows keeps strip
+// compilation fast while leaving room for a dozen partitions.
+func benchGeometry() fabric.Geometry {
+	return fabric.Geometry{Cols: 32, Rows: 16, TracksPerChannel: 12, PinsPerSide: 48}
+}
+
+// --- circuit compilation cache ---
+// Strip compilation (map+place+route) is deterministic, so circuits are
+// shared across engines keyed by (name, rows, tracks, seed).
+
+type compileKey struct {
+	name   string
+	rows   int
+	tracks int
+	seed   uint64
+}
+
+var (
+	compileMu    sync.Mutex
+	compileCache = map[compileKey]*compile.Circuit{}
+)
+
+// engineFor builds an engine over geometry with the given circuits
+// available, reusing cached compilations.
+func engineFor(opt core.Options, circuits []*netlist.Netlist) (*core.Engine, error) {
+	e := core.NewEngine(opt)
+	for i, nl := range circuits {
+		key := compileKey{nl.Name, opt.Geometry.Rows, opt.Geometry.TracksPerChannel, opt.Seed}
+		compileMu.Lock()
+		c, ok := compileCache[key]
+		compileMu.Unlock()
+		if !ok {
+			tm := opt.Timing
+			var err error
+			c, err = compile.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+				compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			compileMu.Lock()
+			compileCache[key] = c
+			compileMu.Unlock()
+		}
+		e.Lib[nl.Name] = c
+	}
+	return e, nil
+}
+
+// runResult summarizes one simulated run.
+type runResult struct {
+	Makespan       sim.Time
+	MeanTurnaround sim.Time
+	MeanWait       sim.Time // ready + blocked
+	MeanBlock      sim.Time
+	TotalHW        sim.Time
+	TotalOverhead  sim.Time
+	Engine         *core.Engine
+	OS             *hostos.OS
+}
+
+// runSet spawns the workload under the given manager factory and runs to
+// completion. Managers exposing AttachOS (partitioning, exclusive) are
+// wired to the OS for task unblocking.
+func runSet(opt core.Options, osCfg hostos.Config, set *workload.Set,
+	mk func(k *sim.Kernel, e *core.Engine) hostos.FPGA) (*runResult, error) {
+
+	k := sim.New()
+	e, err := engineFor(opt, set.Circuits)
+	if err != nil {
+		return nil, err
+	}
+	mgr := mk(k, e)
+	osRef := hostos.New(k, osCfg, mgr)
+	if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
+		att.AttachOS(osRef)
+	}
+	set.Spawn(osRef)
+	k.Run()
+	if !osRef.AllDone() {
+		return nil, fmt.Errorf("bench: run ended with unfinished tasks (deadlock?)")
+	}
+	res := &runResult{Engine: e, OS: osRef, Makespan: osRef.Makespan()}
+	n := sim.Time(len(osRef.Tasks()))
+	for _, t := range osRef.Tasks() {
+		res.MeanTurnaround += t.Turnaround() / n
+		res.MeanWait += (t.ReadyWait + t.BlockWait) / n
+		res.MeanBlock += t.BlockWait / n
+		res.TotalHW += t.HWTime
+		res.TotalOverhead += t.Overhead
+	}
+	return res, nil
+}
+
+// manager factories used across experiments.
+
+func dynamicMgr(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+	return core.NewDynamicLoader(k, e)
+}
+
+func partitionMgr(cfg core.PartitionConfig) func(*sim.Kernel, *core.Engine) hostos.FPGA {
+	return func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+		pm, err := core.NewPartitionManager(k, e, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return pm
+	}
+}
+
+// ms renders a sim.Time as milliseconds with 3 decimals.
+func ms(t sim.Time) string { return fmt.Sprintf("%.3f", t.Milliseconds()) }

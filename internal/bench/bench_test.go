@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Config { return Config{Seed: 1, Quick: true} }
+
+// runExp executes an experiment in quick mode and returns its table.
+func runExp(t *testing.T, id string) *traceTable {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := e.Run(quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s row width %d != %d columns", id, len(row), len(tbl.Columns))
+		}
+	}
+	return &traceTable{tbl.Columns, tbl.Rows}
+}
+
+type traceTable struct {
+	cols []string
+	rows [][]string
+}
+
+func (t *traceTable) col(name string) int {
+	for i, c := range t.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *traceTable) f(row int, col string) float64 {
+	v, err := strconv.ParseFloat(t.rows[row][t.col(col)], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s malformed", e.ID)
+		}
+	}
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find invented an experiment")
+	}
+}
+
+func TestT1Shape(t *testing.T) {
+	tbl := runExp(t, "T1")
+	// Full-only reconfiguration must be less efficient than partial at
+	// the same work per op (the paper's feasibility claim).
+	for i := 0; i+2 < len(tbl.rows); i += 3 {
+		partial := tbl.f(i, "efficiency")
+		full := tbl.f(i+2, "efficiency")
+		if full >= partial {
+			t.Fatalf("row %d: full efficiency %.3f >= partial %.3f", i, full, partial)
+		}
+	}
+	// Efficiency rises with work per switch.
+	first := tbl.f(0, "efficiency")
+	last := tbl.f(len(tbl.rows)-3, "efficiency")
+	if last <= first {
+		t.Fatalf("efficiency should rise with evals/op: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestT2Shape(t *testing.T) {
+	tbl := runExp(t, "T2")
+	// Save/restore loses no work; rollback redoes some.
+	for i := range tbl.rows {
+		policy := tbl.rows[i][tbl.col("policy")]
+		redone := tbl.f(i, "redone_ms")
+		switch policy {
+		case "save-restore", "non-preemptable":
+			if redone != 0 {
+				t.Fatalf("%s redid %.3f ms", policy, redone)
+			}
+		case "rollback":
+			if redone <= 0 {
+				t.Fatalf("rollback redid nothing")
+			}
+		}
+	}
+}
+
+func TestT3Shape(t *testing.T) {
+	tbl := runExp(t, "T3")
+	// Any partitioned manager must reload less than whole-device dynamic.
+	dynLoads := tbl.f(0, "loads")
+	for i := 1; i < len(tbl.rows); i++ {
+		if tbl.f(i, "loads") > dynLoads {
+			t.Fatalf("%s loads %.0f > dynamic %.0f", tbl.rows[i][0], tbl.f(i, "loads"), dynLoads)
+		}
+	}
+}
+
+func TestT4Shape(t *testing.T) {
+	tbl := runExp(t, "T4")
+	// More resident circuits -> fewer loads.
+	for i := 1; i < len(tbl.rows); i++ {
+		if tbl.f(i, "loads") > tbl.f(i-1, "loads") {
+			t.Fatalf("loads increased with larger resident set: row %d", i)
+		}
+	}
+	if tbl.f(len(tbl.rows)-1, "loads") >= tbl.f(0, "loads") {
+		t.Fatal("resident set saved no loads at all")
+	}
+}
+
+func TestT5Shape(t *testing.T) {
+	tbl := runExp(t, "T5")
+	// Fewer pins -> higher mux factor -> proportionally slower.
+	for i := 1; i < len(tbl.rows); i++ {
+		if tbl.f(i, "mux_factor") <= tbl.f(i-1, "mux_factor") {
+			t.Fatal("mux factor should rise as pins shrink")
+		}
+		if tbl.f(i, "slowdown") <= tbl.f(i-1, "slowdown") {
+			t.Fatal("slowdown should rise with mux factor")
+		}
+	}
+}
+
+func TestF1Shape(t *testing.T) {
+	tbl := runExp(t, "F1")
+	// The merged reference row is the fastest; smaller devices cost more.
+	ref := tbl.f(0, "makespan_ms")
+	for i := 1; i < len(tbl.rows); i++ {
+		if tbl.f(i, "makespan_ms") < ref {
+			t.Fatalf("row %d beats the zero-reconfig reference", i)
+		}
+	}
+	// The smallest device must still complete (the headline claim) with a
+	// size ratio > 1 (application larger than device).
+	last := len(tbl.rows) - 1
+	if tbl.f(last, "size_ratio") <= 1 {
+		t.Fatalf("smallest device not actually smaller than the application: ratio %.2f",
+			tbl.f(last, "size_ratio"))
+	}
+}
+
+func TestF2Shape(t *testing.T) {
+	tbl := runExp(t, "F2")
+	// At the largest task count, the exclusive baseline blocks more than
+	// the partitioned manager.
+	n := len(tbl.rows)
+	exclBlock := tbl.f(n-3, "mean_block_ms")
+	partBlock := tbl.f(n-1, "mean_block_ms")
+	if exclBlock <= partBlock {
+		t.Fatalf("exclusive block %.3f <= partitioned %.3f", exclBlock, partBlock)
+	}
+}
+
+func TestF3Shape(t *testing.T) {
+	tbl := runExp(t, "F3")
+	// Small device: merged infeasible; large device: merged beats dynamic.
+	if !strings.HasPrefix(tbl.rows[0][tbl.col("merged_makespan_ms")], "n/a") {
+		t.Fatal("merged should not fit the smallest device")
+	}
+	last := len(tbl.rows) - 1
+	merged := tbl.f(last, "merged_makespan_ms")
+	dynamic := tbl.f(last, "dynamic_makespan_ms")
+	if merged >= dynamic {
+		t.Fatalf("on a big device merged %.3f should beat dynamic %.3f", merged, dynamic)
+	}
+}
+
+func TestF4Shape(t *testing.T) {
+	tbl := runExp(t, "F4")
+	if len(tbl.rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.rows))
+	}
+	gcOff, gcOn := 0, 1
+	if tbl.f(gcOn, "gc_runs") > 0 && tbl.f(gcOn, "relocations") == 0 {
+		t.Fatal("GC ran without relocations")
+	}
+	if tbl.f(gcOff, "gc_runs") != 0 {
+		t.Fatal("GC ran while disabled")
+	}
+}
+
+func TestF5Shape(t *testing.T) {
+	tbl := runExp(t, "F5")
+	for i := range tbl.rows {
+		rate := tbl.f(i, "fault_rate")
+		if rate < 0 || rate > 1 {
+			t.Fatalf("fault rate %.3f out of range", rate)
+		}
+		if tbl.f(i, "faults") <= 0 {
+			t.Fatal("no faults at all")
+		}
+	}
+}
+
+func TestF6Shape(t *testing.T) {
+	tbl := runExp(t, "F6")
+	if len(tbl.rows) < 5 {
+		t.Fatalf("rows %d", len(tbl.rows))
+	}
+	// Segmented runs on a smaller device than monolithic needs.
+	monoCols := tbl.f(0, "device_cols")
+	segCols := tbl.f(1, "device_cols")
+	if segCols >= monoCols {
+		t.Fatalf("segmented device %d not smaller than monolithic %d", int(segCols), int(monoCols))
+	}
+	if !strings.Contains(tbl.rows[2][tbl.col("makespan_ms")], "infeasible") {
+		t.Fatal("monolithic-on-small row should be infeasible")
+	}
+	// Auto-segmentation: smaller device than the whole circuit needs, at
+	// a makespan cost.
+	last := len(tbl.rows) - 1 // whole mul8 reference
+	autoRow := 3              // k=2
+	if tbl.f(autoRow, "device_cols") >= tbl.f(last, "device_cols") {
+		t.Fatal("auto-segmented device not smaller than whole-circuit device")
+	}
+	if tbl.f(autoRow, "makespan_ms") <= tbl.f(last, "makespan_ms") {
+		t.Fatal("auto-segmentation should cost makespan")
+	}
+}
+
+func TestF7Shape(t *testing.T) {
+	tbl := runExp(t, "F7")
+	// Within each scenario: software is slowest; merged big FPGA loads 0
+	// extra at run time... (init loads counted), and the dynamic VFPGA on
+	// the small device completes everything.
+	byScenario := map[string][][]string{}
+	for _, row := range tbl.rows {
+		byScenario[row[0]] = append(byScenario[row[0]], row)
+	}
+	if len(byScenario) != 4 {
+		t.Fatalf("scenarios %d, want multimedia/telecom/diagnosis/storage", len(byScenario))
+	}
+	mk := tbl.col("makespan_ms")
+	for name, rows := range byScenario {
+		soft, _ := strconv.ParseFloat(rows[0][mk], 64)
+		merged, _ := strconv.ParseFloat(rows[3][mk], 64)
+		if soft <= merged {
+			t.Fatalf("%s: software %.3f should be slower than big FPGA %.3f", name, soft, merged)
+		}
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	e, _ := Find("T3")
+	a, err := e.Run(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("T3 not deterministic")
+	}
+}

@@ -1,0 +1,964 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func defaultOpt(cfg Config) core.Options {
+	opt := core.DefaultOptions()
+	opt.Geometry = benchGeometry()
+	opt.Seed = cfg.Seed + 1
+	return opt
+}
+
+func defaultOS() hostos.Config {
+	return hostos.Config{
+		Policy:    hostos.RR,
+		TimeSlice: 10 * sim.Millisecond,
+		CtxSwitch: 50 * sim.Microsecond,
+		Syscall:   10 * sim.Microsecond,
+	}
+}
+
+// T1DynamicLoadingOverhead — the paper's §2/§3 feasibility claim:
+// frequent reconfiguration is practical only with partial
+// reconfiguration; full serial downloads (~200 ms class) restrict the
+// FPGA to occasional reloading. One task alternates two algorithms; the
+// compute-to-reconfigure ratio is swept via the hardware work per switch.
+func T1DynamicLoadingOverhead(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "T1",
+		Title:   "Dynamic loading: useful-work fraction vs reconfiguration mode",
+		Note:    "paper §2-3: partial reconfiguration enables frequent reloading; full serial download does not",
+		Columns: []string{"evals/op", "reconfig", "completion", "turnaround_ms", "hw_ms", "overhead_ms", "efficiency"},
+	}
+	evalSweep := []int64{1_000, 10_000, 100_000, 1_000_000}
+	if cfg.Quick {
+		evalSweep = []int64{1_000, 100_000}
+	}
+	modes := []struct {
+		partial    bool
+		completion core.CompletionMode
+	}{
+		{true, core.Apriori},
+		{true, core.DoneSignal},
+		{false, core.Apriori},
+	}
+	circuits := []*netlist.Netlist{netlist.Adder(8), netlist.ALU(8)}
+	for _, evals := range evalSweep {
+		for _, mode := range modes {
+			opt := defaultOpt(cfg)
+			opt.Timing.PartialReconfig = mode.partial
+			opt.Completion = mode.completion
+			var prog []hostos.Op
+			ops := 12
+			if cfg.Quick {
+				ops = 6
+			}
+			for i := 0; i < ops; i++ {
+				c := circuits[i%2]
+				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: evals}))
+			}
+			set := &workload.Set{
+				Tasks:    []workload.TaskSpec{{Name: "alt", Program: prog}},
+				Circuits: circuits,
+			}
+			res, err := runSet(opt, defaultOS(), set, dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			t := res.OS.Tasks()[0]
+			eff := float64(t.HWTime) / float64(t.Turnaround())
+			reconfig := "full-only"
+			if mode.partial {
+				reconfig = "partial"
+			}
+			tbl.AddRow(evals, reconfig, mode.completion.String(),
+				ms(t.Turnaround()), ms(t.HWTime), ms(t.Overhead), eff)
+		}
+	}
+	return tbl, nil
+}
+
+// T2StatePreemption — §3's preemption analysis for sequential circuits:
+// save/restore preserves completed cycles at a readback cost, rollback
+// redoes work, and non-preemptable ops overstay their slice.
+func T2StatePreemption(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "T2",
+		Title:   "Sequential-circuit preemption policies",
+		Note:    "paper §3: preemption requires observable/controllable state; otherwise roll back or refuse",
+		Columns: []string{"slice_ms", "policy", "hw_ms", "redone_ms", "overhead_ms", "preemptions", "readbacks", "turnaround_ms"},
+	}
+	slices := []sim.Time{1 * sim.Millisecond, 5 * sim.Millisecond, 20 * sim.Millisecond}
+	if cfg.Quick {
+		slices = []sim.Time{2 * sim.Millisecond}
+	}
+	const cycles = 400_000
+	circuits := []*netlist.Netlist{netlist.Counter(8)}
+	for _, slice := range slices {
+		for _, policy := range []core.StatePolicy{core.SaveRestore, core.Rollback, core.NonPreemptable} {
+			opt := defaultOpt(cfg)
+			opt.State = policy
+			osCfg := defaultOS()
+			osCfg.TimeSlice = slice
+			set := &workload.Set{
+				Tasks: []workload.TaskSpec{
+					{Name: "hw", Program: []hostos.Op{hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: cycles})}},
+					{Name: "cpu", Program: []hostos.Op{hostos.Compute(10 * sim.Millisecond)}},
+				},
+				Circuits: circuits,
+			}
+			res, err := runSet(opt, osCfg, set, dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			hw := res.OS.Tasks()[0]
+			pure := sim.Time(cycles) * res.Engine.Lib["counter8"].ClockPeriod
+			tbl.AddRow(fmt.Sprintf("%.0f", slice.Milliseconds()), policy.String(),
+				ms(hw.HWTime), ms(hw.HWTime-pure), ms(hw.Overhead),
+				hw.Preemptions, res.Engine.M.Readbacks.Value(), ms(hw.Turnaround()))
+		}
+	}
+	return tbl, nil
+}
+
+// T3Partitioning — §4: partitioning reduces reloads versus whole-device
+// dynamic loading; fixed partitions are simple but rigid, variable ones
+// adapt; rotation and GC trade management overhead for utilization.
+func T3Partitioning(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "T3",
+		Title:   "Partitioning strategies on a heterogeneous task mix",
+		Note:    "paper §4: partitions cut reload traffic without impairing parallelism",
+		Columns: []string{"manager", "makespan_ms", "mean_turnaround_ms", "mean_block_ms", "loads", "evictions", "blocks", "gc_runs"},
+	}
+	tasks := 8
+	ops := 6
+	if cfg.Quick {
+		tasks, ops = 4, 4
+	}
+	mkSet := func() *workload.Set {
+		return workload.Synthetic(workload.SyntheticConfig{
+			Tasks:       tasks,
+			OpsPerTask:  ops,
+			EvalsPerOp:  30_000,
+			ComputeTime: 300 * sim.Microsecond,
+			SwitchProb:  0.25,
+			Seed:        cfg.Seed + 7,
+		})
+	}
+	managers := []struct {
+		name string
+		mk   func(*sim.Kernel, *core.Engine) hostos.FPGA
+	}{
+		{"dynamic (whole device)", dynamicMgr},
+		{"fixed 4x8", partitionMgr(core.PartitionConfig{Mode: core.FixedPartitions, FixedWidths: []int{8, 8, 8, 8}, Rotate: true})},
+		{"fixed 2x16", partitionMgr(core.PartitionConfig{Mode: core.FixedPartitions, FixedWidths: []int{16, 16}, Rotate: true})},
+		{"variable first-fit", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.FirstFit, Rotate: true})},
+		{"variable best-fit", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, Rotate: true})},
+		{"variable + GC", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
+	}
+	for _, m := range managers {
+		res, err := runSet(defaultOpt(cfg), defaultOS(), mkSet(), m.mk)
+		if err != nil {
+			return nil, err
+		}
+		e := res.Engine
+		tbl.AddRow(m.name, ms(res.Makespan), ms(res.MeanTurnaround), ms(res.MeanBlock),
+			e.M.Loads.Value(), e.M.Evictions.Value(), e.M.Blocks.Value(), e.M.GCRuns.Value())
+	}
+	return tbl, nil
+}
+
+// T4Overlay — §2 overlaying: keeping frequently used common functions
+// resident removes their reload traffic; only rare functions swap through
+// the overlay area.
+func T4Overlay(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "T4",
+		Title:   "Overlaying: resident set vs reload traffic",
+		Note:    "paper §2: frequent common functions stay resident; rare ones share the overlay area",
+		Columns: []string{"resident_set", "loads", "config_ms", "makespan_ms", "mean_turnaround_ms"},
+	}
+	hot := netlist.ALU(8)
+	cold := []*netlist.Netlist{netlist.Multiplier(4), netlist.BarrelShifter(16), netlist.CRC(16, 0x8005)}
+	circuits := append([]*netlist.Netlist{hot}, cold...)
+
+	tasks := 6
+	ops := 10
+	if cfg.Quick {
+		tasks, ops = 3, 6
+	}
+	mkSet := func() *workload.Set {
+		src := rng.New(cfg.Seed + 11)
+		set := &workload.Set{Circuits: circuits}
+		for ti := 0; ti < tasks; ti++ {
+			taskSrc := src.Split()
+			var prog []hostos.Op
+			for op := 0; op < ops; op++ {
+				c := hot
+				if taskSrc.Float64() > 0.6 {
+					c = cold[taskSrc.Intn(len(cold))]
+				}
+				req := hostos.FPGARequest{Circuit: c.Name}
+				if c.IsSequential() {
+					req.Cycles = 20_000
+				} else {
+					req.Evaluations = 20_000
+				}
+				prog = append(prog, hostos.Compute(200*sim.Microsecond), hostos.UseFPGA(req))
+			}
+			set.Tasks = append(set.Tasks, workload.TaskSpec{Name: fmt.Sprintf("t%d", ti), Program: prog})
+		}
+		return set
+	}
+	residentSets := [][]string{
+		{},
+		{hot.Name},
+		{hot.Name, cold[0].Name},
+	}
+	for _, resident := range residentSets {
+		resident := resident
+		res, err := runSet(defaultOpt(cfg), defaultOS(), mkSet(),
+			func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				om, _, err := core.NewOverlayManager(k, e, resident)
+				if err != nil {
+					panic(err)
+				}
+				return om
+			})
+		if err != nil {
+			return nil, err
+		}
+		label := "none (pure overlay)"
+		if len(resident) > 0 {
+			label = fmt.Sprintf("%v", resident)
+		}
+		tbl.AddRow(label, res.Engine.M.Loads.Value(), ms(res.Engine.M.ConfigTime),
+			ms(res.Makespan), ms(res.MeanTurnaround))
+	}
+	return tbl, nil
+}
+
+// T5IOMux — §2 input/output multiplexing: when virtual pins exceed the
+// physical pins, transfers time-multiplex and throughput drops by the mux
+// factor.
+func T5IOMux(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "T5",
+		Title:   "I/O multiplexing: virtual pins over fewer physical pins",
+		Note:    "paper §2: multiplexing increases apparent I/O count at a throughput cost",
+		Columns: []string{"phys_pins", "virt_pins", "mux_factor", "hw_ms", "slowdown"},
+	}
+	c := netlist.Adder(16) // 33 inputs + 17 outputs = 50 virtual pins
+	virt := 50
+	pinSweep := []int{16, 8, 4, 2} // pins per side -> 64, 32, 16, 8 pins
+	if cfg.Quick {
+		pinSweep = []int{16, 4}
+	}
+	var baseHW sim.Time
+	for _, pps := range pinSweep {
+		opt := defaultOpt(cfg)
+		opt.Geometry.PinsPerSide = pps
+		set := &workload.Set{
+			Tasks: []workload.TaskSpec{{Name: "io", Program: []hostos.Op{
+				hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 100_000}),
+			}}},
+			Circuits: []*netlist.Netlist{c},
+		}
+		res, err := runSet(opt, defaultOS(), set, dynamicMgr)
+		if err != nil {
+			return nil, err
+		}
+		t := res.OS.Tasks()[0]
+		phys := opt.Geometry.NumPins()
+		mux := (virt + phys - 1) / phys
+		if mux < 1 {
+			mux = 1
+		}
+		if baseHW == 0 {
+			baseHW = t.HWTime
+		}
+		tbl.AddRow(phys, virt, mux, ms(t.HWTime), float64(t.HWTime)/float64(baseHW))
+	}
+	return tbl, nil
+}
+
+// F1VirtualCapacity — the headline claim: "map larger circuits on smaller
+// FPGAs". An application whose stages together dwarf the device runs by
+// loading one stage at a time; the cost is reconfiguration time.
+func F1VirtualCapacity(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F1",
+		Title:   "Virtual capacity: application cells / device cells vs slowdown",
+		Note:    "paper §1/§5: smaller (cheaper) FPGAs run larger applications at bounded slowdown",
+		Columns: []string{"device_cols", "device_cells", "app_cells", "size_ratio", "makespan_ms", "slowdown"},
+	}
+	stages := []*netlist.Netlist{
+		netlist.Multiplier(4), netlist.ALU(8), netlist.BarrelShifter(16),
+		netlist.PopCount(32), netlist.Adder(16), netlist.Comparator(16),
+	}
+	passes := 3
+	if cfg.Quick {
+		passes = 2
+	}
+	mkSet := func() *workload.Set {
+		set := &workload.Set{Circuits: stages}
+		var prog []hostos.Op
+		for p := 0; p < passes; p++ {
+			for _, s := range stages {
+				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: s.Name, Evaluations: 100_000}))
+			}
+		}
+		set.Tasks = []workload.TaskSpec{{Name: "app", Program: prog}}
+		return set
+	}
+
+	// Pre-compile at the bench geometry to learn widths and cells.
+	opt := defaultOpt(cfg)
+	probe, err := engineFor(opt, stages)
+	if err != nil {
+		return nil, err
+	}
+	appCells, sumW, maxW := 0, 0, 0
+	for _, s := range stages {
+		c := probe.Lib[s.Name]
+		appCells += c.Cells()
+		sumW += c.BS.W
+		if c.BS.W > maxW {
+			maxW = c.BS.W
+		}
+	}
+
+	// widths in stage order, for resident-set planning.
+	widths := make([]int, len(stages))
+	for i, s := range stages {
+		widths[i] = probe.Lib[s.Name].BS.W
+	}
+	// residentPrefix returns the largest k such that stages[0:k] stay
+	// resident and the widest remaining stage still fits in the leftover
+	// overlay area.
+	residentPrefix := func(cols int) int {
+		best := 0
+		for k := 0; k <= len(widths); k++ {
+			sum := 0
+			for _, w := range widths[:k] {
+				sum += w
+			}
+			rest := 0
+			for _, w := range widths[k:] {
+				if w > rest {
+					rest = w
+				}
+			}
+			if sum+rest <= cols {
+				best = k
+			}
+		}
+		return best
+	}
+
+	// Sweep from "everything fits" down to "one stage at a time".
+	clamp := func(c int) int {
+		if c < maxW+1 {
+			return maxW + 1
+		}
+		return c
+	}
+	colSweep := []int{sumW + 2, clamp(3 * sumW / 4), clamp(sumW / 2), clamp(maxW + 4), maxW + 1}
+	if cfg.Quick {
+		colSweep = []int{sumW + 2, clamp(sumW / 2), maxW + 1}
+	}
+	seen := map[int]bool{}
+	var uniq []int
+	for _, c := range colSweep {
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(uniq)))
+	colSweep = uniq
+
+	// Zero-reconfiguration reference on the largest device.
+	optRef := defaultOpt(cfg)
+	optRef.Geometry.Cols = colSweep[0]
+	mergedRes, err := runSet(optRef, defaultOS(), mkSet(),
+		func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+			names := make([]string, len(stages))
+			for j, s := range stages {
+				names[j] = s.Name
+			}
+			m, _, err := baseline.NewMerged(k, e, names)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		})
+	if err != nil {
+		return nil, err
+	}
+	ref := mergedRes.Makespan
+	devCells := colSweep[0] * optRef.Geometry.Rows
+	tbl.AddRow(fmt.Sprintf("%d (merged)", colSweep[0]), devCells, appCells,
+		float64(appCells)/float64(devCells), ms(ref), 1.0)
+
+	// Overlaying on shrinking devices: as many stages resident as fit,
+	// the rest swapping through the overlay area.
+	for _, cols := range colSweep {
+		opt := defaultOpt(cfg)
+		opt.Geometry.Cols = cols
+		k := residentPrefix(cols)
+		resident := make([]string, 0, k)
+		for _, s := range stages[:k] {
+			resident = append(resident, s.Name)
+		}
+		res, err := runSet(opt, defaultOS(), mkSet(),
+			func(kk *sim.Kernel, e *core.Engine) hostos.FPGA {
+				om, _, err := core.NewOverlayManager(kk, e, resident)
+				if err != nil {
+					panic(err)
+				}
+				return om
+			})
+		if err != nil {
+			return nil, err
+		}
+		devCells := cols * opt.Geometry.Rows
+		tbl.AddRow(cols, devCells, appCells, float64(appCells)/float64(devCells),
+			ms(res.Makespan), float64(res.Makespan)/float64(ref))
+	}
+	return tbl, nil
+}
+
+// F2SchedulingModes — §4: the non-preemptable exclusive FPGA collapses
+// parallelism ("implicitly forcing the scheduling to a strictly FIFO
+// policy"); dynamic loading and partitioning restore it.
+func F2SchedulingModes(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F2",
+		Title:   "Task wait time: exclusive vs dynamic loading vs partitioning",
+		Note:    "paper §4: exclusive assignment makes everyone else wait; VFPGA techniques do not",
+		Columns: []string{"tasks", "manager", "mean_wait_ms", "mean_block_ms", "makespan_ms"},
+	}
+	taskSweep := []int{2, 4, 8}
+	if cfg.Quick {
+		taskSweep = []int{2, 4}
+	}
+	pool := []*netlist.Netlist{netlist.Parity(16), netlist.Adder(8), netlist.ALU(8), netlist.Comparator(16)}
+	for _, n := range taskSweep {
+		mkSet := func() *workload.Set {
+			set := &workload.Set{Circuits: pool}
+			for ti := 0; ti < n; ti++ {
+				c := pool[ti%len(pool)]
+				var prog []hostos.Op
+				for op := 0; op < 4; op++ {
+					prog = append(prog,
+						hostos.Compute(500*sim.Microsecond),
+						hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 50_000}))
+				}
+				set.Tasks = append(set.Tasks, workload.TaskSpec{Name: fmt.Sprintf("t%d", ti), Program: prog})
+			}
+			return set
+		}
+		managers := []struct {
+			name string
+			mk   func(*sim.Kernel, *core.Engine) hostos.FPGA
+		}{
+			{"exclusive (non-preemptable)", func(k *sim.Kernel, e *core.Engine) hostos.FPGA { return baseline.NewExclusive(k, e) }},
+			{"dynamic loading", dynamicMgr},
+			{"variable partitions", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
+		}
+		// A 1 ms slice forces interleaving, so holders of the exclusive
+		// device yield the CPU between operations while keeping the FPGA.
+		osCfg := defaultOS()
+		osCfg.TimeSlice = 1 * sim.Millisecond
+		for _, m := range managers {
+			res, err := runSet(defaultOpt(cfg), osCfg, mkSet(), m.mk)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(n, m.name, ms(res.MeanWait), ms(res.MeanBlock), ms(res.Makespan))
+		}
+	}
+	return tbl, nil
+}
+
+// F3MergedVsDynamic — §3: merging all circuits into one configuration is
+// the trivial solution when the device is big enough; dynamic loading is
+// what remains when it is not.
+func F3MergedVsDynamic(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F3",
+		Title:   "Merged configuration vs dynamic loading across device sizes",
+		Note:    "paper §3: 'if the FPGA is large enough ... merge all circuits into only one'",
+		Columns: []string{"device_cols", "merged_makespan_ms", "dynamic_makespan_ms", "dynamic_loads"},
+	}
+	pool := []*netlist.Netlist{netlist.Parity(16), netlist.Adder(8), netlist.ALU(8), netlist.Multiplier(4)}
+	names := make([]string, len(pool))
+	for i, c := range pool {
+		names[i] = c.Name
+	}
+	mkSet := func() *workload.Set {
+		return workload.Synthetic(workload.SyntheticConfig{
+			Tasks:       6,
+			OpsPerTask:  5,
+			EvalsPerOp:  40_000,
+			ComputeTime: 200 * sim.Microsecond,
+			CircuitPool: pool,
+			SwitchProb:  0.5,
+			Seed:        cfg.Seed + 13,
+		})
+	}
+	// Probe the merged footprint once: merged fits iff the strip widths
+	// sum within the device columns.
+	probe, err := engineFor(defaultOpt(cfg), pool)
+	if err != nil {
+		return nil, err
+	}
+	sumW := 0
+	for _, c := range pool {
+		sumW += probe.Lib[c.Name].BS.W
+	}
+
+	colSweep := []int{6, 9, 12, 16, 24}
+	if cfg.Quick {
+		colSweep = []int{6, 16}
+	}
+	for _, cols := range colSweep {
+		opt := defaultOpt(cfg)
+		opt.Geometry.Cols = cols
+		merged := fmt.Sprintf("n/a (needs %d cols)", sumW)
+		if sumW <= cols {
+			mres, err := runSet(opt, defaultOS(), mkSet(),
+				func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+					m, _, err := baseline.NewMerged(k, e, names)
+					if err != nil {
+						panic(err)
+					}
+					return m
+				})
+			if err != nil {
+				return nil, err
+			}
+			merged = ms(mres.Makespan)
+		}
+		dres, err := runSet(opt, defaultOS(), mkSet(), dynamicMgr)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(cols, merged, ms(dres.Makespan), dres.Engine.M.Loads.Value())
+	}
+	return tbl, nil
+}
+
+// F4Fragmentation — §4: variable partitions fragment under churn; garbage
+// collection merges idle fragments at relocation cost.
+func F4Fragmentation(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F4",
+		Title:   "External fragmentation under churn, GC off vs on",
+		Note:    "paper §4: merge idle partitions so no task waits while total space suffices",
+		Columns: []string{"gc", "mean_frag", "max_frag", "blocks", "mean_block_ms", "gc_runs", "relocations", "makespan_ms"},
+	}
+	small := 24
+	wide := 6
+	if cfg.Quick {
+		small, wide = 10, 3
+	}
+	// Churn: a stream of narrow long-lived tasks creates a checkerboard of
+	// partitions; staggered exits leave holes. Wide tasks then need more
+	// contiguous columns than any single hole provides — the paper's
+	// "space may be actually available even if split in more idle
+	// existing partitions".
+	narrowPool := []*netlist.Netlist{netlist.Parity(16), netlist.Adder(8), netlist.Comparator(16)}
+	widePool := []*netlist.Netlist{netlist.Multiplier(6), netlist.Multiplier(8)}
+	mkSet := func() *workload.Set {
+		src := rng.New(cfg.Seed + 17)
+		set := &workload.Set{Circuits: append(append([]*netlist.Netlist{}, narrowPool...), widePool...)}
+		arrival := sim.Time(0)
+		for i := 0; i < small; i++ {
+			taskSrc := src.Split()
+			arrival += sim.Time(float64(sim.Millisecond) * taskSrc.ExpFloat64())
+			c := narrowPool[taskSrc.Intn(len(narrowPool))]
+			dur := sim.Time(taskSrc.Intn(5)+1) * 2 * sim.Millisecond
+			set.Tasks = append(set.Tasks, workload.TaskSpec{
+				Name:    fmt.Sprintf("small%d", i),
+				Arrival: arrival,
+				Program: []hostos.Op{
+					hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 50_000}),
+					hostos.Compute(dur),
+					hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 50_000}),
+				},
+			})
+		}
+		for i := 0; i < wide; i++ {
+			c := widePool[i%len(widePool)]
+			set.Tasks = append(set.Tasks, workload.TaskSpec{
+				Name:    fmt.Sprintf("wide%d", i),
+				Arrival: sim.Time(6+5*i) * sim.Millisecond,
+				Program: []hostos.Op{
+					hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 80_000}),
+				},
+			})
+		}
+		return set
+	}
+	for _, gc := range []bool{false, true} {
+		k := sim.New()
+		set := mkSet()
+		opt := defaultOpt(cfg)
+		opt.Geometry.Cols = 12 // tight enough that holes matter
+		e, err := engineFor(opt, set.Circuits)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := core.NewPartitionManager(k, e, core.PartitionConfig{
+			Mode: core.VariablePartitions, Fit: core.BestFit, GC: gc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		os := hostos.New(k, defaultOS(), pm)
+		pm.AttachOS(os)
+		set.Spawn(os)
+		frag := stats.NewSample(false)
+		// Sample fragmentation every millisecond while the run progresses.
+		for !os.AllDone() {
+			fired := k.RunUntil(k.Now() + sim.Millisecond)
+			total, largest := pm.FreeCols()
+			if total > 0 && total < opt.Geometry.Cols {
+				frag.Observe(1 - float64(largest)/float64(total))
+			}
+			if fired == 0 && k.Pending() == 0 && !os.AllDone() {
+				return nil, fmt.Errorf("bench F4: deadlock with gc=%v", gc)
+			}
+		}
+		var meanBlock sim.Time
+		for _, t := range os.Tasks() {
+			meanBlock += t.BlockWait / sim.Time(len(os.Tasks()))
+		}
+		tbl.AddRow(gc, frag.Mean(), frag.Max(), e.M.Blocks.Value(), ms(meanBlock),
+			e.M.GCRuns.Value(), e.M.Relocations.Value(), ms(os.Makespan()))
+	}
+	return tbl, nil
+}
+
+// F5Pagination — §2: page size trades fault frequency against per-fault
+// cost; the replacement policy decides how well locality is exploited.
+func F5Pagination(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F5",
+		Title:   "Demand paging: page size x replacement policy",
+		Note:    "paper §2: configurations split into fixed-size pages loaded on demand",
+		Columns: []string{"page_cells", "pages", "frames", "policy", "faults", "fault_rate", "config_ms", "makespan_ms"},
+	}
+	circuit := netlist.Multiplier(8)
+	refs := 300
+	if cfg.Quick {
+		refs = 80
+	}
+	pageSweep := []int{8, 16, 32}
+	if cfg.Quick {
+		pageSweep = []int{8, 32}
+	}
+	policies := []core.ReplacePolicy{core.LRU, core.PageFIFO, core.Clock, core.Random}
+	if cfg.Quick {
+		policies = []core.ReplacePolicy{core.LRU, core.Random}
+	}
+	for _, pageCells := range pageSweep {
+		// Probe the page count.
+		probe, err := engineFor(defaultOpt(cfg), []*netlist.Netlist{circuit})
+		if err != nil {
+			return nil, err
+		}
+		pages := (probe.Lib[circuit.Name].Cells() + pageCells - 1) / pageCells
+		frames := pages/2 + 1
+		for _, policy := range policies {
+			set := workload.Paged(workload.PagedConfig{
+				Circuit: circuit,
+				Refs:    refs,
+				Pages:   pages,
+				WorkSet: 3,
+				Skew:    1.2,
+				Evals:   5_000,
+				Seed:    cfg.Seed + 19,
+			})
+			res, err := runSet(defaultOpt(cfg), defaultOS(), set,
+				func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+					pl, err := core.NewPagedLoader(k, e, core.PagedConfig{
+						PageCells: pageCells, Frames: frames, Policy: policy, Seed: cfg.Seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					return pl
+				})
+			if err != nil {
+				return nil, err
+			}
+			e := res.Engine
+			faults := e.M.PageFaults.Value()
+			tbl.AddRow(pageCells, pages, frames, policy.String(), faults,
+				float64(faults)/float64(refs*3), ms(e.M.ConfigTime), ms(res.Makespan))
+		}
+	}
+	return tbl, nil
+}
+
+// F6Segmentation — §2: decompose a function into self-contained
+// sub-functions loaded on demand; the monolithic alternative needs a
+// device as large as all segments together.
+func F6Segmentation(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F6",
+		Title:   "Segmentation vs monolithic configuration",
+		Note:    "paper §2: variable-size self-contained sub-functions vs one merged download",
+		Columns: []string{"approach", "device_cols", "app_cells", "loads", "makespan_ms"},
+	}
+	stages := []*netlist.Netlist{
+		netlist.ALU(8), netlist.Multiplier(4), netlist.BarrelShifter(16), netlist.PopCount(32),
+	}
+	mono, err := netlist.Concat("monolithic", stages...)
+	if err != nil {
+		return nil, err
+	}
+	passes := 3
+	if cfg.Quick {
+		passes = 2
+	}
+	segSet := func() *workload.Set {
+		var prog []hostos.Op
+		for p := 0; p < passes; p++ {
+			for _, s := range stages {
+				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: s.Name, Evaluations: 50_000}))
+			}
+		}
+		return &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: stages}
+	}
+	monoSet := func() *workload.Set {
+		var prog []hostos.Op
+		for p := 0; p < passes; p++ {
+			for range stages {
+				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: mono.Name, Evaluations: 50_000}))
+			}
+		}
+		return &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: []*netlist.Netlist{mono}}
+	}
+
+	// Probe widths.
+	probe, err := engineFor(defaultOpt(cfg), append(append([]*netlist.Netlist{}, stages...), mono))
+	if err != nil {
+		return nil, err
+	}
+	maxSegW, segCells := 0, 0
+	for _, s := range stages {
+		c := probe.Lib[s.Name]
+		segCells += c.Cells()
+		if c.BS.W > maxSegW {
+			maxSegW = c.BS.W
+		}
+	}
+	monoW := probe.Lib[mono.Name].BS.W
+
+	// Monolithic on a device sized for it.
+	optBig := defaultOpt(cfg)
+	optBig.Geometry.Cols = monoW + 2
+	resMono, err := runSet(optBig, defaultOS(), monoSet(), dynamicMgr)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("monolithic (big device)", optBig.Geometry.Cols, probe.Lib[mono.Name].Cells(),
+		resMono.Engine.M.Loads.Value(), ms(resMono.Makespan))
+
+	// Segmented on a small device sized for the largest segment.
+	optSmall := defaultOpt(cfg)
+	optSmall.Geometry.Cols = maxSegW + 2
+	resSeg, err := runSet(optSmall, defaultOS(), segSet(), dynamicMgr)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("segmented (small device)", optSmall.Geometry.Cols, segCells,
+		resSeg.Engine.M.Loads.Value(), ms(resSeg.Makespan))
+
+	// Monolithic on the small device: infeasible by construction.
+	tbl.AddRow("monolithic (small device)", optSmall.Geometry.Cols, probe.Lib[mono.Name].Cells(),
+		"n/a", fmt.Sprintf("infeasible: needs %d cols", monoW))
+
+	// Automatic segmentation: one large netlist (an 8x8 multiplier) cut
+	// into k level-balanced stages by netlist.Segment — the paper's
+	// "self-contained sub-functions having variable size" derived
+	// mechanically rather than by hand.
+	big := netlist.Multiplier(8)
+	ks := []int{2, 4}
+	if cfg.Quick {
+		ks = []int{2}
+	}
+	for _, kSeg := range ks {
+		segs, err := netlist.Segment(big, kSeg)
+		if err != nil {
+			return nil, err
+		}
+		segProbe, err := engineFor(defaultOpt(cfg), segs)
+		if err != nil {
+			return nil, err
+		}
+		maxSegCols, totalCells := 0, 0
+		for _, s := range segs {
+			c := segProbe.Lib[s.Name]
+			totalCells += c.Cells()
+			if c.BS.W > maxSegCols {
+				maxSegCols = c.BS.W
+			}
+		}
+		var prog []hostos.Op
+		for p := 0; p < passes; p++ {
+			for _, s := range segs {
+				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: s.Name, Evaluations: 50_000}))
+			}
+		}
+		set := &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: segs}
+		optSeg := defaultOpt(cfg)
+		optSeg.Geometry.Cols = maxSegCols + 2
+		res, err := runSet(optSeg, defaultOS(), set, dynamicMgr)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("auto-segmented mul8 (k=%d)", kSeg), optSeg.Geometry.Cols,
+			totalCells, res.Engine.M.Loads.Value(), ms(res.Makespan))
+	}
+	// Whole mul8 for reference on a device sized for it.
+	wholeProbe, err := engineFor(defaultOpt(cfg), []*netlist.Netlist{big})
+	if err != nil {
+		return nil, err
+	}
+	wholeW := wholeProbe.Lib[big.Name].BS.W
+	var prog []hostos.Op
+	for p := 0; p < passes; p++ {
+		for i := 0; i < 4; i++ {
+			prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: big.Name, Evaluations: 50_000}))
+		}
+	}
+	optWhole := defaultOpt(cfg)
+	optWhole.Geometry.Cols = wholeW + 2
+	resWhole, err := runSet(optWhole, defaultOS(),
+		&workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: []*netlist.Netlist{big}},
+		dynamicMgr)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("whole mul8 (big device)", optWhole.Geometry.Cols,
+		wholeProbe.Lib[big.Name].Cells(), resWhole.Engine.M.Loads.Value(), ms(resWhole.Makespan))
+	return tbl, nil
+}
+
+// F7Applications — §5's scenarios: multimedia codec switching, telecom
+// protocol adaptation, embedded diagnosis. VFPGA on a small device is
+// compared with software-only execution and a merged big-FPGA.
+func F7Applications(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F7",
+		Title:   "Application scenarios: VFPGA vs software vs big FPGA",
+		Note:    "paper §5: cost reduction expands the market — same workloads, smaller device",
+		Columns: []string{"scenario", "manager", "device_cols", "makespan_ms", "mean_turnaround_ms", "loads"},
+	}
+	scenarios := []struct {
+		name string
+		set  func() *workload.Set
+		os   hostos.Config
+	}{
+		{"multimedia", func() *workload.Set {
+			c := workload.DefaultMultimedia()
+			c.Seed = cfg.Seed + 23
+			if cfg.Quick {
+				c.Streams, c.Frames = 2, 8
+			}
+			return workload.Multimedia(c)
+		}, defaultOS()},
+		{"telecom", func() *workload.Set {
+			c := workload.DefaultTelecom()
+			c.Seed = cfg.Seed + 29
+			if cfg.Quick {
+				c.Sessions = 4
+			}
+			return workload.Telecom(c)
+		}, defaultOS()},
+		{"diagnosis", func() *workload.Set {
+			c := workload.DefaultDiagnosis()
+			c.Seed = cfg.Seed + 31
+			if cfg.Quick {
+				c.ControlOps = 20
+			}
+			return workload.Diagnosis(c)
+		}, hostos.Config{Policy: hostos.Priority, TimeSlice: 10 * sim.Millisecond, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}},
+		{"storage", func() *workload.Set {
+			c := workload.DefaultStorage()
+			c.Seed = cfg.Seed + 41
+			if cfg.Quick {
+				c.Requests = 6
+			}
+			return workload.Storage(c)
+		}, defaultOS()},
+	}
+	for _, sc := range scenarios {
+		// Probe widths to size the small and big devices.
+		probeSet := sc.set()
+		probe, err := engineFor(defaultOpt(cfg), probeSet.Circuits)
+		if err != nil {
+			return nil, err
+		}
+		sumW, maxW := 0, 0
+		var names []string
+		for _, c := range probeSet.Circuits {
+			w := probe.Lib[c.Name].BS.W
+			sumW += w
+			if w > maxW {
+				maxW = w
+			}
+			names = append(names, c.Name)
+		}
+		smallCols := maxW + 2
+		bigCols := sumW + 2
+
+		managers := []struct {
+			name string
+			cols int
+			mk   func(*sim.Kernel, *core.Engine) hostos.FPGA
+		}{
+			{"software only", smallCols, func(k *sim.Kernel, e *core.Engine) hostos.FPGA { return baseline.NewSoftware(e, 20) }},
+			{"vfpga dynamic (small)", smallCols, dynamicMgr},
+			{"vfpga partitions (mid)", (smallCols + bigCols) / 2,
+				partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
+			{"merged big FPGA", bigCols, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				m, _, err := baseline.NewMerged(k, e, names)
+				if err != nil {
+					panic(err)
+				}
+				return m
+			}},
+		}
+		for _, m := range managers {
+			opt := defaultOpt(cfg)
+			opt.Geometry.Cols = m.cols
+			res, err := runSet(opt, sc.os, sc.set(), m.mk)
+			if err != nil {
+				return nil, fmt.Errorf("F7 %s/%s: %w", sc.name, m.name, err)
+			}
+			tbl.AddRow(sc.name, m.name, m.cols, ms(res.Makespan), ms(res.MeanTurnaround),
+				res.Engine.M.Loads.Value())
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,241 @@
+package bitstream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/techmap"
+)
+
+// routed compiles a library circuit through map+place+route (without the
+// compile facade, which lives above this package).
+func routed(t *testing.T, nl *netlist.Netlist) *route.Result {
+	t.Helper()
+	m, err := techmap.Map(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := place.Shape(m.NumCells())
+	p, err := place.Place(m, w, h, place.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := route.Route(p, 12, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func gen(t *testing.T, nl *netlist.Netlist) *Bitstream {
+	t.Helper()
+	return Generate(routed(t, nl), fabric.DefaultTiming())
+}
+
+func fullBinding(b *Bitstream, base int) *PinBinding {
+	pb := &PinBinding{}
+	p := base
+	for i := 0; i < b.NumIn; i++ {
+		pb.In = append(pb.In, p)
+		p++
+	}
+	for i := 0; i < b.NumOut; i++ {
+		pb.Out = append(pb.Out, p)
+		p++
+	}
+	return pb
+}
+
+func TestGenerateShape(t *testing.T) {
+	nl := netlist.Adder(8)
+	bs := gen(t, nl)
+	if bs.Name != "adder8" {
+		t.Fatalf("name %q", bs.Name)
+	}
+	if bs.NumIn != nl.NumInputs() || bs.NumOut != nl.NumOutputs() {
+		t.Fatal("port counts wrong")
+	}
+	if bs.NumCells() == 0 || bs.FFCells != 0 {
+		t.Fatalf("cells %d ff %d", bs.NumCells(), bs.FFCells)
+	}
+	if bs.Delay <= 0 {
+		t.Fatal("no delay")
+	}
+	if len(bs.OutDrivers) != bs.NumOut {
+		t.Fatal("out drivers wrong")
+	}
+	if !strings.Contains(bs.String(), "adder8") {
+		t.Fatal("summary")
+	}
+}
+
+func TestSequentialFFCells(t *testing.T) {
+	bs := gen(t, netlist.Counter(8))
+	if bs.FFCells != 8 {
+		t.Fatalf("FF cells %d, want 8", bs.FFCells)
+	}
+}
+
+func TestCellsStayInsideRegion(t *testing.T) {
+	bs := gen(t, netlist.Multiplier(4))
+	for _, cw := range bs.Cells {
+		if cw.X < 0 || cw.X >= bs.W || cw.Y < 0 || cw.Y >= bs.H {
+			t.Fatalf("cell (%d,%d) outside %dx%d", cw.X, cw.Y, bs.W, bs.H)
+		}
+		for _, in := range cw.Inputs {
+			if in.Kind == SrcRel && (in.DX < 0 || in.DX >= bs.W || in.DY < 0 || in.DY >= bs.H) {
+				t.Fatalf("relative source (%d,%d) outside region", in.DX, in.DY)
+			}
+			if in.Kind == SrcPort && (in.Port < 0 || in.Port >= bs.NumIn) {
+				t.Fatalf("port source %d out of range", in.Port)
+			}
+		}
+	}
+}
+
+func TestApplyCounts(t *testing.T) {
+	bs := gen(t, netlist.Adder(8))
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	cells, pins, err := bs.Apply(dev, 1, 1, fullBinding(bs, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != bs.NumCells() {
+		t.Fatalf("cells written %d, want %d", cells, bs.NumCells())
+	}
+	if pins != bs.NumIn+bs.NumOut {
+		t.Fatalf("pins written %d, want %d", pins, bs.NumIn+bs.NumOut)
+	}
+	if dev.UsedCells() != bs.NumCells() {
+		t.Fatal("device cell count mismatch")
+	}
+}
+
+func TestApplyUnboundPortsSkipped(t *testing.T) {
+	// Output pins may be left unbound (-1); input ports referenced by
+	// cells must be bound.
+	bs := gen(t, netlist.Adder(8))
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	pb := fullBinding(bs, 0)
+	for i := range pb.Out {
+		pb.Out[i] = -1
+	}
+	_, pins, err := bs.Apply(dev, 0, 0, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pins != bs.NumIn {
+		t.Fatalf("pins %d, want only the %d inputs", pins, bs.NumIn)
+	}
+}
+
+func TestApplyUnboundInputRejected(t *testing.T) {
+	bs := gen(t, netlist.Adder(8))
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	pb := fullBinding(bs, 0)
+	pb.In[0] = -1
+	if _, _, err := bs.Apply(dev, 0, 0, pb); err == nil {
+		t.Fatal("unbound referenced input accepted")
+	}
+}
+
+func TestApplyOutOfBounds(t *testing.T) {
+	bs := gen(t, netlist.Adder(8))
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	g := dev.Geometry()
+	if _, _, err := bs.Apply(dev, g.Cols-1, 0, fullBinding(bs, 0)); err == nil {
+		t.Fatal("out-of-bounds apply accepted")
+	}
+}
+
+func TestPagesPartitionCells(t *testing.T) {
+	bs := gen(t, netlist.ALU(8))
+	for _, size := range []int{1, 3, 7, 1000} {
+		pages := bs.Pages(size)
+		total := 0
+		for i, p := range pages {
+			if p.Index != i {
+				t.Fatalf("page index %d != %d", p.Index, i)
+			}
+			if len(p.Cells) == 0 || len(p.Cells) > size {
+				t.Fatalf("page %d has %d cells (size %d)", i, len(p.Cells), size)
+			}
+			total += len(p.Cells)
+		}
+		if total != bs.NumCells() {
+			t.Fatalf("pages cover %d cells, want %d", total, bs.NumCells())
+		}
+	}
+}
+
+func TestPagesInvalidSizePanics(t *testing.T) {
+	bs := gen(t, netlist.Adder(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	bs.Pages(0)
+}
+
+func TestApplyPageSubset(t *testing.T) {
+	bs := gen(t, netlist.ALU(8))
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	pages := bs.Pages(5)
+	cells, pins, err := bs.ApplyPage(dev, 0, 0, fullBinding(bs, 0), pages[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != len(pages[0].Cells) || pins != 0 {
+		t.Fatalf("page apply wrote %d cells %d pins", cells, pins)
+	}
+	if dev.UsedCells() != len(pages[0].Cells) {
+		t.Fatal("device holds wrong cell count after one page")
+	}
+}
+
+func TestConfigCostScalesWithCells(t *testing.T) {
+	small := gen(t, netlist.Parity(16))
+	big := gen(t, netlist.Multiplier(4))
+	tm := fabric.DefaultTiming()
+	if small.ConfigCost(tm) >= big.ConfigCost(tm) {
+		t.Fatalf("parity %v should cost less than mul4 %v", small.ConfigCost(tm), big.ConfigCost(tm))
+	}
+}
+
+func TestRegionPlacement(t *testing.T) {
+	bs := gen(t, netlist.Adder(8))
+	r := bs.Region(3, 4)
+	if r.X != 3 || r.Y != 4 || r.W != bs.W || r.H != bs.H {
+		t.Fatalf("region %v", r)
+	}
+}
+
+func TestConstSources(t *testing.T) {
+	// A circuit with constant-driven logic must encode SrcConst, not ports.
+	b := netlist.NewBuilder("consty")
+	a := b.Input("a")
+	b.Output("y", b.And(a, b.Const(true)))
+	b.Output("z", b.Const(false))
+	bs := gen(t, b.MustBuild())
+	if bs.OutDrivers[1].Kind != SrcConst0 {
+		t.Fatalf("const output driver kind %d", bs.OutDrivers[1].Kind)
+	}
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	pb := fullBinding(bs, 0)
+	if _, _, err := bs.Apply(dev, 0, 0, pb); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetPin(pb.In[0], true)
+	out, err := dev.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[pb.Out[0]] || out[pb.Out[1]] {
+		t.Fatalf("const logic wrong: %v", out)
+	}
+}

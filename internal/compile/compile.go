@@ -1,0 +1,182 @@
+// Package compile is the end-to-end CAD flow facade: it takes a gate-level
+// netlist through technology mapping, placement, routing and bitstream
+// generation, producing the relocatable configuration image plus the
+// timing the operating system needs (critical path, clock period, download
+// cost, state volume).
+//
+// Compilation happens "offline" — in the paper's model, the task designer
+// compiles configurations before the task is loaded; at run time the
+// operating system only downloads bitstreams. Accordingly nothing here is
+// charged to virtual time.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/techmap"
+)
+
+// Options tunes the flow.
+type Options struct {
+	// Seed drives the placer.
+	Seed uint64
+	// Effort scales placement effort (0 = default).
+	Effort int
+	// Tracks is the channel capacity to route against; 0 uses the
+	// device-default geometry's capacity.
+	Tracks int
+	// W, H force the region shape; 0 lets the flow choose, growing the
+	// region until the design routes.
+	W, H int
+	// MaxGrowth bounds the number of region-growth retries (0 = default).
+	MaxGrowth int
+	// Timing supplies delay constants; the zero value selects
+	// fabric.DefaultTiming.
+	Timing *fabric.Timing
+	// DisableOpt skips the netlist optimization pass (constant folding,
+	// CSE, dead-logic removal) — the ablation knob for measuring what the
+	// logic optimizer is worth in CLBs.
+	DisableOpt bool
+}
+
+// Circuit is a fully compiled design: everything the VFPGA manager needs
+// to load, run, preempt, relocate and page it.
+type Circuit struct {
+	Name    string
+	Netlist *netlist.Netlist
+	Mapped  *techmap.Mapped
+	Placed  *place.Placement
+	Routed  *route.Result
+	BS      *bitstream.Bitstream
+	// ClockPeriod is the operating clock period (critical path with the
+	// device's floor applied).
+	ClockPeriod sim.Time
+	// Sequential reports whether the circuit holds state.
+	Sequential bool
+}
+
+// Cells returns the circuit's area in CLBs.
+func (c *Circuit) Cells() int { return c.BS.NumCells() }
+
+// Footprint returns the region shape the circuit occupies.
+func (c *Circuit) Footprint() (w, h int) { return c.BS.W, c.BS.H }
+
+// String renders a one-line report.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s: %dx%d, %d cells, clk %v, seq=%v",
+		c.Name, c.BS.W, c.BS.H, c.Cells(), c.ClockPeriod, c.Sequential)
+}
+
+// Compile runs the full flow on nl.
+func Compile(nl *netlist.Netlist, opt Options) (*Circuit, error) {
+	timing := fabric.DefaultTiming()
+	if opt.Timing != nil {
+		timing = *opt.Timing
+	}
+	tracks := opt.Tracks
+	if tracks <= 0 {
+		tracks = fabric.DefaultGeometry().TracksPerChannel
+	}
+	maxGrowth := opt.MaxGrowth
+	if maxGrowth <= 0 {
+		maxGrowth = 6
+	}
+
+	src := nl
+	if !opt.DisableOpt {
+		src = netlist.Optimize(nl)
+	}
+	m, err := techmap.Map(src)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", nl.Name, err)
+	}
+
+	w, h := opt.W, opt.H
+	chooseShape := w <= 0 || h <= 0
+	if chooseShape {
+		w, h = place.Shape(m.NumCells())
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= maxGrowth; attempt++ {
+		p, err := place.Place(m, w, h, place.Options{Seed: opt.Seed + uint64(attempt), Effort: opt.Effort})
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", nl.Name, err)
+		}
+		r, err := route.Route(p, tracks, route.Options{})
+		if err == nil {
+			bs := bitstream.Generate(r, timing)
+			return &Circuit{
+				Name:        nl.Name,
+				Netlist:     nl,
+				Mapped:      m,
+				Placed:      p,
+				Routed:      r,
+				BS:          bs,
+				ClockPeriod: timing.ClockPeriod(bs.Delay),
+				Sequential:  nl.IsSequential(),
+			}, nil
+		}
+		lastErr = err
+		if !chooseShape {
+			break // the caller pinned the shape; do not grow
+		}
+		// Grow the region ~20% per retry to give the router room.
+		if w <= h {
+			w++
+		} else {
+			h++
+		}
+		w += w / 10
+		h += h / 10
+	}
+	return nil, fmt.Errorf("compile %s: %w", nl.Name, lastErr)
+}
+
+// MustCompile is Compile that panics on error, for tests and examples
+// operating on library circuits known to route.
+func MustCompile(nl *netlist.Netlist, opt Options) *Circuit {
+	c, err := Compile(nl, opt)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CompileStrip compiles nl into a full-height column strip of the given
+// row count, growing the width until the design routes. Column strips are
+// the allocation unit of the VFPGA managers: partitioning, overlaying and
+// garbage collection all deal in contiguous column ranges, the direct
+// analogue of the paper's memory-style partitions.
+func CompileStrip(nl *netlist.Netlist, rows, tracks int, opt Options) (*Circuit, error) {
+	src := nl
+	if !opt.DisableOpt {
+		src = netlist.Optimize(nl)
+	}
+	m, err := techmap.Map(src)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", nl.Name, err)
+	}
+	cells := m.NumCells()
+	minW := (cells + cells/8 + rows - 1) / rows
+	if minW < 1 {
+		minW = 1
+	}
+	var lastErr error
+	for w := minW; w <= minW+8; w++ {
+		opt := opt
+		opt.W, opt.H = w, rows
+		c, err := Compile(nl, opt)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("compile %s as %d-row strip: %w", nl.Name, rows, lastErr)
+}

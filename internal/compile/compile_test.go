@@ -1,0 +1,333 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// loadAt applies a compiled circuit at the given origin, binding its ports
+// to consecutive device pins starting at pinBase. It returns the binding.
+func loadAt(t *testing.T, dev *fabric.Device, c *Circuit, ox, oy, pinBase int) *bitstream.PinBinding {
+	t.Helper()
+	binding := &bitstream.PinBinding{}
+	p := pinBase
+	for i := 0; i < c.BS.NumIn; i++ {
+		binding.In = append(binding.In, p)
+		p++
+	}
+	for i := 0; i < c.BS.NumOut; i++ {
+		binding.Out = append(binding.Out, p)
+		p++
+	}
+	if _, _, err := c.BS.Apply(dev, ox, oy, binding); err != nil {
+		t.Fatalf("apply %s: %v", c.Name, err)
+	}
+	return binding
+}
+
+// driveEqual checks that the device region computes the same function as
+// the netlist golden model over random stimulus.
+func driveEqual(t *testing.T, dev *fabric.Device, c *Circuit, binding *bitstream.PinBinding, cycles int, seed uint64) {
+	t.Helper()
+	golden := netlist.NewSimulator(c.Netlist)
+	src := rng.New(seed)
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := make([]bool, c.BS.NumIn)
+		for i := range in {
+			in[i] = src.Bool()
+			dev.SetPin(binding.In[i], in[i])
+		}
+		var want []bool
+		var got map[int]bool
+		var err error
+		if c.Sequential {
+			want = golden.Step(in)
+			got, err = dev.Step()
+		} else {
+			want = golden.Eval(in)
+			got, err = dev.Eval()
+		}
+		if err != nil {
+			t.Fatalf("%s cycle %d: %v", c.Name, cyc, err)
+		}
+		for o := range want {
+			if got[binding.Out[o]] != want[o] {
+				t.Fatalf("%s cycle %d output %d (%s): fabric %v, want %v",
+					c.Name, cyc, o, c.Netlist.OutputNames()[o], got[binding.Out[o]], want[o])
+			}
+		}
+	}
+}
+
+func TestCompileAndRunOnFabric(t *testing.T) {
+	reg := netlist.Registry()
+	// A representative slice of the library: combinational datapaths,
+	// wide fanin, deep logic, and sequential machines.
+	names := []string{"adder16", "mul4", "alu8", "popcount16", "rotl8",
+		"counter8", "lfsr16", "crc8", "acc8", "shreg16", "cmp16", "prienc8"}
+	for i, name := range names {
+		name := name
+		seed := uint64(100 + i)
+		t.Run(name, func(t *testing.T) {
+			c, err := Compile(reg[name](), Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := fabric.NewDevice(fabric.DefaultGeometry())
+			binding := loadAt(t, dev, c, 0, 0, 0)
+			driveEqual(t, dev, c, binding, 48, seed)
+		})
+	}
+}
+
+func TestRelocationPreservesFunction(t *testing.T) {
+	// The same bitstream loaded at two different origins simultaneously
+	// must compute correctly at both — the relocatability property that
+	// variable partitioning and garbage collection rely on.
+	c := MustCompile(netlist.Adder(8), Options{Seed: 9})
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	b1 := loadAt(t, dev, c, 0, 0, 0)
+	ox := c.BS.W + 2
+	oy := c.BS.H + 3
+	b2 := loadAt(t, dev, c, ox, oy, 64)
+
+	golden := netlist.NewSimulator(c.Netlist)
+	src := rng.New(17)
+	for cyc := 0; cyc < 32; cyc++ {
+		in1 := make([]bool, c.BS.NumIn)
+		in2 := make([]bool, c.BS.NumIn)
+		for i := range in1 {
+			in1[i] = src.Bool()
+			in2[i] = src.Bool()
+			dev.SetPin(b1.In[i], in1[i])
+			dev.SetPin(b2.In[i], in2[i])
+		}
+		got, err := dev.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want1 := golden.Eval(in1)
+		want2 := golden.Eval(in2)
+		for o := range want1 {
+			if got[b1.Out[o]] != want1[o] {
+				t.Fatalf("copy 1 output %d wrong at cycle %d", o, cyc)
+			}
+			if got[b2.Out[o]] != want2[o] {
+				t.Fatalf("relocated copy output %d wrong at cycle %d", o, cyc)
+			}
+		}
+	}
+}
+
+func TestTwoSequentialCircuitsShareClock(t *testing.T) {
+	// Two independent counters loaded side by side advance together under
+	// the global Step, without interfering.
+	c := MustCompile(netlist.Counter(8), Options{Seed: 5})
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	b1 := loadAt(t, dev, c, 0, 0, 0)
+	b2 := loadAt(t, dev, c, c.BS.W+1, 0, 32)
+	dev.SetPin(b1.In[0], true)  // en
+	dev.SetPin(b2.In[0], false) // disabled
+	for i := 0; i < 10; i++ {
+		if _, err := dev.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(b *bitstream.PinBinding) uint64 {
+		out, err := dev.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]bool, 8)
+		for i := 0; i < 8; i++ {
+			bits[i] = out[b.Out[i]]
+		}
+		return netlist.BoolsToUint(bits)
+	}
+	if got := read(b1); got != 10 {
+		t.Fatalf("enabled counter = %d, want 10", got)
+	}
+	if got := read(b2); got != 0 {
+		t.Fatalf("disabled counter = %d, want 0", got)
+	}
+}
+
+func TestStateReadbackRestoreOnFabric(t *testing.T) {
+	// Preemption round-trip on the device: run, read back FF state, trash
+	// the region with another load, reload and restore, continue exactly.
+	c := MustCompile(netlist.Counter(8), Options{Seed: 3})
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	binding := loadAt(t, dev, c, 2, 2, 0)
+	dev.SetPin(binding.In[0], true)
+	for i := 0; i < 23; i++ {
+		if _, err := dev.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	region := c.BS.Region(2, 2)
+	saved := dev.ReadRegionState(region)
+	if len(saved) != c.BS.FFCells {
+		t.Fatalf("readback %d FFs, want %d", len(saved), c.BS.FFCells)
+	}
+
+	// Preempt: clear and reuse the region for something else.
+	dev.ClearRegion(region)
+	other := MustCompile(netlist.Parity(16), Options{Seed: 4})
+	loadAt(t, dev, other, 2, 2, 100)
+
+	// Resume: reload, restore, check the counter continues from 23.
+	dev.ClearRegion(fabric.Region{X: 2, Y: 2, W: other.BS.W, H: other.BS.H})
+	binding = loadAt(t, dev, c, 2, 2, 0)
+	dev.WriteRegionState(region, saved)
+	dev.SetPin(binding.In[0], true)
+	out, err := dev.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]bool, 8)
+	for i := range bits {
+		bits[i] = out[binding.Out[i]]
+	}
+	if got := netlist.BoolsToUint(bits); got != 23 {
+		t.Fatalf("restored counter = %d, want 23", got)
+	}
+}
+
+func TestPagedLoadEndsFunctional(t *testing.T) {
+	c := MustCompile(netlist.ALU(8), Options{Seed: 21})
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	binding := &bitstream.PinBinding{}
+	p := 0
+	for i := 0; i < c.BS.NumIn; i++ {
+		binding.In = append(binding.In, p)
+		p++
+	}
+	for i := 0; i < c.BS.NumOut; i++ {
+		binding.Out = append(binding.Out, p)
+		p++
+	}
+	pages := c.BS.Pages(7)
+	if len(pages) < 2 {
+		t.Fatalf("alu8 split into %d pages, want several", len(pages))
+	}
+	total := 0
+	for _, pg := range pages {
+		n, _, err := c.BS.ApplyPage(dev, 0, 0, binding, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != c.BS.NumCells() {
+		t.Fatalf("pages wrote %d cells, want %d", total, c.BS.NumCells())
+	}
+	// Pages do not configure pins; do a full Apply of the port map via the
+	// zero-cost route: re-apply with no cells is not exposed, so apply the
+	// last page again after configuring pins through Apply.
+	if _, _, err := c.BS.Apply(dev, 0, 0, binding); err != nil {
+		t.Fatal(err)
+	}
+	driveEqual(t, dev, c, binding, 32, 77)
+}
+
+func TestApplyOutOfBoundsRejected(t *testing.T) {
+	c := MustCompile(netlist.Adder(8), Options{Seed: 1})
+	dev := fabric.NewDevice(fabric.Geometry{Cols: 4, Rows: 4, TracksPerChannel: 8, PinsPerSide: 8})
+	binding := &bitstream.PinBinding{In: make([]int, c.BS.NumIn), Out: make([]int, c.BS.NumOut)}
+	if _, _, err := c.BS.Apply(dev, 0, 0, binding); err == nil {
+		t.Fatal("oversized apply accepted")
+	}
+}
+
+func TestApplyBindingMismatchRejected(t *testing.T) {
+	c := MustCompile(netlist.Adder(8), Options{Seed: 1})
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	binding := &bitstream.PinBinding{In: []int{0}, Out: []int{1}}
+	if _, _, err := c.BS.Apply(dev, 0, 0, binding); err == nil {
+		t.Fatal("mismatched binding accepted")
+	}
+}
+
+func TestPinnedShapeNoGrowth(t *testing.T) {
+	// Pinning an inadequate shape must fail rather than silently grow.
+	if _, err := Compile(netlist.Multiplier(6), Options{Seed: 1, W: 3, H: 3}); err == nil {
+		t.Fatal("pinned tiny shape accepted")
+	}
+}
+
+func TestConfigCostSane(t *testing.T) {
+	c := MustCompile(netlist.Adder(16), Options{Seed: 1})
+	tm := fabric.DefaultTiming()
+	cost := c.BS.ConfigCost(tm)
+	if cost <= 0 {
+		t.Fatal("non-positive config cost")
+	}
+	if full := tm.FullConfigTime(fabric.DefaultGeometry()); cost >= full {
+		t.Fatalf("partial cost %v >= full config %v", cost, full)
+	}
+}
+
+func TestClockPeriodAtLeastFloor(t *testing.T) {
+	c := MustCompile(netlist.Parity(16), Options{Seed: 1})
+	if c.ClockPeriod < fabric.DefaultTiming().MinClock {
+		t.Fatalf("clock period %v below floor", c.ClockPeriod)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a := MustCompile(netlist.ALU(8), Options{Seed: 33})
+	b := MustCompile(netlist.ALU(8), Options{Seed: 33})
+	if a.Cells() != b.Cells() || a.ClockPeriod != b.ClockPeriod || a.BS.TotalHops != b.BS.TotalHops {
+		t.Fatal("compile not deterministic")
+	}
+}
+
+func TestBitstreamSummary(t *testing.T) {
+	c := MustCompile(netlist.Adder(8), Options{Seed: 1})
+	if c.BS.String() == "" || c.String() == "" {
+		t.Fatal("empty summaries")
+	}
+}
+
+func BenchmarkCompileAdder16(b *testing.B) {
+	nl := netlist.Adder(16)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(nl, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOptimizerAblation(t *testing.T) {
+	// The optimizer may only shrink (or keep) the CLB count, never grow
+	// it, and must not change behaviour (behaviour is covered by the fuzz
+	// tests; here we check the area ablation on real library circuits).
+	for _, nl := range []*netlist.Netlist{
+		netlist.PriorityEncoder(8), // constant-heavy mux ladder
+		netlist.Comparator(16),     // constant-seeded scan chain
+		netlist.ALU(8),
+	} {
+		raw := MustCompile(nl, Options{Seed: 2, DisableOpt: true})
+		opt := MustCompile(nl, Options{Seed: 2})
+		if opt.Cells() > raw.Cells() {
+			t.Fatalf("%s: optimizer grew area %d -> %d", nl.Name, raw.Cells(), opt.Cells())
+		}
+		t.Logf("%s: %d cells raw, %d optimized", nl.Name, raw.Cells(), opt.Cells())
+	}
+}
+
+func TestOptimizedCircuitStillEquivalentOnFabric(t *testing.T) {
+	// End-to-end: optimization happens inside Compile, so the standard
+	// equivalence drive covers it; exercise the const-heavy encoder.
+	c, err := Compile(netlist.PriorityEncoder(8), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := fabric.NewDevice(fabric.DefaultGeometry())
+	binding := loadAt(t, dev, c, 1, 1, 0)
+	driveEqual(t, dev, c, binding, 64, 99)
+}

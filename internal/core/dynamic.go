@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// DynamicLoader implements the paper's §3 dynamic loading: the whole
+// device holds one configuration at a time, downloaded when the running
+// task needs it. Tasks never block — contention shows up as
+// reconfiguration time instead. A configuration shared by several tasks
+// (the paper's device-driver case) stays resident across them; sequential
+// state is virtualized per task via readback/restore.
+type DynamicLoader struct {
+	E *Engine
+	K *sim.Kernel
+
+	resident      string
+	residentPins  []int
+	residentMux   int
+	stateOwner    hostos.TaskID // whose state the on-device FFs hold
+	hasStateOwner bool
+
+	// saved holds per-task flip-flop state for circuits whose on-device
+	// state was displaced (preemption or eviction).
+	saved map[hostos.TaskID]map[string][]bool
+	// rolledBack marks in-flight ops that must restart from reset state.
+	rolledBack map[hostos.TaskID]bool
+	// rollbackStreak counts consecutive rollbacks of a task's current op;
+	// after rollbackLimit the op runs non-preemptable to completion, or a
+	// long operation under persistent contention would starve forever.
+	rollbackStreak map[hostos.TaskID]int
+}
+
+// rollbackLimit bounds consecutive rollbacks before an operation is
+// allowed to run to completion (starvation guard).
+const rollbackLimit = 3
+
+var _ hostos.FPGA = (*DynamicLoader)(nil)
+
+// NewDynamicLoader returns a dynamic-loading manager over the engine.
+func NewDynamicLoader(k *sim.Kernel, e *Engine) *DynamicLoader {
+	return &DynamicLoader{
+		E:              e,
+		K:              k,
+		saved:          map[hostos.TaskID]map[string][]bool{},
+		rolledBack:     map[hostos.TaskID]bool{},
+		rollbackStreak: map[hostos.TaskID]int{},
+	}
+}
+
+// Register declares a task's configuration (stored in the engine library;
+// workloads pre-populate the library, so registration validates).
+func (d *DynamicLoader) Register(t *hostos.Task, circuit string) error {
+	_, err := d.E.Circuit(circuit)
+	return err
+}
+
+func (d *DynamicLoader) circuitOf(t *hostos.Task) *compile.Circuit {
+	c, err := d.E.Circuit(t.CurrentRequest().Circuit)
+	if err != nil {
+		panic(err) // Register validated at spawn; absence is a program bug
+	}
+	return c
+}
+
+// region returns the on-device footprint of the resident circuit.
+func (d *DynamicLoader) region(c *compile.Circuit) fabric.Region {
+	return c.BS.Region(0, 0)
+}
+
+// ensureLoaded makes the task's circuit resident with the task's state,
+// returning the time this costs. It mutates the device immediately; the
+// OS charges the returned duration to the task.
+func (d *DynamicLoader) ensureLoaded(t *hostos.Task) sim.Time {
+	c := d.circuitOf(t)
+	tm := d.E.Opt.Timing
+	var cost sim.Time
+
+	if d.resident != c.Name {
+		// Evict the current resident, saving its owner's sequential state.
+		if d.resident != "" {
+			old, _ := d.E.Circuit(d.resident)
+			if old.Sequential && d.hasStateOwner {
+				cost += d.saveState(d.stateOwner, old)
+			}
+			d.E.Dev.ClearRegion(d.region(old))
+			d.E.FreePins(d.residentPins)
+			d.residentPins = nil
+			d.E.M.Evictions.Inc()
+		}
+		// Download the new configuration. Without partial reconfiguration
+		// the whole device is rewritten (the paper's plain-XC4000 case).
+		pins, mux, err := d.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		in, out := binding(c, pins)
+		if _, _, err := c.BS.Apply(d.E.Dev, 0, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+			panic(fmt.Sprintf("core: apply %s: %v", c.Name, err))
+		}
+		if tm.PartialReconfig {
+			cost += c.BS.ConfigCost(tm)
+		} else {
+			cost += tm.FullConfigTime(d.E.Opt.Geometry)
+		}
+		d.E.M.Loads.Inc()
+		d.E.M.ConfigTime += cost
+		d.resident = c.Name
+		d.residentPins = pins
+		d.residentMux = mux
+		if mux > 1 {
+			d.E.M.MuxedOps.Inc()
+		}
+		d.hasStateOwner = false
+		d.E.noteUtil(d.K.Now())
+	}
+
+	if c.Sequential {
+		cost += d.adoptState(t, c)
+	}
+	return cost
+}
+
+// saveState reads back the on-device FF state into the owner's table.
+func (d *DynamicLoader) saveState(owner hostos.TaskID, c *compile.Circuit) sim.Time {
+	st := d.E.Dev.ReadRegionState(d.region(c))
+	m := d.saved[owner]
+	if m == nil {
+		m = map[string][]bool{}
+		d.saved[owner] = m
+	}
+	m[c.Name] = st
+	d.E.M.Readbacks.Inc()
+	cost := d.E.Opt.Timing.ReadbackTime(c.BS.FFCells)
+	d.E.M.ReadbackTime += cost
+	return cost
+}
+
+// adoptState makes the on-device FF state belong to task t: restoring
+// saved state, resetting after a rollback, or resetting when another
+// task's state occupies the registers.
+func (d *DynamicLoader) adoptState(t *hostos.Task, c *compile.Circuit) sim.Time {
+	if d.hasStateOwner && d.stateOwner == t.ID && !d.rolledBack[t.ID] {
+		return 0 // device already holds this task's live state
+	}
+	var cost sim.Time
+	// Save the displaced owner's state first.
+	if d.hasStateOwner && d.stateOwner != t.ID {
+		cost += d.saveState(d.stateOwner, c)
+	}
+	region := d.region(c)
+	switch {
+	case d.rolledBack[t.ID]:
+		delete(d.rolledBack, t.ID)
+		d.resetState(region, c)
+		cost += d.restoreCost(c)
+	case d.saved[t.ID][c.Name] != nil:
+		d.E.Dev.WriteRegionState(region, d.saved[t.ID][c.Name])
+		delete(d.saved[t.ID], c.Name)
+		d.E.M.Restores.Inc()
+		cost += d.restoreCost(c)
+	default:
+		// First use: reset to init values (cheap, but still a write).
+		d.resetState(region, c)
+		cost += d.restoreCost(c)
+	}
+	d.stateOwner = t.ID
+	d.hasStateOwner = true
+	return cost
+}
+
+func (d *DynamicLoader) restoreCost(c *compile.Circuit) sim.Time {
+	cost := d.E.Opt.Timing.RestoreTime(c.BS.FFCells)
+	d.E.M.RestoreTime += cost
+	return cost
+}
+
+// resetState writes every FF in the region back to its configured init
+// value, scanning in the device's x-major state order.
+func (d *DynamicLoader) resetState(region fabric.Region, c *compile.Circuit) {
+	init := make([]bool, 0, c.BS.FFCells)
+	for x := region.X; x < region.X+region.W; x++ {
+		for y := region.Y; y < region.Y+region.H; y++ {
+			cfg := d.E.Dev.CLB(x, y)
+			if cfg.Used && cfg.UseFF {
+				init = append(init, cfg.FFInit)
+			}
+		}
+	}
+	d.E.Dev.WriteRegionState(region, init)
+}
+
+// Acquire implements hostos.FPGA: dynamic loading never blocks.
+func (d *DynamicLoader) Acquire(t *hostos.Task) (sim.Time, bool) {
+	return d.ensureLoaded(t), true
+}
+
+// ExecTime implements hostos.FPGA.
+func (d *DynamicLoader) ExecTime(t *hostos.Task) sim.Time {
+	c := d.circuitOf(t)
+	req := t.CurrentRequest()
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	return d.E.ExecQuantum(pure, d.residentMux)
+}
+
+// Preemptable implements hostos.FPGA.
+func (d *DynamicLoader) Preemptable(t *hostos.Task) bool {
+	c := d.circuitOf(t)
+	if !c.Sequential {
+		return true // combinational streams preempt at vector boundaries
+	}
+	if d.E.Opt.State == Rollback && d.rollbackStreak[t.ID] >= rollbackLimit {
+		return false // starvation guard: let the op finish this time
+	}
+	return d.E.Opt.State != NonPreemptable
+}
+
+// Preempt implements hostos.FPGA (§3's preemption analysis).
+func (d *DynamicLoader) Preempt(t *hostos.Task, done, total sim.Time) (overhead, preserved sim.Time) {
+	c := d.circuitOf(t)
+	req := t.CurrentRequest()
+	if !c.Sequential {
+		// The input stream position is task (CPU-side) state: completed
+		// evaluations survive; the in-flight vector is re-presented.
+		n := req.Evaluations
+		if n <= 0 {
+			return 0, done
+		}
+		per := total / sim.Time(n)
+		if per <= 0 {
+			return 0, done
+		}
+		return 0, (done / per) * per
+	}
+	switch d.E.Opt.State {
+	case SaveRestore:
+		overhead = d.saveState(t.ID, c)
+		d.hasStateOwner = false
+		n := req.Cycles
+		if n <= 0 {
+			return overhead, done
+		}
+		per := total / sim.Time(n)
+		if per <= 0 {
+			return overhead, done
+		}
+		return overhead, (done / per) * per
+	case Rollback:
+		d.E.M.Rollbacks.Inc()
+		d.rolledBack[t.ID] = true
+		d.rollbackStreak[t.ID]++
+		return 0, 0
+	}
+	panic("core: Preempt called on non-preemptable operation")
+}
+
+// Resume implements hostos.FPGA.
+func (d *DynamicLoader) Resume(t *hostos.Task) sim.Time {
+	return d.ensureLoaded(t)
+}
+
+// Complete implements hostos.FPGA.
+func (d *DynamicLoader) Complete(t *hostos.Task) {
+	delete(d.rollbackStreak, t.ID)
+}
+
+// Remove implements hostos.FPGA.
+func (d *DynamicLoader) Remove(t *hostos.Task) {
+	delete(d.saved, t.ID)
+	delete(d.rolledBack, t.ID)
+	delete(d.rollbackStreak, t.ID)
+	if d.hasStateOwner && d.stateOwner == t.ID {
+		d.hasStateOwner = false
+	}
+}
+
+// Resident returns the name of the currently loaded circuit ("" if none).
+func (d *DynamicLoader) Resident() string { return d.resident }

@@ -1,0 +1,266 @@
+// Package core implements the paper's contribution: the Virtual FPGA.
+//
+// A physical FPGA (internal/fabric) is multiplexed among the tasks of a
+// multitasking host OS (internal/hostos) by operating-system techniques
+// borrowed from virtual memory, exactly as the paper proposes:
+//
+//   - DynamicLoader  — §3 dynamic loading: download a task's configuration
+//     when needed, with completion detection (a-priori timing or done
+//     signal) and preemption via rollback or state save/restore;
+//   - PartitionManager — §4 partitioning: fixed- or variable-size column
+//     partitions, task suspension, rotation, and garbage collection with
+//     circuit relocation;
+//   - OverlayManager — §2 overlaying: frequently-used common functions
+//     stay resident while rare ones share an overlay area;
+//   - PagedLoader — §2 pagination: configurations split into fixed-size
+//     pages loaded on demand with LRU/FIFO/Clock/Random replacement;
+//   - pin multiplexing — §2 input/output multiplexing: virtual pins beyond
+//     the physical pin count are time-multiplexed at a throughput cost.
+//
+// All managers implement hostos.FPGA and operate on a real simulated
+// device: bitstreams are actually downloaded into configuration RAM and
+// flip-flop state is actually read back and restored, so the correctness
+// properties (a preempted counter resumes exactly) are testable, not
+// assumed.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// StatePolicy selects how sequential circuits survive preemption (§3).
+type StatePolicy int
+
+// State policies.
+const (
+	// SaveRestore reads back flip-flop state on preemption and restores it
+	// on resume — requires the observability/controllability the paper
+	// demands of preemptable designs.
+	SaveRestore StatePolicy = iota
+	// Rollback restarts the interrupted operation from its beginning.
+	Rollback
+	// NonPreemptable refuses mid-operation preemption: the OS lets the
+	// operation finish past the time slice.
+	NonPreemptable
+)
+
+func (p StatePolicy) String() string {
+	switch p {
+	case SaveRestore:
+		return "save-restore"
+	case Rollback:
+		return "rollback"
+	case NonPreemptable:
+		return "non-preemptable"
+	}
+	return fmt.Sprintf("state(%d)", int(p))
+}
+
+// CompletionMode selects how the OS learns that the FPGA finished (§3).
+type CompletionMode int
+
+// Completion detection modes.
+const (
+	// Apriori trusts the compiler's timing estimate: the OS waits exactly
+	// the computed execution time.
+	Apriori CompletionMode = iota
+	// DoneSignal adds a service circuit raising a completion flag; the OS
+	// polls it, quantizing execution to the polling interval.
+	DoneSignal
+)
+
+func (m CompletionMode) String() string {
+	if m == DoneSignal {
+		return "done-signal"
+	}
+	return "a-priori"
+}
+
+// Options parameterizes an Engine.
+type Options struct {
+	Geometry     fabric.Geometry
+	Timing       fabric.Timing
+	State        StatePolicy
+	Completion   CompletionMode
+	PollInterval sim.Time // DoneSignal polling period (0 = 100us)
+	PollCost     sim.Time // CPU cost per poll (0 = 1us)
+	// Seed drives circuit compilation in the library.
+	Seed uint64
+}
+
+// DefaultOptions returns the XC4000-calibrated engine configuration.
+func DefaultOptions() Options {
+	return Options{
+		Geometry:     fabric.DefaultGeometry(),
+		Timing:       fabric.DefaultTiming(),
+		State:        SaveRestore,
+		Completion:   Apriori,
+		PollInterval: 100 * sim.Microsecond,
+		PollCost:     1 * sim.Microsecond,
+		Seed:         1,
+	}
+}
+
+// Metrics aggregates what the managers do to the device.
+type Metrics struct {
+	Loads       stats.Counter // configuration downloads
+	Evictions   stats.Counter // circuits displaced from the device
+	Readbacks   stats.Counter // state save operations
+	Restores    stats.Counter // state restore operations
+	Rollbacks   stats.Counter // operations restarted from scratch
+	PageFaults  stats.Counter
+	PageLoads   stats.Counter
+	GCRuns      stats.Counter
+	Relocations stats.Counter // circuits moved by garbage collection
+	Blocks      stats.Counter // tasks suspended waiting for FPGA space
+	MuxedOps    stats.Counter // operations run with multiplexed pins
+
+	ConfigTime   sim.Time // total time spent downloading configurations
+	ReadbackTime sim.Time
+	RestoreTime  sim.Time
+
+	Util stats.TimeWeighted // CLBs configured, over time
+}
+
+// Engine bundles the device, timing model, pin pool, compiled-circuit
+// library and metrics that every manager shares.
+type Engine struct {
+	Dev  *fabric.Device
+	Opt  Options
+	Lib  map[string]*compile.Circuit
+	M    Metrics
+	pins []int // free pin pool
+}
+
+// NewEngine creates a device and an empty circuit library.
+func NewEngine(opt Options) *Engine {
+	if opt.PollInterval <= 0 {
+		opt.PollInterval = 100 * sim.Microsecond
+	}
+	if opt.PollCost <= 0 {
+		opt.PollCost = 1 * sim.Microsecond
+	}
+	e := &Engine{
+		Dev: fabric.NewDevice(opt.Geometry),
+		Opt: opt,
+		Lib: map[string]*compile.Circuit{},
+	}
+	for p := 0; p < opt.Geometry.NumPins(); p++ {
+		e.pins = append(e.pins, p)
+	}
+	return e
+}
+
+// AddCircuit compiles nl as a full-height strip and registers it under its
+// netlist name.
+func (e *Engine) AddCircuit(nl *netlist.Netlist) error {
+	if _, dup := e.Lib[nl.Name]; dup {
+		return nil // idempotent: same generator registered by many tasks
+	}
+	tm := e.Opt.Timing
+	c, err := compile.CompileStrip(nl, e.Opt.Geometry.Rows, e.Opt.Geometry.TracksPerChannel,
+		compile.Options{Seed: e.Opt.Seed + uint64(len(e.Lib)), Timing: &tm})
+	if err != nil {
+		return err
+	}
+	e.Lib[nl.Name] = c
+	return nil
+}
+
+// MustAddCircuit is AddCircuit that panics on error.
+func (e *Engine) MustAddCircuit(nl *netlist.Netlist) {
+	if err := e.AddCircuit(nl); err != nil {
+		panic(err)
+	}
+}
+
+// Circuit returns the named compiled circuit.
+func (e *Engine) Circuit(name string) (*compile.Circuit, error) {
+	c, ok := e.Lib[name]
+	if !ok {
+		return nil, fmt.Errorf("core: circuit %q not in library", name)
+	}
+	return c, nil
+}
+
+// AllocPins takes up to want pins from the pool. It returns the pins and
+// the multiplexing factor: 1 when fully satisfied, >1 when the circuit's
+// virtual pins must be time-multiplexed over fewer physical pins (§2's
+// input/output multiplexing). At least one pin is required.
+func (e *Engine) AllocPins(want int) (pins []int, mux int, err error) {
+	if want == 0 {
+		return nil, 1, nil
+	}
+	if len(e.pins) == 0 {
+		return nil, 0, fmt.Errorf("core: no physical pins available")
+	}
+	n := want
+	if n > len(e.pins) {
+		n = len(e.pins)
+	}
+	pins = append(pins, e.pins[:n]...)
+	e.pins = e.pins[n:]
+	mux = (want + n - 1) / n
+	return pins, mux, nil
+}
+
+// FreePins returns pins to the pool.
+func (e *Engine) FreePins(pins []int) {
+	e.pins = append(e.pins, pins...)
+	sort.Ints(e.pins) // determinism of future allocations
+}
+
+// FreePinCount returns the number of unallocated pins.
+func (e *Engine) FreePinCount() int { return len(e.pins) }
+
+// ExecQuantum converts a pure hardware duration into the time the OS
+// observes, applying completion detection (§3) and pin multiplexing.
+func (e *Engine) ExecQuantum(pure sim.Time, mux int) sim.Time {
+	if mux > 1 {
+		pure *= sim.Time(mux)
+	}
+	if e.Opt.Completion == DoneSignal && pure > 0 {
+		polls := (pure + e.Opt.PollInterval - 1) / e.Opt.PollInterval
+		pure = polls*e.Opt.PollInterval + polls*e.Opt.PollCost
+	}
+	return pure
+}
+
+// noteUtil samples device occupancy into the utilization metric.
+func (e *Engine) noteUtil(now sim.Time) {
+	e.M.Util.Set(int64(now), float64(e.Dev.UsedCells()))
+}
+
+// binding builds a wrap-around pin binding for a circuit given its
+// allocated physical pins: with fewer pins than ports, several virtual
+// ports share a pin (time multiplexing; functional use requires mux==1).
+func binding(c *compile.Circuit, pins []int) ([]int, []int) {
+	in := make([]int, c.BS.NumIn)
+	out := make([]int, c.BS.NumOut)
+	if len(pins) == 0 {
+		for i := range in {
+			in[i] = -1
+		}
+		for i := range out {
+			out[i] = -1
+		}
+		return in, out
+	}
+	k := 0
+	for i := range in {
+		in[i] = pins[k%len(pins)]
+		k++
+	}
+	for i := range out {
+		out[i] = pins[k%len(pins)]
+		k++
+	}
+	return in, out
+}

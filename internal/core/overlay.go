@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// OverlayManager implements the paper's §2 overlaying: "part of the FPGA
+// [computes] common functions which are frequently used, while the
+// remaining part is used to download specific functions which are
+// typically rarely used or mutually exclusive".
+//
+// Resident circuits are loaded once at startup into the left of the
+// device and stay pinned; everything else shares a single overlay area on
+// the right, holding one configuration at a time (the functions are
+// mutually exclusive, as in classic code overlays). Sequential state is
+// virtualized per task exactly as in dynamic loading.
+type OverlayManager struct {
+	E *Engine
+	K *sim.Kernel
+
+	residents map[string]*slot
+	overlay   slot
+	overlayX  int
+	overlayW  int
+
+	saved          map[savedKey][]bool
+	rolledBack     map[hostos.TaskID]bool
+	rollbackStreak map[hostos.TaskID]int
+}
+
+// slot is one placed circuit (resident or the overlay area's occupant).
+type slot struct {
+	x        int
+	circuit  *compile.Circuit // nil when empty
+	pins     []int
+	mux      int
+	owner    hostos.TaskID // whose state the FFs hold
+	hasOwner bool
+}
+
+var _ hostos.FPGA = (*OverlayManager)(nil)
+
+// NewOverlayManager loads the named resident circuits and reserves the
+// remaining columns as the overlay area. Resident load time is charged to
+// system initialization, not to any task (the paper's device-driver
+// downloading "performed once for all tasks").
+func NewOverlayManager(k *sim.Kernel, e *Engine, resident []string) (*OverlayManager, sim.Time, error) {
+	om := &OverlayManager{
+		E:              e,
+		K:              k,
+		residents:      map[string]*slot{},
+		saved:          map[savedKey][]bool{},
+		rolledBack:     map[hostos.TaskID]bool{},
+		rollbackStreak: map[hostos.TaskID]int{},
+	}
+	x := 0
+	var initCost sim.Time
+	for _, name := range resident {
+		c, err := e.Circuit(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if x+c.BS.W > e.Opt.Geometry.Cols {
+			return nil, 0, fmt.Errorf("core: resident circuits exceed the device (%d+%d > %d cols)",
+				x, c.BS.W, e.Opt.Geometry.Cols)
+		}
+		s := &slot{x: x}
+		cost, err := om.loadSlot(s, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		initCost += cost
+		om.residents[name] = s
+		x += c.BS.W
+	}
+	om.overlayX = x
+	om.overlayW = e.Opt.Geometry.Cols - x
+	om.overlay = slot{x: x}
+	return om, initCost, nil
+}
+
+// loadSlot downloads c at the slot's origin.
+func (om *OverlayManager) loadSlot(s *slot, c *compile.Circuit) (sim.Time, error) {
+	pins, mux, err := om.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
+	if err != nil {
+		return 0, err
+	}
+	in, out := binding(c, pins)
+	if _, _, err := c.BS.Apply(om.E.Dev, s.x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+		return 0, err
+	}
+	s.circuit = c
+	s.pins = pins
+	s.mux = mux
+	s.hasOwner = false
+	cost := c.BS.ConfigCost(om.E.Opt.Timing)
+	om.E.M.Loads.Inc()
+	om.E.M.ConfigTime += cost
+	om.E.noteUtil(om.K.Now())
+	return cost, nil
+}
+
+// Register implements hostos.FPGA: non-resident circuits must fit the
+// overlay area.
+func (om *OverlayManager) Register(t *hostos.Task, circuit string) error {
+	c, err := om.E.Circuit(circuit)
+	if err != nil {
+		return err
+	}
+	if _, resident := om.residents[circuit]; resident {
+		return nil
+	}
+	if c.BS.W > om.overlayW {
+		return fmt.Errorf("core: circuit %s needs %d columns, overlay area has %d", circuit, c.BS.W, om.overlayW)
+	}
+	return nil
+}
+
+func (om *OverlayManager) circuitOf(t *hostos.Task) *compile.Circuit {
+	c, err := om.E.Circuit(t.CurrentRequest().Circuit)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// slotFor returns the slot holding (or destined to hold) the circuit and
+// whether it is already loaded.
+func (om *OverlayManager) slotFor(c *compile.Circuit) (*slot, bool) {
+	if s, ok := om.residents[c.Name]; ok {
+		return s, true
+	}
+	return &om.overlay, om.overlay.circuit != nil && om.overlay.circuit.Name == c.Name
+}
+
+func (om *OverlayManager) region(s *slot) fabric.Region {
+	return fabric.Region{X: s.x, Y: 0, W: s.circuit.BS.W, H: om.E.Opt.Geometry.Rows}
+}
+
+// ensure makes the task's circuit loaded with the task's state.
+func (om *OverlayManager) ensure(t *hostos.Task) sim.Time {
+	c := om.circuitOf(t)
+	s, loaded := om.slotFor(c)
+	var cost sim.Time
+	if !loaded {
+		// Overlay miss: evict the occupant (saving its owner's state) and
+		// download the requested function.
+		if s.circuit != nil {
+			if s.circuit.Sequential && s.hasOwner {
+				cost += om.saveSlot(s)
+			}
+			om.E.Dev.ClearRegion(om.region(s))
+			om.E.FreePins(s.pins)
+			om.E.M.Evictions.Inc()
+			s.circuit = nil
+		}
+		loadCost, err := om.loadSlot(s, c)
+		if err != nil {
+			panic(fmt.Sprintf("core: overlay load %s: %v", c.Name, err))
+		}
+		cost += loadCost
+	}
+	if c.Sequential {
+		cost += om.adopt(s, t, c)
+	}
+	return cost
+}
+
+func (om *OverlayManager) saveSlot(s *slot) sim.Time {
+	st := om.E.Dev.ReadRegionState(om.region(s))
+	om.saved[savedKey{s.owner, s.circuit.Name}] = st
+	om.E.M.Readbacks.Inc()
+	cost := om.E.Opt.Timing.ReadbackTime(s.circuit.BS.FFCells)
+	om.E.M.ReadbackTime += cost
+	s.hasOwner = false
+	return cost
+}
+
+func (om *OverlayManager) adopt(s *slot, t *hostos.Task, c *compile.Circuit) sim.Time {
+	if s.hasOwner && s.owner == t.ID && !om.rolledBack[t.ID] {
+		return 0
+	}
+	var cost sim.Time
+	if s.hasOwner && s.owner != t.ID {
+		cost += om.saveSlot(s)
+	}
+	region := om.region(s)
+	key := savedKey{t.ID, c.Name}
+	switch {
+	case om.rolledBack[t.ID]:
+		delete(om.rolledBack, t.ID)
+		om.resetSlot(region)
+	case om.saved[key] != nil:
+		om.E.Dev.WriteRegionState(region, om.saved[key])
+		delete(om.saved, key)
+		om.E.M.Restores.Inc()
+	default:
+		om.resetSlot(region)
+	}
+	rc := om.E.Opt.Timing.RestoreTime(c.BS.FFCells)
+	om.E.M.RestoreTime += rc
+	cost += rc
+	s.owner = t.ID
+	s.hasOwner = true
+	return cost
+}
+
+func (om *OverlayManager) resetSlot(region fabric.Region) {
+	var init []bool
+	for x := region.X; x < region.X+region.W; x++ {
+		for y := region.Y; y < region.Y+region.H; y++ {
+			cfg := om.E.Dev.CLB(x, y)
+			if cfg.Used && cfg.UseFF {
+				init = append(init, cfg.FFInit)
+			}
+		}
+	}
+	om.E.Dev.WriteRegionState(region, init)
+}
+
+// Acquire implements hostos.FPGA: overlaying never blocks.
+func (om *OverlayManager) Acquire(t *hostos.Task) (sim.Time, bool) {
+	return om.ensure(t), true
+}
+
+// ExecTime implements hostos.FPGA.
+func (om *OverlayManager) ExecTime(t *hostos.Task) sim.Time {
+	c := om.circuitOf(t)
+	s, _ := om.slotFor(c)
+	req := t.CurrentRequest()
+	mux := s.mux
+	if mux == 0 {
+		mux = 1
+	}
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	return om.E.ExecQuantum(pure, mux)
+}
+
+// Preemptable implements hostos.FPGA.
+func (om *OverlayManager) Preemptable(t *hostos.Task) bool {
+	if !om.circuitOf(t).Sequential {
+		return true
+	}
+	if om.E.Opt.State == Rollback && om.rollbackStreak[t.ID] >= rollbackLimit {
+		return false // starvation guard (see DynamicLoader)
+	}
+	return om.E.Opt.State != NonPreemptable
+}
+
+// Preempt implements hostos.FPGA.
+func (om *OverlayManager) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	c := om.circuitOf(t)
+	req := t.CurrentRequest()
+	boundary := func(n int64) sim.Time {
+		if n <= 0 {
+			return done
+		}
+		per := total / sim.Time(n)
+		if per <= 0 {
+			return done
+		}
+		return (done / per) * per
+	}
+	if !c.Sequential {
+		return 0, boundary(req.Evaluations)
+	}
+	switch om.E.Opt.State {
+	case SaveRestore:
+		s, loaded := om.slotFor(c)
+		var overhead sim.Time
+		if loaded && s.hasOwner && s.owner == t.ID {
+			overhead = om.saveSlot(s)
+		}
+		return overhead, boundary(req.Cycles)
+	case Rollback:
+		om.E.M.Rollbacks.Inc()
+		om.rolledBack[t.ID] = true
+		om.rollbackStreak[t.ID]++
+		return 0, 0
+	}
+	panic("core: Preempt on non-preemptable overlay operation")
+}
+
+// Resume implements hostos.FPGA.
+func (om *OverlayManager) Resume(t *hostos.Task) sim.Time {
+	return om.ensure(t)
+}
+
+// Complete implements hostos.FPGA.
+func (om *OverlayManager) Complete(t *hostos.Task) {
+	delete(om.rollbackStreak, t.ID)
+}
+
+// Remove implements hostos.FPGA.
+func (om *OverlayManager) Remove(t *hostos.Task) {
+	for k := range om.saved {
+		if k.task == t.ID {
+			delete(om.saved, k)
+		}
+	}
+	delete(om.rolledBack, t.ID)
+	delete(om.rollbackStreak, t.ID)
+	for _, s := range om.residents {
+		if s.hasOwner && s.owner == t.ID {
+			s.hasOwner = false
+		}
+	}
+	if om.overlay.hasOwner && om.overlay.owner == t.ID {
+		om.overlay.hasOwner = false
+	}
+}
+
+// OverlayCircuit returns the name of the circuit currently in the overlay
+// area ("" if empty).
+func (om *OverlayManager) OverlayCircuit() string {
+	if om.overlay.circuit == nil {
+		return ""
+	}
+	return om.overlay.circuit.Name
+}

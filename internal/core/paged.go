@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/hostos"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ReplacePolicy selects the page-replacement discipline (§2 pagination).
+type ReplacePolicy int
+
+// Replacement policies.
+const (
+	LRU ReplacePolicy = iota
+	PageFIFO
+	Clock
+	Random
+)
+
+func (p ReplacePolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PageFIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("replace(%d)", int(p))
+}
+
+// PagedConfig parameterizes the demand-paged loader.
+type PagedConfig struct {
+	// PageCells is the page size in CLBs (the fixed-size portion of §2).
+	PageCells int
+	// Frames is the number of page frames the device provides; 0 derives
+	// it from the device capacity.
+	Frames int
+	Policy ReplacePolicy
+	Seed   uint64
+}
+
+// pageID identifies one page of one circuit's configuration.
+type pageID struct {
+	circuit string
+	index   int
+}
+
+// frame is one resident page slot.
+type frame struct {
+	page     pageID
+	used     bool
+	loadedAt int64 // FIFO sequence
+	lastUse  int64 // LRU clock
+	ref      bool  // Clock reference bit
+}
+
+// PagedLoader implements hostos.FPGA with §2's pagination: every
+// configuration is divided into fixed-size pages, and an operation touches
+// only the pages its request references. Missing pages fault in with a
+// partial reconfiguration each; replacement follows the configured policy.
+//
+// Page frames are a residency/timing view of the configuration RAM: the
+// loader charges exact download time per page and tracks frame contents.
+// It does not maintain a functional image on the device — a page placed at
+// an arbitrary frame origin would break relative routing, the constraint
+// the paper itself raises for relocated configurations; functional
+// correctness of page-wise downloads is covered by the bitstream tests.
+type PagedLoader struct {
+	E   *Engine
+	K   *sim.Kernel
+	Cfg PagedConfig
+
+	frames  []frame
+	where   map[pageID]int // resident page -> frame index
+	seq     int64
+	hand    int // Clock hand
+	src     *rng.Source
+	pagesOf map[string][]bitstream.Page
+}
+
+var _ hostos.FPGA = (*PagedLoader)(nil)
+
+// NewPagedLoader builds a demand-paged manager.
+func NewPagedLoader(k *sim.Kernel, e *Engine, cfg PagedConfig) (*PagedLoader, error) {
+	if cfg.PageCells <= 0 {
+		return nil, fmt.Errorf("core: page size must be positive")
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = e.Opt.Geometry.NumCLBs() / cfg.PageCells
+	}
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("core: device too small for any page frame")
+	}
+	return &PagedLoader{
+		E:       e,
+		K:       k,
+		Cfg:     cfg,
+		frames:  make([]frame, cfg.Frames),
+		where:   map[pageID]int{},
+		src:     rng.New(cfg.Seed ^ 0xfeed),
+		pagesOf: map[string][]bitstream.Page{},
+	}, nil
+}
+
+// Register implements hostos.FPGA.
+func (pl *PagedLoader) Register(t *hostos.Task, circuit string) error {
+	c, err := pl.E.Circuit(circuit)
+	if err != nil {
+		return err
+	}
+	if _, ok := pl.pagesOf[circuit]; !ok {
+		pl.pagesOf[circuit] = c.BS.Pages(pl.Cfg.PageCells)
+	}
+	return nil
+}
+
+func (pl *PagedLoader) circuitOf(t *hostos.Task) *compile.Circuit {
+	c, err := pl.E.Circuit(t.CurrentRequest().Circuit)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// neededPages resolves the request's page working set.
+func (pl *PagedLoader) neededPages(t *hostos.Task) []pageID {
+	req := t.CurrentRequest()
+	pages := pl.pagesOf[req.Circuit]
+	var ids []pageID
+	if len(req.Pages) == 0 {
+		for i := range pages {
+			ids = append(ids, pageID{req.Circuit, i})
+		}
+		return ids
+	}
+	for _, p := range req.Pages {
+		if p < 0 || p >= len(pages) {
+			panic(fmt.Sprintf("core: task %s references page %d of %s which has %d pages",
+				t.Name, p, req.Circuit, len(pages)))
+		}
+		ids = append(ids, pageID{req.Circuit, p})
+	}
+	return ids
+}
+
+// touch records a page hit for recency policies.
+func (pl *PagedLoader) touch(fi int) {
+	pl.seq++
+	pl.frames[fi].lastUse = pl.seq
+	pl.frames[fi].ref = true
+}
+
+// victim picks a frame to evict, never one in the pinned set.
+func (pl *PagedLoader) victim(pinned map[int]bool) int {
+	switch pl.Cfg.Policy {
+	case LRU, PageFIFO:
+		best := -1
+		for i := range pl.frames {
+			if pinned[i] {
+				continue
+			}
+			if !pl.frames[i].used {
+				return i
+			}
+			key := pl.frames[i].lastUse
+			if pl.Cfg.Policy == PageFIFO {
+				key = pl.frames[i].loadedAt
+			}
+			if best == -1 || key < keyOf(&pl.frames[best], pl.Cfg.Policy) {
+				best = i
+			}
+		}
+		if best == -1 {
+			panic("core: all page frames pinned; working set exceeds frame count")
+		}
+		return best
+	case Clock:
+		for spins := 0; spins < 2*len(pl.frames)+1; spins++ {
+			i := pl.hand
+			pl.hand = (pl.hand + 1) % len(pl.frames)
+			if pinned[i] {
+				continue
+			}
+			if !pl.frames[i].used {
+				return i
+			}
+			if pl.frames[i].ref {
+				pl.frames[i].ref = false
+				continue
+			}
+			return i
+		}
+		panic("core: clock found no victim; working set exceeds frame count")
+	case Random:
+		for tries := 0; tries < 10*len(pl.frames); tries++ {
+			i := pl.src.Intn(len(pl.frames))
+			if !pinned[i] {
+				return i
+			}
+		}
+		panic("core: random found no victim; working set exceeds frame count")
+	}
+	panic("core: unknown replacement policy")
+}
+
+func keyOf(f *frame, p ReplacePolicy) int64 {
+	if p == PageFIFO {
+		return f.loadedAt
+	}
+	return f.lastUse
+}
+
+// faultIn ensures the given pages are resident, returning the download
+// cost (one partial reconfiguration per fault).
+func (pl *PagedLoader) faultIn(t *hostos.Task, ids []pageID) sim.Time {
+	if len(ids) > len(pl.frames) {
+		panic(fmt.Sprintf("core: task %s needs %d pages at once with only %d frames",
+			t.Name, len(ids), len(pl.frames)))
+	}
+	// Pin the whole working set so faults never evict pages needed by the
+	// same operation.
+	pinned := map[int]bool{}
+	for _, id := range ids {
+		if fi, ok := pl.where[id]; ok {
+			pinned[fi] = true
+		}
+	}
+	tm := pl.E.Opt.Timing
+	var cost sim.Time
+	for _, id := range ids {
+		if fi, ok := pl.where[id]; ok {
+			pl.touch(fi)
+			continue
+		}
+		pl.E.M.PageFaults.Inc()
+		fi := pl.victim(pinned)
+		if pl.frames[fi].used {
+			delete(pl.where, pl.frames[fi].page)
+			pl.E.M.Evictions.Inc()
+		}
+		pl.seq++
+		pl.frames[fi] = frame{page: id, used: true, loadedAt: pl.seq, lastUse: pl.seq, ref: true}
+		pl.where[id] = fi
+		pinned[fi] = true
+		pages := pl.pagesOf[id.circuit]
+		pageCost := tm.PartialConfigTime(len(pages[id.index].Cells), 0)
+		cost += pageCost
+		pl.E.M.PageLoads.Inc()
+		pl.E.M.ConfigTime += pageCost
+	}
+	return cost
+}
+
+// Acquire implements hostos.FPGA: pagination never blocks; pressure shows
+// up as fault time.
+func (pl *PagedLoader) Acquire(t *hostos.Task) (sim.Time, bool) {
+	return pl.faultIn(t, pl.neededPages(t)), true
+}
+
+// ExecTime implements hostos.FPGA.
+func (pl *PagedLoader) ExecTime(t *hostos.Task) sim.Time {
+	c := pl.circuitOf(t)
+	req := t.CurrentRequest()
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	return pl.E.ExecQuantum(pure, 1)
+}
+
+// Preemptable implements hostos.FPGA.
+func (pl *PagedLoader) Preemptable(t *hostos.Task) bool {
+	if !pl.circuitOf(t).Sequential {
+		return true
+	}
+	return pl.E.Opt.State != NonPreemptable
+}
+
+// Preempt implements hostos.FPGA: resident pages stay resident across
+// preemption; only vector granularity is lost.
+func (pl *PagedLoader) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	req := t.CurrentRequest()
+	n := req.Evaluations + req.Cycles
+	if n <= 0 {
+		return 0, done
+	}
+	per := total / sim.Time(n)
+	if per <= 0 {
+		return 0, done
+	}
+	return 0, (done / per) * per
+}
+
+// Resume implements hostos.FPGA: fault back in whatever was evicted while
+// the task was away.
+func (pl *PagedLoader) Resume(t *hostos.Task) sim.Time {
+	return pl.faultIn(t, pl.neededPages(t))
+}
+
+// Complete implements hostos.FPGA.
+func (pl *PagedLoader) Complete(t *hostos.Task) {}
+
+// Remove implements hostos.FPGA.
+func (pl *PagedLoader) Remove(t *hostos.Task) {}
+
+// ResidentPages returns the number of currently resident pages.
+func (pl *PagedLoader) ResidentPages() int { return len(pl.where) }
+
+// FaultRate returns faults per page reference so far.
+func (pl *PagedLoader) FaultRate() float64 {
+	refs := pl.E.M.PageFaults.Value() + pl.hits()
+	if refs == 0 {
+		return 0
+	}
+	return float64(pl.E.M.PageFaults.Value()) / float64(refs)
+}
+
+// hits is derived: every touch that was not a fault.
+func (pl *PagedLoader) hits() int64 {
+	// seq increments on every touch and every load; loads == PageLoads.
+	h := pl.seq - pl.E.M.PageLoads.Value()
+	if h < 0 {
+		return 0
+	}
+	return h
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// PartitionMode selects fixed- or variable-size partitions (§4).
+type PartitionMode int
+
+// Partition modes.
+const (
+	// FixedPartitions are carved once from a configuration table and never
+	// change until "reboot".
+	FixedPartitions PartitionMode = iota
+	// VariablePartitions split free space on demand and merge on release,
+	// with optional compacting garbage collection.
+	VariablePartitions
+)
+
+func (m PartitionMode) String() string {
+	if m == VariablePartitions {
+		return "variable"
+	}
+	return "fixed"
+}
+
+// FitPolicy selects how a free partition is chosen.
+type FitPolicy int
+
+// Fit policies.
+const (
+	FirstFit FitPolicy = iota
+	BestFit
+)
+
+func (p FitPolicy) String() string {
+	if p == BestFit {
+		return "best-fit"
+	}
+	return "first-fit"
+}
+
+// PartitionConfig parameterizes the manager.
+type PartitionConfig struct {
+	Mode PartitionMode
+	// FixedWidths lists the column widths of fixed partitions, allocated
+	// left to right; required in FixedPartitions mode.
+	FixedWidths []int
+	Fit         FitPolicy
+	// GC enables variable-mode compaction: when no single free strip fits
+	// but the total free space would, loaded circuits are relocated.
+	GC bool
+	// Rotate allows evicting the least-recently-used idle assignment when
+	// nothing else fits ("the operating system rotates its assignment
+	// among tasks").
+	Rotate bool
+}
+
+// partition is one column strip of the device.
+type partition struct {
+	x, w    int
+	owner   *hostos.Task // nil when free
+	circuit string       // loaded circuit ("" when empty)
+	pins    []int
+	mux     int
+	lastUse sim.Time
+	pinned  bool // owner has an in-flight preempted op; never evict
+}
+
+func (p *partition) free() bool { return p.owner == nil }
+
+func (p *partition) region(rows int) fabric.Region {
+	return fabric.Region{X: p.x, Y: 0, W: p.w, H: rows}
+}
+
+// PartitionManager implements hostos.FPGA with §4's partitioning. The
+// device is divided into full-height column strips; each strip hosts one
+// task's circuit. Tasks suspend when no partition fits; garbage
+// collection relocates loaded circuits to merge idle fragments.
+type PartitionManager struct {
+	E   *Engine
+	K   *sim.Kernel
+	Cfg PartitionConfig
+	OS  *hostos.OS // set via AttachOS before running
+
+	parts   []*partition // sorted by x, covering [0, Cols)
+	byTask  map[hostos.TaskID]*partition
+	waiters []*hostos.Task
+	saved   map[savedKey][]bool // displaced sequential state per task+circuit
+}
+
+var _ hostos.FPGA = (*PartitionManager)(nil)
+
+// NewPartitionManager builds the manager and carves the initial
+// partitions. In fixed mode any leftover columns beyond the configured
+// widths are unusable (as with a partition table that does not cover the
+// disk); in variable mode one free partition covers the whole device.
+func NewPartitionManager(k *sim.Kernel, e *Engine, cfg PartitionConfig) (*PartitionManager, error) {
+	pm := &PartitionManager{E: e, K: k, Cfg: cfg, byTask: map[hostos.TaskID]*partition{}}
+	cols := e.Opt.Geometry.Cols
+	switch cfg.Mode {
+	case FixedPartitions:
+		x := 0
+		for _, w := range cfg.FixedWidths {
+			if w <= 0 || x+w > cols {
+				return nil, fmt.Errorf("core: fixed partition widths %v exceed %d columns", cfg.FixedWidths, cols)
+			}
+			pm.parts = append(pm.parts, &partition{x: x, w: w})
+			x += w
+		}
+		if len(pm.parts) == 0 {
+			return nil, fmt.Errorf("core: fixed mode requires FixedWidths")
+		}
+	case VariablePartitions:
+		pm.parts = []*partition{{x: 0, w: cols}}
+	default:
+		return nil, fmt.Errorf("core: unknown partition mode %d", cfg.Mode)
+	}
+	return pm, nil
+}
+
+// AttachOS wires the manager to the OS for unblocking suspended tasks.
+func (pm *PartitionManager) AttachOS(os *hostos.OS) { pm.OS = os }
+
+// Register implements hostos.FPGA.
+func (pm *PartitionManager) Register(t *hostos.Task, circuit string) error {
+	c, err := pm.E.Circuit(circuit)
+	if err != nil {
+		return err
+	}
+	// A circuit wider than the widest possible partition can never load.
+	maxW := 0
+	for _, p := range pm.parts {
+		if p.w > maxW {
+			maxW = p.w
+		}
+	}
+	if pm.Cfg.Mode == VariablePartitions {
+		maxW = pm.E.Opt.Geometry.Cols
+	}
+	if c.BS.W > maxW {
+		return fmt.Errorf("core: circuit %s needs %d columns, widest partition is %d", circuit, c.BS.W, maxW)
+	}
+	return nil
+}
+
+func (pm *PartitionManager) circuitOf(t *hostos.Task) *compile.Circuit {
+	c, err := pm.E.Circuit(t.CurrentRequest().Circuit)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// loadInto downloads circuit c into partition p for task t, returning the
+// configuration cost. Any previous content is evicted first (state saved
+// for its sequential circuits — within a task, switching algorithms must
+// not lose the old algorithm's state if the task returns to it; the paper
+// keeps the most recent configuration per task, so we save on switch).
+func (pm *PartitionManager) loadInto(p *partition, t *hostos.Task, c *compile.Circuit) sim.Time {
+	rows := pm.E.Opt.Geometry.Rows
+	tm := pm.E.Opt.Timing
+	var cost sim.Time
+	if p.circuit != "" {
+		pm.E.Dev.ClearRegion(p.region(rows))
+		pm.E.FreePins(p.pins)
+		p.pins = nil
+		pm.E.M.Evictions.Inc()
+	}
+	pins, mux, err := pm.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	in, out := binding(c, pins)
+	if _, _, err := c.BS.Apply(pm.E.Dev, p.x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+		panic(fmt.Sprintf("core: apply %s into %d+%d: %v", c.Name, p.x, p.w, err))
+	}
+	cost += c.BS.ConfigCost(tm)
+	pm.E.M.Loads.Inc()
+	pm.E.M.ConfigTime += cost
+	if mux > 1 {
+		pm.E.M.MuxedOps.Inc()
+	}
+	p.owner = t
+	p.circuit = c.Name
+	p.pins = pins
+	p.mux = mux
+	p.lastUse = pm.K.Now()
+	pm.byTask[t.ID] = p
+	pm.E.noteUtil(pm.K.Now())
+	return cost
+}
+
+// releasePartition frees p, merging with free neighbors in variable mode.
+func (pm *PartitionManager) releasePartition(p *partition) {
+	rows := pm.E.Opt.Geometry.Rows
+	if p.circuit != "" {
+		pm.E.Dev.ClearRegion(p.region(rows))
+		pm.E.FreePins(p.pins)
+	}
+	if p.owner != nil {
+		delete(pm.byTask, p.owner.ID)
+	}
+	p.owner, p.circuit, p.pins, p.mux, p.pinned = nil, "", nil, 0, false
+	if pm.Cfg.Mode == VariablePartitions {
+		pm.mergeFree()
+	}
+	pm.E.noteUtil(pm.K.Now())
+}
+
+// mergeFree coalesces adjacent free partitions (variable mode).
+func (pm *PartitionManager) mergeFree() {
+	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
+	var out []*partition
+	for _, p := range pm.parts {
+		if n := len(out); n > 0 && out[n-1].free() && p.free() && out[n-1].x+out[n-1].w == p.x {
+			out[n-1].w += p.w
+			continue
+		}
+		out = append(out, p)
+	}
+	pm.parts = out
+}
+
+// findFree returns a free partition of width >= need per fit policy, or
+// nil.
+func (pm *PartitionManager) findFree(need int) *partition {
+	var best *partition
+	for _, p := range pm.parts {
+		if !p.free() || p.w < need {
+			continue
+		}
+		if best == nil {
+			best = p
+			if pm.Cfg.Fit == FirstFit {
+				return best
+			}
+			continue
+		}
+		if p.w < best.w {
+			best = p
+		}
+	}
+	return best
+}
+
+// split carves a need-wide partition out of free partition p (variable
+// mode); fixed partitions are used whole.
+func (pm *PartitionManager) split(p *partition, need int) *partition {
+	if pm.Cfg.Mode != VariablePartitions || p.w == need {
+		return p
+	}
+	rest := &partition{x: p.x + need, w: p.w - need}
+	p.w = need
+	pm.parts = append(pm.parts, rest)
+	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
+	return p
+}
+
+// FreeCols returns the total free width and the largest free strip, the
+// external-fragmentation measure of F4.
+func (pm *PartitionManager) FreeCols() (total, largest int) {
+	for _, p := range pm.parts {
+		if p.free() {
+			total += p.w
+			if p.w > largest {
+				largest = p.w
+			}
+		}
+	}
+	return total, largest
+}
+
+// compact relocates every occupied partition leftward so all free space
+// merges at the right (§4's garbage collection). Returns the relocation
+// cost: each moved circuit pays state readback, reconfiguration at the
+// new origin, and state restore.
+func (pm *PartitionManager) compact() sim.Time {
+	rows := pm.E.Opt.Geometry.Rows
+	tm := pm.E.Opt.Timing
+	var cost sim.Time
+	pm.E.M.GCRuns.Inc()
+	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
+	x := 0
+	var packed []*partition
+	for _, p := range pm.parts {
+		if p.free() {
+			continue
+		}
+		if p.x != x {
+			c, err := pm.E.Circuit(p.circuit)
+			if err != nil {
+				panic(err)
+			}
+			oldRegion := p.region(rows)
+			var state []bool
+			if c.Sequential {
+				state = pm.E.Dev.ReadRegionState(oldRegion)
+				cost += tm.ReadbackTime(c.BS.FFCells)
+				pm.E.M.Readbacks.Inc()
+			}
+			pm.E.Dev.ClearRegion(oldRegion)
+			in, out := binding(c, p.pins)
+			if _, _, err := c.BS.Apply(pm.E.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+				panic(fmt.Sprintf("core: relocate %s: %v", c.Name, err))
+			}
+			cost += c.BS.ConfigCost(tm)
+			pm.E.M.ConfigTime += c.BS.ConfigCost(tm)
+			if c.Sequential {
+				pm.E.Dev.WriteRegionState(fabric.Region{X: x, Y: 0, W: p.w, H: rows}, state)
+				cost += tm.RestoreTime(c.BS.FFCells)
+				pm.E.M.Restores.Inc()
+			}
+			p.x = x
+			pm.E.M.Relocations.Inc()
+		}
+		x += p.w
+		packed = append(packed, p)
+	}
+	if x < pm.E.Opt.Geometry.Cols {
+		packed = append(packed, &partition{x: x, w: pm.E.Opt.Geometry.Cols - x})
+	}
+	pm.parts = packed
+	pm.E.noteUtil(pm.K.Now())
+	return cost
+}
+
+// evictLRU releases the least-recently-used unpinned assignment whose
+// owner is not t. It returns the state-save cost, or ok=false if nothing
+// is evictable.
+func (pm *PartitionManager) evictLRU(t *hostos.Task) (cost sim.Time, ok bool) {
+	var victim *partition
+	for _, p := range pm.parts {
+		if p.free() || p.pinned || p.owner == t {
+			continue
+		}
+		if victim == nil || p.lastUse < victim.lastUse {
+			victim = p
+		}
+	}
+	if victim == nil {
+		return 0, false
+	}
+	c, err := pm.E.Circuit(victim.circuit)
+	if err != nil {
+		panic(err)
+	}
+	if c.Sequential {
+		// Preserve the displaced task's state in OS tables.
+		cost += pm.saveFor(victim, c)
+	}
+	pm.E.M.Evictions.Inc()
+	pm.releasePartition(victim)
+	return cost, true
+}
+
+// savedKey indexes displaced sequential state per task and circuit; the
+// manager restores it when the task's circuit is reloaded.
+type savedKey struct {
+	task    hostos.TaskID
+	circuit string
+}
+
+func (pm *PartitionManager) savedMap() map[savedKey][]bool {
+	if pm.saved == nil {
+		pm.saved = map[savedKey][]bool{}
+	}
+	return pm.saved
+}
+
+func (pm *PartitionManager) saveFor(p *partition, c *compile.Circuit) sim.Time {
+	rows := pm.E.Opt.Geometry.Rows
+	st := pm.E.Dev.ReadRegionState(p.region(rows))
+	pm.savedMap()[savedKey{p.owner.ID, c.Name}] = st
+	pm.E.M.Readbacks.Inc()
+	cost := pm.E.Opt.Timing.ReadbackTime(c.BS.FFCells)
+	pm.E.M.ReadbackTime += cost
+	return cost
+}
+
+// restoreFor writes task t's displaced state for c back into partition p.
+func (pm *PartitionManager) restoreFor(p *partition, t *hostos.Task, c *compile.Circuit) sim.Time {
+	key := savedKey{t.ID, c.Name}
+	st, ok := pm.savedMap()[key]
+	if !ok {
+		return 0
+	}
+	rows := pm.E.Opt.Geometry.Rows
+	pm.E.Dev.WriteRegionState(p.region(rows), st)
+	delete(pm.saved, key)
+	pm.E.M.Restores.Inc()
+	cost := pm.E.Opt.Timing.RestoreTime(c.BS.FFCells)
+	pm.E.M.RestoreTime += cost
+	return cost
+}
+
+// Acquire implements hostos.FPGA.
+func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
+	c := pm.circuitOf(t)
+	need := c.BS.W
+	var cost sim.Time
+
+	// Already holding a partition?
+	if p := pm.byTask[t.ID]; p != nil {
+		if p.circuit == c.Name {
+			p.lastUse = pm.K.Now()
+			return 0, true // loaded and state in place: zero-cost reuse
+		}
+		if p.w >= need {
+			// Switch algorithms inside the task's partition, saving the
+			// outgoing sequential state.
+			if old, err := pm.E.Circuit(p.circuit); err == nil && old.Sequential {
+				cost += pm.saveFor(p, old)
+			}
+			cost += pm.loadInto(p, t, c)
+			cost += pm.restoreFor(p, t, c)
+			return cost, true
+		}
+		// Partition too small for the new algorithm: give it back.
+		pm.releasePartition(p)
+	}
+
+	p := pm.findFree(need)
+	if p == nil && pm.Cfg.Mode == VariablePartitions && pm.Cfg.GC {
+		if total, _ := pm.FreeCols(); total >= need {
+			cost += pm.compact()
+			p = pm.findFree(need)
+		}
+	}
+	if p == nil && pm.Cfg.Rotate {
+		for {
+			evictCost, ok := pm.evictLRU(t)
+			if !ok {
+				break
+			}
+			cost += evictCost
+			if p = pm.findFree(need); p != nil {
+				break
+			}
+			if pm.Cfg.Mode == VariablePartitions && pm.Cfg.GC {
+				if total, _ := pm.FreeCols(); total >= need {
+					cost += pm.compact()
+					p = pm.findFree(need)
+					break
+				}
+			}
+		}
+	}
+	// Pins are a shared physical resource too: a partition without a
+	// single free pin cannot be wired to the outside. Treat exhaustion
+	// like area shortage (evict under rotation, else suspend).
+	if p != nil && pm.E.FreePinCount() == 0 && pm.Cfg.Rotate {
+		if evictCost, ok := pm.evictLRU(t); ok {
+			cost += evictCost
+			p = pm.findFree(need) // eviction may have reshaped the free list
+		}
+	}
+	if p == nil || pm.E.FreePinCount() == 0 {
+		pm.E.M.Blocks.Inc()
+		pm.waiters = append(pm.waiters, t)
+		return 0, false
+	}
+	p = pm.split(p, need)
+	cost += pm.loadInto(p, t, c)
+	cost += pm.restoreFor(p, t, c)
+	return cost, true
+}
+
+// ExecTime implements hostos.FPGA.
+func (pm *PartitionManager) ExecTime(t *hostos.Task) sim.Time {
+	c := pm.circuitOf(t)
+	req := t.CurrentRequest()
+	mux := 1
+	if p := pm.byTask[t.ID]; p != nil {
+		mux = p.mux
+	}
+	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
+	return pm.E.ExecQuantum(pure, mux)
+}
+
+// Preemptable implements hostos.FPGA. A partitioned circuit keeps its
+// partition across preemption (it is pinned), so preemption costs nothing
+// and is always allowed unless policy forbids it.
+func (pm *PartitionManager) Preemptable(t *hostos.Task) bool {
+	if !pm.circuitOf(t).Sequential {
+		return true
+	}
+	return pm.E.Opt.State != NonPreemptable
+}
+
+// Preempt implements hostos.FPGA: the state stays in the partition, so
+// only the in-flight vector/cycle granularity is lost.
+func (pm *PartitionManager) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	if p := pm.byTask[t.ID]; p != nil {
+		p.pinned = true
+		p.lastUse = pm.K.Now()
+	}
+	req := t.CurrentRequest()
+	n := req.Evaluations + req.Cycles
+	if n <= 0 {
+		return 0, done
+	}
+	per := total / sim.Time(n)
+	if per <= 0 {
+		return 0, done
+	}
+	return 0, (done / per) * per
+}
+
+// Resume implements hostos.FPGA: the pinned partition is exactly as the
+// task left it.
+func (pm *PartitionManager) Resume(t *hostos.Task) sim.Time {
+	if p := pm.byTask[t.ID]; p != nil {
+		p.lastUse = pm.K.Now()
+	}
+	return 0
+}
+
+// Complete implements hostos.FPGA.
+func (pm *PartitionManager) Complete(t *hostos.Task) {
+	if p := pm.byTask[t.ID]; p != nil {
+		p.pinned = false
+		p.lastUse = pm.K.Now()
+	}
+}
+
+// Remove implements hostos.FPGA: the task's partition is released and
+// suspended tasks get a chance to allocate.
+func (pm *PartitionManager) Remove(t *hostos.Task) {
+	if p := pm.byTask[t.ID]; p != nil {
+		pm.releasePartition(p)
+	}
+	for k := range pm.saved {
+		if k.task == t.ID {
+			delete(pm.saved, k)
+		}
+	}
+	pm.wakeWaiters()
+}
+
+// wakeWaiters unblocks every suspended task; each retries its Acquire in
+// scheduling order and re-suspends if space is still short.
+func (pm *PartitionManager) wakeWaiters() {
+	if len(pm.waiters) == 0 {
+		return
+	}
+	ws := pm.waiters
+	pm.waiters = nil
+	for _, w := range ws {
+		pm.OS.Unblock(w)
+	}
+}
+
+// Partitions returns a snapshot of (x, width, circuit) triples for
+// inspection and tests.
+func (pm *PartitionManager) Partitions() []struct {
+	X, W    int
+	Circuit string
+	Free    bool
+} {
+	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
+	var out []struct {
+		X, W    int
+		Circuit string
+		Free    bool
+	}
+	for _, p := range pm.parts {
+		out = append(out, struct {
+			X, W    int
+			Circuit string
+			Free    bool
+		}{p.x, p.w, p.circuit, p.free()})
+	}
+	return out
+}

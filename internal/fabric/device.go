@@ -1,0 +1,374 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SourceKind enumerates where a configured signal comes from.
+type SourceKind uint8
+
+// Signal source kinds.
+const (
+	SrcUnused SourceKind = iota // pin not connected
+	SrcCLB                      // output of the CLB at (X, Y)
+	SrcPin                      // device input pin Pin
+	SrcConst0
+	SrcConst1
+)
+
+// Source identifies the driver of a CLB input or an output pin.
+type Source struct {
+	Kind SourceKind
+	X, Y int // CLB coordinates when Kind == SrcCLB
+	Pin  int // pin index when Kind == SrcPin
+}
+
+// CLBSource returns a Source reading the CLB output at (x, y).
+func CLBSource(x, y int) Source { return Source{Kind: SrcCLB, X: x, Y: y} }
+
+// PinSource returns a Source reading device input pin p.
+func PinSource(p int) Source { return Source{Kind: SrcPin, Pin: p} }
+
+// ConstSource returns a constant Source.
+func ConstSource(v bool) Source {
+	if v {
+		return Source{Kind: SrcConst1}
+	}
+	return Source{Kind: SrcConst0}
+}
+
+// LUTInputs is the number of LUT inputs per CLB (a 4-LUT, as in XC4000).
+const LUTInputs = 4
+
+// CLBConfig is the configuration of one logic block: a 4-input LUT truth
+// table, the input routing selection, and the optional output register.
+// The zero value is an unused CLB.
+type CLBConfig struct {
+	Used   bool
+	LUT    [1 << LUTInputs]bool
+	Inputs [LUTInputs]Source
+	UseFF  bool // when set, the CLB output is the FF; FF.D is the LUT output
+	FFInit bool
+}
+
+// PinMode configures an I/O block.
+type PinMode uint8
+
+// Pin modes.
+const (
+	PinUnused PinMode = iota
+	PinInput          // driven from outside the device
+	PinOutput         // drives off-device, sourced from Driver
+)
+
+// PinConfig is the configuration of one I/O block.
+type PinConfig struct {
+	Mode   PinMode
+	Driver Source // used when Mode == PinOutput
+}
+
+// Device is a configured FPGA: configuration state plus live FF state.
+// It is not safe for concurrent use; the simulation is single-threaded by
+// design (deterministic virtual time).
+type Device struct {
+	geom Geometry
+	clbs []CLBConfig // Cols*Rows, x-major: index = x*Rows + y
+	ffs  []bool      // live FF values, parallel to clbs
+	pins []PinConfig
+	pinV []bool // live input pin values, latched by SetPin
+
+	configWrites int64 // cells written since power-up (for tests/metrics)
+}
+
+// NewDevice returns a blank device with the given geometry.
+func NewDevice(geom Geometry) *Device {
+	if !geom.Valid() {
+		panic(fmt.Sprintf("fabric: invalid geometry %+v", geom))
+	}
+	return &Device{
+		geom: geom,
+		clbs: make([]CLBConfig, geom.NumCLBs()),
+		ffs:  make([]bool, geom.NumCLBs()),
+		pins: make([]PinConfig, geom.NumPins()),
+		pinV: make([]bool, geom.NumPins()),
+	}
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// ConfigWrites returns the number of CLB cell writes since power-up.
+func (d *Device) ConfigWrites() int64 { return d.configWrites }
+
+func (d *Device) idx(x, y int) int {
+	if x < 0 || x >= d.geom.Cols || y < 0 || y >= d.geom.Rows {
+		panic(fmt.Sprintf("fabric: CLB (%d,%d) outside %v", x, y, d.geom))
+	}
+	return x*d.geom.Rows + y
+}
+
+// CLB returns the configuration of the CLB at (x, y).
+func (d *Device) CLB(x, y int) CLBConfig { return d.clbs[d.idx(x, y)] }
+
+// WriteCLB writes the configuration of one CLB and resets its FF to the
+// configured init value. This is the raw configuration-RAM write; the time
+// it takes is accounted by Timing, not here.
+func (d *Device) WriteCLB(x, y int, cfg CLBConfig) {
+	i := d.idx(x, y)
+	d.clbs[i] = cfg
+	d.ffs[i] = cfg.FFInit
+	d.configWrites++
+}
+
+// ClearRegion erases every CLB in the region and disconnects any output
+// pin whose driver lived in the region.
+func (d *Device) ClearRegion(r Region) {
+	for x := r.X; x < r.X+r.W; x++ {
+		for y := r.Y; y < r.Y+r.H; y++ {
+			i := d.idx(x, y)
+			d.clbs[i] = CLBConfig{}
+			d.ffs[i] = false
+			d.configWrites++
+		}
+	}
+	for p := range d.pins {
+		cfg := &d.pins[p]
+		if cfg.Mode == PinOutput && cfg.Driver.Kind == SrcCLB && r.Contains(cfg.Driver.X, cfg.Driver.Y) {
+			*cfg = PinConfig{}
+		}
+	}
+}
+
+// Pin returns the configuration of I/O block p.
+func (d *Device) Pin(p int) PinConfig { return d.pins[p] }
+
+// WritePin configures I/O block p.
+func (d *Device) WritePin(p int, cfg PinConfig) {
+	if p < 0 || p >= len(d.pins) {
+		panic(fmt.Sprintf("fabric: pin %d outside %v", p, d.geom))
+	}
+	d.pins[p] = cfg
+}
+
+// SetPin latches the external value driven into input pin p.
+func (d *Device) SetPin(p int, v bool) {
+	if d.pins[p].Mode != PinInput {
+		panic(fmt.Sprintf("fabric: SetPin on pin %d which is not an input", p))
+	}
+	d.pinV[p] = v
+}
+
+// FF returns the live flip-flop value of the CLB at (x, y).
+func (d *Device) FF(x, y int) bool { return d.ffs[d.idx(x, y)] }
+
+// SetFF overwrites the live flip-flop value of the CLB at (x, y). This is
+// the "controllability" path used for state restore.
+func (d *Device) SetFF(x, y int, v bool) { d.ffs[d.idx(x, y)] = v }
+
+// ReadRegionState returns the FF values of every registered CLB in the
+// region, in x-major scan order. This is the readback path the paper's
+// "observability" requirement describes.
+func (d *Device) ReadRegionState(r Region) []bool {
+	var state []bool
+	for x := r.X; x < r.X+r.W; x++ {
+		for y := r.Y; y < r.Y+r.H; y++ {
+			if c := d.clbs[d.idx(x, y)]; c.Used && c.UseFF {
+				state = append(state, d.ffs[d.idx(x, y)])
+			}
+		}
+	}
+	return state
+}
+
+// WriteRegionState restores FF values saved by ReadRegionState. It panics
+// if the vector length does not match the number of registered CLBs in
+// the region (which would indicate restoring onto the wrong circuit).
+func (d *Device) WriteRegionState(r Region, state []bool) {
+	k := 0
+	for x := r.X; x < r.X+r.W; x++ {
+		for y := r.Y; y < r.Y+r.H; y++ {
+			if c := d.clbs[d.idx(x, y)]; c.Used && c.UseFF {
+				if k >= len(state) {
+					panic("fabric: WriteRegionState vector too short")
+				}
+				d.ffs[d.idx(x, y)] = state[k]
+				k++
+			}
+		}
+	}
+	if k != len(state) {
+		panic(fmt.Sprintf("fabric: WriteRegionState vector has %d values for %d FFs", len(state), k))
+	}
+}
+
+// RegionFFCount returns the number of registered CLBs in the region.
+func (d *Device) RegionFFCount(r Region) int {
+	n := 0
+	for x := r.X; x < r.X+r.W; x++ {
+		for y := r.Y; y < r.Y+r.H; y++ {
+			if c := d.clbs[d.idx(x, y)]; c.Used && c.UseFF {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UsedCells returns the number of configured CLBs on the whole device.
+func (d *Device) UsedCells() int {
+	n := 0
+	for i := range d.clbs {
+		if d.clbs[i].Used {
+			n++
+		}
+	}
+	return n
+}
+
+// resolve returns the current value of a source given the per-CLB output
+// values computed so far.
+func (d *Device) resolve(s Source, outs []bool) bool {
+	switch s.Kind {
+	case SrcUnused, SrcConst0:
+		return false
+	case SrcConst1:
+		return true
+	case SrcPin:
+		return d.pinV[s.Pin]
+	case SrcCLB:
+		return outs[d.idx(s.X, s.Y)]
+	}
+	panic(fmt.Sprintf("fabric: bad source kind %d", s.Kind))
+}
+
+// lutEval evaluates a CLB's LUT on the given input values.
+func lutEval(lut *[1 << LUTInputs]bool, in [LUTInputs]bool) bool {
+	idx := 0
+	for i, b := range in {
+		if b {
+			idx |= 1 << uint(i)
+		}
+	}
+	return lut[idx]
+}
+
+// combOrder returns a topological order of the used CLBs over their
+// combinational dependencies. A registered CLB's output is its FF, so it
+// contributes no combinational dependency on its inputs. An error is
+// returned if the configuration contains a combinational loop.
+func (d *Device) combOrder() ([]int, error) {
+	used := make([]int, 0, len(d.clbs))
+	for i := range d.clbs {
+		if d.clbs[i].Used {
+			used = append(used, i)
+		}
+	}
+	indeg := make(map[int]int, len(used))
+	succ := make(map[int][]int, len(used))
+	for _, i := range used {
+		cfg := &d.clbs[i]
+		for _, src := range cfg.Inputs {
+			if src.Kind != SrcCLB {
+				continue
+			}
+			j := d.idx(src.X, src.Y)
+			if d.clbs[j].UseFF {
+				continue // sequential edge, not combinational
+			}
+			indeg[i]++
+			succ[j] = append(succ[j], i)
+		}
+	}
+	queue := make([]int, 0, len(used))
+	for _, i := range used {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue) // determinism
+	order := make([]int, 0, len(used))
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(used) {
+		return nil, fmt.Errorf("fabric: configured logic contains a combinational loop (%d of %d CLBs ordered)", len(order), len(used))
+	}
+	return order, nil
+}
+
+// propagate computes all CLB outputs and the LUT (pre-register) values.
+func (d *Device) propagate() (outs, lutOuts []bool, err error) {
+	order, err := d.combOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	outs = make([]bool, len(d.clbs))
+	lutOuts = make([]bool, len(d.clbs))
+	// Registered CLB outputs are their FF values, available before any
+	// combinational evaluation.
+	for i := range d.clbs {
+		if d.clbs[i].Used && d.clbs[i].UseFF {
+			outs[i] = d.ffs[i]
+		}
+	}
+	for _, i := range order {
+		cfg := &d.clbs[i]
+		var in [LUTInputs]bool
+		for k, src := range cfg.Inputs {
+			in[k] = d.resolve(src, outs)
+		}
+		lutOuts[i] = lutEval(&cfg.LUT, in)
+		if !cfg.UseFF {
+			outs[i] = lutOuts[i]
+		}
+	}
+	return outs, lutOuts, nil
+}
+
+// outputPins collects the values on all configured output pins.
+func (d *Device) outputPins(outs []bool) map[int]bool {
+	res := make(map[int]bool)
+	for p := range d.pins {
+		if d.pins[p].Mode == PinOutput {
+			res[p] = d.resolve(d.pins[p].Driver, outs)
+		}
+	}
+	return res
+}
+
+// Eval propagates the current input pin values through the configured
+// fabric combinationally (FF outputs hold) and returns the values on all
+// output pins.
+func (d *Device) Eval() (map[int]bool, error) {
+	outs, _, err := d.propagate()
+	if err != nil {
+		return nil, err
+	}
+	return d.outputPins(outs), nil
+}
+
+// Step performs one global clock cycle: it propagates values, samples the
+// output pins (pre-edge), then latches every registered CLB. All loaded
+// circuits on the device share the clock, as on a real single-clock FPGA.
+func (d *Device) Step() (map[int]bool, error) {
+	outs, lutOuts, err := d.propagate()
+	if err != nil {
+		return nil, err
+	}
+	res := d.outputPins(outs)
+	for i := range d.clbs {
+		if d.clbs[i].Used && d.clbs[i].UseFF {
+			d.ffs[i] = lutOuts[i]
+		}
+	}
+	return res, nil
+}

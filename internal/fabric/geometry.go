@@ -1,0 +1,113 @@
+// Package fabric models a symmetrical-array FPGA device of the class the
+// paper targets (Xilinx XC4000-like): a rectangular array of configurable
+// logic blocks (CLBs), each a 4-input LUT with an optional D flip-flop,
+// perimeter I/O blocks, and a configuration RAM written through a serial
+// configuration port.
+//
+// The device executes whatever is configured into it: functional
+// evaluation reconstructs the logic graph from the CLB configurations and
+// propagates values, independent of the netlist the bitstream came from.
+// This is what lets the tests prove that a compiled, placed, routed and
+// relocated circuit still computes the original function.
+package fabric
+
+import "fmt"
+
+// Geometry describes the physical dimensions of a device.
+type Geometry struct {
+	Cols, Rows int // CLB array size
+	// TracksPerChannel is the routing capacity between adjacent tiles; the
+	// router refuses placements whose congestion exceeds it.
+	TracksPerChannel int
+	// PinsPerSide is the number of I/O blocks on each device edge.
+	PinsPerSide int
+}
+
+// DefaultGeometry models an XC4013-class device: a 24x24 CLB array
+// (576 CLBs) with 192 user pins. The paper cites devices "up to 250K
+// gates ... with some hundreds of input and output pins".
+func DefaultGeometry() Geometry {
+	return Geometry{Cols: 24, Rows: 24, TracksPerChannel: 12, PinsPerSide: 48}
+}
+
+// NumCLBs returns the total CLB count.
+func (g Geometry) NumCLBs() int { return g.Cols * g.Rows }
+
+// NumPins returns the total I/O pin count.
+func (g Geometry) NumPins() int { return 4 * g.PinsPerSide }
+
+// Valid reports whether the geometry is usable.
+func (g Geometry) Valid() bool {
+	return g.Cols > 0 && g.Rows > 0 && g.TracksPerChannel > 0 && g.PinsPerSide > 0
+}
+
+// Bounds returns the full-device region.
+func (g Geometry) Bounds() Region { return Region{X: 0, Y: 0, W: g.Cols, H: g.Rows} }
+
+// String renders the geometry as "24x24/192pin".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dx%d/%dpin", g.Cols, g.Rows, g.NumPins())
+}
+
+// Region is a rectangle of CLBs: the unit of partitioning, relocation and
+// partial reconfiguration.
+type Region struct {
+	X, Y, W, H int
+}
+
+// Cells returns the number of CLBs in the region.
+func (r Region) Cells() int { return r.W * r.H }
+
+// Empty reports whether the region contains no cells.
+func (r Region) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Contains reports whether the CLB at (x, y) lies inside the region.
+func (r Region) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// ContainsRegion reports whether s lies entirely inside r.
+func (r Region) ContainsRegion(s Region) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X >= r.X && s.Y >= r.Y && s.X+s.W <= r.X+r.W && s.Y+s.H <= r.Y+r.H
+}
+
+// Overlaps reports whether the two regions share any cell.
+func (r Region) Overlaps(s Region) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.X < s.X+s.W && s.X < r.X+r.W && r.Y < s.Y+s.H && s.Y < r.Y+r.H
+}
+
+// Fits reports whether a w x h rectangle fits inside the region.
+func (r Region) Fits(w, h int) bool { return w <= r.W && h <= r.H }
+
+// String renders the region as "(x,y)+WxH".
+func (r Region) String() string {
+	return fmt.Sprintf("(%d,%d)+%dx%d", r.X, r.Y, r.W, r.H)
+}
+
+// SplitH splits the region horizontally, returning the left part with
+// width w and the remainder. It panics if w is out of range.
+func (r Region) SplitH(w int) (left, right Region) {
+	if w <= 0 || w > r.W {
+		panic(fmt.Sprintf("fabric: SplitH(%d) of %v", w, r))
+	}
+	left = Region{X: r.X, Y: r.Y, W: w, H: r.H}
+	right = Region{X: r.X + w, Y: r.Y, W: r.W - w, H: r.H}
+	return left, right
+}
+
+// SplitV splits the region vertically, returning the bottom part with
+// height h and the remainder. It panics if h is out of range.
+func (r Region) SplitV(h int) (bottom, top Region) {
+	if h <= 0 || h > r.H {
+		panic(fmt.Sprintf("fabric: SplitV(%d) of %v", h, r))
+	}
+	bottom = Region{X: r.X, Y: r.Y, W: r.W, H: h}
+	top = Region{X: r.X, Y: r.Y + h, W: r.W, H: r.H - h}
+	return bottom, top
+}

@@ -1,0 +1,54 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Snapshot is a complete image of a device: configuration RAM, live
+// flip-flop state, pin configuration and latched input values. It backs
+// the paper's §2 outlook that "the whole system operation can be
+// virtualized and downloaded at the beginning of the activities" — and
+// its converse, hibernating or migrating a running system between
+// identical boards.
+type Snapshot struct {
+	Geom Geometry
+	CLBs []CLBConfig
+	FFs  []bool
+	Pins []PinConfig
+	PinV []bool
+}
+
+// Snapshot captures the full device image.
+func (d *Device) Snapshot() *Snapshot {
+	return &Snapshot{
+		Geom: d.geom,
+		CLBs: append([]CLBConfig(nil), d.clbs...),
+		FFs:  append([]bool(nil), d.ffs...),
+		Pins: append([]PinConfig(nil), d.pins...),
+		PinV: append([]bool(nil), d.pinV...),
+	}
+}
+
+// Restore overwrites the device with a snapshot taken from a device of
+// identical geometry. Configuration-write accounting advances by the full
+// cell count (a restore is a full-device download plus state injection).
+func (d *Device) Restore(s *Snapshot) error {
+	if s.Geom != d.geom {
+		return fmt.Errorf("fabric: snapshot geometry %v does not match device %v", s.Geom, d.geom)
+	}
+	copy(d.clbs, s.CLBs)
+	copy(d.ffs, s.FFs)
+	copy(d.pins, s.Pins)
+	copy(d.pinV, s.PinV)
+	d.configWrites += int64(len(d.clbs))
+	return nil
+}
+
+// MigrationCost returns the virtual time to capture and re-download a
+// whole-device image: a full state readback plus a full configuration
+// with state injection.
+func (t Timing) MigrationCost(g Geometry, liveFFs int) (capture, restore sim.Time) {
+	return t.ReadbackTime(liveFFs), t.FullConfigTime(g) + t.RestoreTime(liveFFs)
+}

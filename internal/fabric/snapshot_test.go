@@ -1,0 +1,103 @@
+package fabric
+
+import "testing"
+
+// buildToggle configures a registered NOT-feedback CLB at (x, y).
+func buildToggle(d *Device, x, y int) {
+	var notLUT [16]bool
+	for i := 0; i < 16; i++ {
+		notLUT[i] = i&1 == 0
+	}
+	d.WriteCLB(x, y, CLBConfig{Used: true, LUT: notLUT, Inputs: [4]Source{CLBSource(x, y)}, UseFF: true})
+}
+
+func TestSnapshotRestoreMigratesRunningSystem(t *testing.T) {
+	g := Geometry{Cols: 4, Rows: 4, TracksPerChannel: 4, PinsPerSide: 4}
+	a := NewDevice(g)
+	buildToggle(a, 0, 0)
+	buildToggle(a, 2, 3)
+	a.WritePin(0, PinConfig{Mode: PinOutput, Driver: CLBSource(0, 0)})
+	a.WritePin(1, PinConfig{Mode: PinInput})
+	a.SetPin(1, true)
+
+	// Run 3 steps: toggles at "true, false, true" -> state true.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.Snapshot()
+
+	// Migrate to a fresh board and continue; both devices must agree on
+	// every subsequent step.
+	b := NewDevice(g)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		oa, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oa[0] != ob[0] {
+			t.Fatalf("step %d: migrated device diverged", i)
+		}
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	g := Geometry{Cols: 2, Rows: 2, TracksPerChannel: 4, PinsPerSide: 2}
+	d := NewDevice(g)
+	buildToggle(d, 0, 0)
+	snap := d.Snapshot()
+	// Mutate the live device; the snapshot must not change.
+	d.Step()
+	d.ClearRegion(g.Bounds())
+	if !snap.CLBs[0].Used {
+		t.Fatal("snapshot shares storage with the device")
+	}
+	b := NewDevice(g)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CLB(0, 0).Used {
+		t.Fatal("restore lost configuration")
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	a := NewDevice(Geometry{Cols: 2, Rows: 2, TracksPerChannel: 4, PinsPerSide: 2})
+	b := NewDevice(Geometry{Cols: 3, Rows: 2, TracksPerChannel: 4, PinsPerSide: 2})
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestMigrationCostPositive(t *testing.T) {
+	tm := DefaultTiming()
+	capture, restore := tm.MigrationCost(DefaultGeometry(), 100)
+	if capture <= 0 || restore <= 0 {
+		t.Fatal("non-positive migration costs")
+	}
+	if restore <= tm.FullConfigTime(DefaultGeometry()) {
+		t.Fatal("restore must include state injection on top of the full download")
+	}
+}
+
+func TestRestoreAccountsConfigWrites(t *testing.T) {
+	g := Geometry{Cols: 3, Rows: 3, TracksPerChannel: 4, PinsPerSide: 2}
+	a := NewDevice(g)
+	snap := a.Snapshot()
+	b := NewDevice(g)
+	before := b.ConfigWrites()
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConfigWrites() != before+int64(g.NumCLBs()) {
+		t.Fatalf("restore accounted %d writes", b.ConfigWrites()-before)
+	}
+}

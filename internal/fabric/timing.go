@@ -1,0 +1,101 @@
+package fabric
+
+import "repro/internal/sim"
+
+// Timing models the configuration port and logic timing of the device.
+//
+// The defaults are calibrated to the paper's reference device: the paper
+// states that "in the Xilinx X4000 FPGAs, the configuration can be
+// downloaded only serially and completely in no more than 200 ms". An
+// XC4013 (24x24 CLBs) holds ~248 Kbit of configuration; at the default
+// serial rate of 1.25 Mbit/s a full download of the DefaultGeometry
+// device takes ~198 ms.
+type Timing struct {
+	// SerialRateBits is the configuration port bandwidth in bits/second.
+	SerialRateBits int64
+	// BitsPerCell is the configuration RAM cost of one CLB tile (LUT,
+	// input selection, routing switches).
+	BitsPerCell int64
+	// BitsPerPin is the configuration RAM cost of one I/O block.
+	BitsPerPin int64
+	// StateBitsPerFF is the readback/restore cost per flip-flop when only
+	// state (not configuration) is transferred.
+	StateBitsPerFF int64
+	// FullOverhead is the fixed cost of a full reconfiguration (device
+	// reset, preamble, startup sequence).
+	FullOverhead sim.Time
+	// PartialOverhead is the fixed per-operation cost of a partial
+	// reconfiguration or readback (addressing, handshake).
+	PartialOverhead sim.Time
+	// PartialReconfig reports whether the device supports partial
+	// reconfiguration at all. When false (the plain XC4000 case), every
+	// load is a full-device reconfiguration — the regime in which the
+	// paper notes programmability "is restricted in the practice to
+	// initial configuration or occasional reconfiguration".
+	PartialReconfig bool
+	// LUTDelay is the propagation delay through one CLB.
+	LUTDelay sim.Time
+	// HopDelay is the routing delay per tile-to-tile hop.
+	HopDelay sim.Time
+	// MinClock is the floor on the clock period regardless of logic depth.
+	MinClock sim.Time
+}
+
+// DefaultTiming returns the XC4000-calibrated timing model with partial
+// reconfiguration enabled (the paper restricts VFPGA to RAM-based families
+// and notes some Xilinx families are partially reconfigurable).
+func DefaultTiming() Timing {
+	return Timing{
+		SerialRateBits:  1_250_000,
+		BitsPerCell:     430,
+		BitsPerPin:      20,
+		StateBitsPerFF:  4,
+		FullOverhead:    2 * sim.Millisecond,
+		PartialOverhead: 50 * sim.Microsecond,
+		PartialReconfig: true,
+		LUTDelay:        3 * sim.Nanosecond,
+		HopDelay:        1 * sim.Nanosecond,
+		MinClock:        20 * sim.Nanosecond,
+	}
+}
+
+// bitsTime converts a bit count to transfer time at the serial rate.
+func (t Timing) bitsTime(bits int64) sim.Time {
+	return sim.Time(bits * int64(sim.Second) / t.SerialRateBits)
+}
+
+// ConfigBits returns the total configuration RAM size for a geometry.
+func (t Timing) ConfigBits(g Geometry) int64 {
+	return int64(g.NumCLBs())*t.BitsPerCell + int64(g.NumPins())*t.BitsPerPin
+}
+
+// FullConfigTime returns the duration of a complete device configuration.
+func (t Timing) FullConfigTime(g Geometry) sim.Time {
+	return t.FullOverhead + t.bitsTime(t.ConfigBits(g))
+}
+
+// PartialConfigTime returns the duration of writing cells CLB tiles and
+// pins I/O blocks through the partial-reconfiguration port.
+func (t Timing) PartialConfigTime(cells, pins int) sim.Time {
+	return t.PartialOverhead + t.bitsTime(int64(cells)*t.BitsPerCell+int64(pins)*t.BitsPerPin)
+}
+
+// ReadbackTime returns the duration of reading back ffs flip-flop values.
+func (t Timing) ReadbackTime(ffs int) sim.Time {
+	return t.PartialOverhead + t.bitsTime(int64(ffs)*t.StateBitsPerFF)
+}
+
+// RestoreTime returns the duration of writing ffs flip-flop values through
+// the controllability path.
+func (t Timing) RestoreTime(ffs int) sim.Time {
+	return t.PartialOverhead + t.bitsTime(int64(ffs)*t.StateBitsPerFF)
+}
+
+// ClockPeriod returns the operating clock period for a circuit whose
+// critical path is critPath.
+func (t Timing) ClockPeriod(critPath sim.Time) sim.Time {
+	if critPath < t.MinClock {
+		return t.MinClock
+	}
+	return critPath
+}

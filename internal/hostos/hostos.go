@@ -1,0 +1,650 @@
+// Package hostos simulates the general-purpose multitasking (possibly
+// time-shared) host operating system of the paper: tasks with programs
+// mixing CPU bursts and FPGA operations, a single-CPU scheduler
+// (FIFO, round-robin, or preemptive priority), context-switch and
+// system-call costs, and a pluggable FPGA resource manager.
+//
+// The FPGA itself is behind the FPGA interface; internal/core provides
+// the paper's VFPGA managers and internal/baseline provides the
+// comparison policies (exclusive non-preemptable FPGA, merged circuit,
+// software-only execution).
+package hostos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Policy selects the CPU scheduling discipline.
+type Policy int
+
+// Scheduling policies.
+const (
+	FIFO     Policy = iota // run to completion, arrival order
+	RR                     // round-robin with Config.TimeSlice
+	Priority               // preemptive static priority (lower = higher)
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case RR:
+		return "rr"
+	case Priority:
+		return "priority"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config parameterizes the OS.
+type Config struct {
+	Policy    Policy
+	TimeSlice sim.Time // quantum for RR (and priority round-robin ties)
+	CtxSwitch sim.Time // cost charged on every dispatch of a different task
+	Syscall   sim.Time // cost of entering the OS for an FPGA request
+}
+
+// DefaultConfig returns a 1990s-workstation flavored configuration:
+// a 10 ms time slice and tens-of-microseconds kernel costs.
+func DefaultConfig() Config {
+	return Config{
+		Policy:    RR,
+		TimeSlice: 10 * sim.Millisecond,
+		CtxSwitch: 50 * sim.Microsecond,
+		Syscall:   10 * sim.Microsecond,
+	}
+}
+
+// TaskID identifies a task.
+type TaskID int
+
+// TaskState enumerates the lifecycle states.
+type TaskState int
+
+// Task states.
+const (
+	TaskNew TaskState = iota
+	TaskReady
+	TaskRunning
+	TaskBlocked // waiting for the FPGA resource
+	TaskDone
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskNew:
+		return "new"
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskBlocked:
+		return "blocked"
+	case TaskDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// OpKind enumerates program operations.
+type OpKind int
+
+// Program operation kinds.
+const (
+	OpCompute OpKind = iota // CPU burst of duration D
+	OpFPGA                  // hardware operation described by Req
+)
+
+// FPGARequest describes one hardware operation.
+type FPGARequest struct {
+	// Circuit names a configuration previously registered for the task.
+	Circuit string
+	// Evaluations is the number of input vectors pushed through a
+	// combinational circuit (each takes one clock period).
+	Evaluations int64
+	// Cycles is the number of clock cycles a sequential circuit runs.
+	Cycles int64
+	// Pages optionally lists the configuration pages this operation
+	// touches, for demand-paged managers; nil means the whole circuit.
+	Pages []int
+}
+
+// Op is one step of a task program.
+type Op struct {
+	Kind OpKind
+	D    sim.Time    // OpCompute duration
+	Req  FPGARequest // OpFPGA request
+}
+
+// Compute returns a CPU burst op.
+func Compute(d sim.Time) Op { return Op{Kind: OpCompute, D: d} }
+
+// UseFPGA returns a hardware op.
+func UseFPGA(req FPGARequest) Op { return Op{Kind: OpFPGA, Req: req} }
+
+// flight tracks an FPGA op in progress across preemptions.
+type flight struct {
+	active   bool
+	acquired bool // resource held (setup already paid)
+	execLeft sim.Time
+	total    sim.Time
+}
+
+// Task is one process in the simulated system.
+type Task struct {
+	ID       TaskID
+	Name     string
+	Priority int // lower is more urgent (Priority policy)
+
+	program []Op
+	pc      int
+	state   TaskState
+	// computeLeft is the remaining time of the current OpCompute.
+	computeLeft sim.Time
+	fl          flight
+
+	// Metrics, all in virtual time.
+	Created     sim.Time
+	FirstRun    sim.Time
+	Finished    sim.Time
+	ReadyWait   sim.Time // time spent runnable but not running
+	BlockWait   sim.Time // time spent blocked on the FPGA resource
+	CPUTime     sim.Time // OpCompute execution
+	HWTime      sim.Time // FPGA execution (including re-done rolled-back work)
+	Overhead    sim.Time // syscalls, configuration, save/restore, ctx switches
+	Preemptions int64
+	Acquires    int64
+
+	lastChange sim.Time
+	started    bool
+}
+
+// State returns the task's current state.
+func (t *Task) State() TaskState { return t.state }
+
+// Turnaround returns completion time minus creation time (0 if unfinished).
+func (t *Task) Turnaround() sim.Time {
+	if t.state != TaskDone {
+		return 0
+	}
+	return t.Finished - t.Created
+}
+
+// CurrentRequest returns the FPGA request of the op the task is executing
+// or blocked on. It panics if the current op is not an FPGA op — callers
+// are the FPGA managers, which are only consulted during FPGA ops.
+func (t *Task) CurrentRequest() FPGARequest {
+	op := t.program[t.pc]
+	if op.Kind != OpFPGA {
+		panic(fmt.Sprintf("hostos: task %s op %d is not an FPGA op", t.Name, t.pc))
+	}
+	return op.Req
+}
+
+// FPGA is the hardware resource manager the OS delegates FPGA operations
+// to. internal/core implements the paper's virtualization policies;
+// internal/baseline implements the comparison points.
+type FPGA interface {
+	// Register declares, at task-load time, a configuration the task will
+	// use — the paper's fopen-like system call that stores the
+	// configuration in the operating system tables.
+	Register(t *Task, circuit string) error
+	// Acquire asks for the task's current request to be made ready
+	// (loading/partition assignment). If ready, setup is the time charged
+	// to the task (download, table walks). If not ready the task blocks;
+	// the manager must call OS.Unblock(t) when it can proceed, and the
+	// subsequent Acquire must succeed.
+	Acquire(t *Task) (setup sim.Time, ready bool)
+	// ExecTime returns the pure hardware time of the task's current
+	// request once loaded.
+	ExecTime(t *Task) sim.Time
+	// Preemptable reports whether the task's in-flight hardware op may be
+	// preempted (sequential circuits need observable/controllable state;
+	// a manager may declare the resource non-preemptable).
+	Preemptable(t *Task) bool
+	// Preempt is called when the OS preempts an in-flight hardware op
+	// after `done` of `total` execution. It returns the immediate
+	// overhead (state readback) and how much completed work survives
+	// (done for save/restore; 0 for rollback).
+	Preempt(t *Task, done, total sim.Time) (overhead, preserved sim.Time)
+	// Resume is called when a preempted hardware op is rescheduled; the
+	// returned overhead covers reload and state restore.
+	Resume(t *Task) sim.Time
+	// Complete is called when the hardware op finishes.
+	Complete(t *Task)
+	// Remove is called when the task exits (release partitions, tables).
+	Remove(t *Task)
+}
+
+// OS is the simulated operating system. Create with New, add tasks with
+// Spawn/SpawnAt, then drive the kernel.
+type OS struct {
+	K   *sim.Kernel
+	cfg Config
+
+	fpga    FPGA
+	tasks   []*Task
+	ready   []*Task
+	current *Task
+
+	segEvt   *sim.Event // end of the running segment
+	segStart sim.Time
+	segKind  segKind
+
+	CtxSwitches int64
+	lastTask    *Task
+	idleSince   sim.Time
+	BusyTime    sim.Time
+	trace       *EventLog
+}
+
+type segKind int
+
+const (
+	segNone segKind = iota
+	segCompute
+	segSetup // syscall + configuration (non-preemptable)
+	segExec  // hardware execution
+)
+
+// New returns an OS over the given kernel and FPGA manager.
+func New(k *sim.Kernel, cfg Config, fpga FPGA) *OS {
+	if cfg.TimeSlice <= 0 {
+		cfg.TimeSlice = DefaultConfig().TimeSlice
+	}
+	return &OS{K: k, cfg: cfg, fpga: fpga}
+}
+
+// Config returns the OS configuration.
+func (o *OS) Config() Config { return o.cfg }
+
+// Tasks returns all tasks ever spawned.
+func (o *OS) Tasks() []*Task { return o.tasks }
+
+// Spawn creates a task at the current virtual time. The circuits named in
+// the program's FPGA ops are registered with the manager (the paper's
+// configuration declaration at task-load time).
+func (o *OS) Spawn(name string, priority int, program []Op) (*Task, error) {
+	return o.spawnAt(o.K.Now(), name, priority, program, true)
+}
+
+// SpawnAt schedules task creation at absolute virtual time at.
+func (o *OS) SpawnAt(at sim.Time, name string, priority int, program []Op) {
+	o.K.Schedule(at, func() {
+		if _, err := o.spawnAt(at, name, priority, program, true); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func (o *OS) spawnAt(at sim.Time, name string, priority int, program []Op, admit bool) (*Task, error) {
+	if len(program) == 0 {
+		return nil, fmt.Errorf("hostos: task %q has an empty program", name)
+	}
+	t := &Task{
+		ID:       TaskID(len(o.tasks)),
+		Name:     name,
+		Priority: priority,
+		program:  program,
+		Created:  at,
+		state:    TaskNew,
+	}
+	o.tasks = append(o.tasks, t)
+	seen := map[string]bool{}
+	for _, op := range program {
+		if op.Kind == OpFPGA && !seen[op.Req.Circuit] {
+			seen[op.Req.Circuit] = true
+			if err := o.fpga.Register(t, op.Req.Circuit); err != nil {
+				return nil, fmt.Errorf("hostos: task %q: %w", name, err)
+			}
+		}
+	}
+	if admit {
+		o.makeReady(t)
+		o.maybePreemptFor(t)
+		o.kick()
+	}
+	return t, nil
+}
+
+func (o *OS) makeReady(t *Task) {
+	if t.state == TaskNew {
+		o.emit(t, EvSpawn)
+	} else {
+		o.emit(t, EvReady)
+	}
+	t.state = TaskReady
+	t.lastChange = o.K.Now()
+	o.ready = append(o.ready, t)
+}
+
+// Unblock moves a blocked task back to the ready queue. FPGA managers
+// call this when a queued resource request can proceed.
+func (o *OS) Unblock(t *Task) {
+	if t.state != TaskBlocked {
+		panic(fmt.Sprintf("hostos: Unblock of task %s in state %v", t.Name, t.state))
+	}
+	t.BlockWait += o.K.Now() - t.lastChange
+	o.makeReady(t)
+	o.maybePreemptFor(t)
+	o.kick()
+}
+
+// maybePreemptFor preempts the current task if the policy is Priority and
+// the newly runnable task is strictly more urgent.
+func (o *OS) maybePreemptFor(t *Task) {
+	if o.cfg.Policy != Priority || o.current == nil || o.current == t {
+		return
+	}
+	if t.Priority < o.current.Priority {
+		o.preemptCurrent()
+	}
+}
+
+// kick schedules a dispatch if the CPU is idle. Dispatch happens through
+// the kernel so that all same-time events settle first.
+func (o *OS) kick() {
+	if o.current != nil {
+		return
+	}
+	o.K.SchedulePri(o.K.Now(), 10, o.dispatch)
+}
+
+// pickNext removes and returns the next task to run, per policy.
+func (o *OS) pickNext() *Task {
+	if len(o.ready) == 0 {
+		return nil
+	}
+	best := 0
+	if o.cfg.Policy == Priority {
+		for i, t := range o.ready {
+			if t.Priority < o.ready[best].Priority {
+				best = i
+			}
+		}
+	}
+	t := o.ready[best]
+	o.ready = append(o.ready[:best], o.ready[best+1:]...)
+	return t
+}
+
+func (o *OS) dispatch() {
+	if o.current != nil {
+		return
+	}
+	t := o.pickNext()
+	if t == nil {
+		return
+	}
+	now := o.K.Now()
+	t.ReadyWait += now - t.lastChange
+	t.state = TaskRunning
+	t.lastChange = now
+	o.emit(t, EvRun)
+	if !t.started {
+		t.started = true
+		t.FirstRun = now
+	}
+	o.current = t
+	start := now
+	if o.lastTask != t {
+		o.CtxSwitches++
+		t.Overhead += o.cfg.CtxSwitch
+		start += o.cfg.CtxSwitch
+	}
+	o.lastTask = t
+	o.K.Schedule(start, func() { o.runSegment(t, o.sliceFor(t)) })
+}
+
+// sliceFor returns the absolute time at which the task's quantum expires,
+// or 0 for run-to-completion policies.
+func (o *OS) sliceFor(t *Task) sim.Time {
+	switch o.cfg.Policy {
+	case RR, Priority:
+		return o.K.Now() + o.cfg.TimeSlice
+	}
+	return 0
+}
+
+// runSegment executes the current op of t until the op phase ends or the
+// slice expires, whichever is first.
+func (o *OS) runSegment(t *Task, sliceEnd sim.Time) {
+	if o.current != t || t.state != TaskRunning {
+		return // preempted between dispatch and segment start
+	}
+	if t.pc >= len(t.program) {
+		o.finish(t)
+		return
+	}
+	now := o.K.Now()
+	op := &t.program[t.pc]
+	switch op.Kind {
+	case OpCompute:
+		if t.computeLeft == 0 {
+			t.computeLeft = op.D
+		}
+		run := t.computeLeft
+		if sliceEnd > 0 && now+run > sliceEnd {
+			run = sliceEnd - now
+		}
+		o.segKind = segCompute
+		o.segStart = now
+		o.segEvt = o.K.Schedule(now+run, func() {
+			t.computeLeft -= run
+			t.CPUTime += run
+			o.BusyTime += run
+			o.segEvt = nil
+			if t.computeLeft == 0 {
+				t.pc++
+				o.continueOrYield(t, sliceEnd)
+				return
+			}
+			t.Preemptions++
+			o.preemptNow(t)
+		})
+
+	case OpFPGA:
+		if !t.fl.active {
+			// New hardware op: syscall + acquire.
+			setup, ready := o.fpga.Acquire(t)
+			t.Acquires++
+			if !ready {
+				o.block(t)
+				return
+			}
+			total := o.fpga.ExecTime(t)
+			t.fl = flight{active: true, acquired: true, execLeft: total, total: total}
+			cost := o.cfg.Syscall + setup
+			t.Overhead += cost
+			o.BusyTime += cost
+			o.segKind = segSetup
+			o.segEvt = o.K.Schedule(now+cost, func() {
+				o.segEvt = nil
+				o.runSegment(t, o.extendIfExpired(t, sliceEnd))
+			})
+			return
+		}
+		if !t.fl.acquired {
+			// Resuming a preempted op: reload + restore.
+			cost := o.fpga.Resume(t)
+			t.fl.acquired = true
+			t.Overhead += cost
+			o.BusyTime += cost
+			o.segKind = segSetup
+			o.segEvt = o.K.Schedule(now+cost, func() {
+				o.segEvt = nil
+				o.runSegment(t, o.extendIfExpired(t, sliceEnd))
+			})
+			return
+		}
+		// Execute.
+		run := t.fl.execLeft
+		preemptible := sliceEnd > 0 && o.fpga.Preemptable(t)
+		willPreempt := false
+		if preemptible && now+run > sliceEnd {
+			// The paper's §3 analysis: mid-op preemption is only possible
+			// when the circuit's state can be saved (or recomputed).
+			run = sliceEnd - now
+			willPreempt = true
+		}
+		o.segKind = segExec
+		o.segStart = now
+		o.segEvt = o.K.Schedule(now+run, func() {
+			o.segEvt = nil
+			t.HWTime += run
+			o.BusyTime += run
+			if !willPreempt {
+				t.fl = flight{}
+				o.fpga.Complete(t)
+				t.pc++
+				o.continueOrYield(t, sliceEnd)
+				return
+			}
+			t.fl.execLeft -= run
+			if len(o.ready) == 0 {
+				// Nobody else is runnable: keep the circuit going with a
+				// fresh quantum instead of preempting into thin air (which
+				// would livelock rollback-mode circuits longer than a slice).
+				o.runSegment(t, o.sliceFor(t))
+				return
+			}
+			done := t.fl.total - t.fl.execLeft
+			overhead, preserved := o.fpga.Preempt(t, done, t.fl.total)
+			t.fl.execLeft = t.fl.total - preserved
+			t.fl.acquired = false
+			t.Preemptions++
+			t.Overhead += overhead
+			o.BusyTime += overhead
+			// State save runs before the switch completes.
+			o.K.Schedule(o.K.Now()+overhead, func() { o.preemptNow(t) })
+		})
+	}
+}
+
+// extendIfExpired grants a fresh quantum when a non-preemptable setup
+// phase (configuration download, state restore) consumed the entire
+// slice; otherwise the original quantum stands. The extension guarantees
+// forward progress when downloads exceed the time slice — the pathology
+// the paper warns about in §3 — without refreshing the quantum on every
+// cheap system call.
+func (o *OS) extendIfExpired(t *Task, sliceEnd sim.Time) sim.Time {
+	if sliceEnd > 0 && o.K.Now() >= sliceEnd {
+		return o.sliceFor(t)
+	}
+	return sliceEnd
+}
+
+// continueOrYield decides what happens after an op completes: keep running
+// within the slice, or yield at the quantum boundary.
+func (o *OS) continueOrYield(t *Task, sliceEnd sim.Time) {
+	if t.pc >= len(t.program) {
+		o.finish(t)
+		return
+	}
+	now := o.K.Now()
+	if sliceEnd > 0 && now >= sliceEnd {
+		if len(o.ready) > 0 {
+			o.preemptNow(t)
+			return
+		}
+		sliceEnd = o.sliceFor(t) // nobody waiting: grant a fresh quantum
+	}
+	o.runSegment(t, sliceEnd)
+}
+
+// preemptCurrent preempts the running task immediately (priority policy).
+// Non-preemptable phases (setup, non-preemptable exec) finish first: the
+// segment-end path re-dispatches and the scheduler picks by priority.
+func (o *OS) preemptCurrent() {
+	t := o.current
+	if t == nil {
+		return
+	}
+	switch o.segKind {
+	case segCompute:
+		if o.segEvt != nil {
+			o.K.Cancel(o.segEvt)
+			o.segEvt = nil
+			ran := o.K.Now() - o.segStart
+			t.computeLeft -= ran
+			t.CPUTime += ran
+			o.BusyTime += ran
+		}
+		t.Preemptions++
+		o.preemptNow(t)
+	case segExec:
+		if o.fpga.Preemptable(t) && o.segEvt != nil {
+			o.K.Cancel(o.segEvt)
+			o.segEvt = nil
+			ran := o.K.Now() - o.segStart
+			t.HWTime += ran
+			o.BusyTime += ran
+			done := t.fl.total - t.fl.execLeft + ran
+			overhead, preserved := o.fpga.Preempt(t, done, t.fl.total)
+			t.fl.execLeft = t.fl.total - preserved
+			t.fl.acquired = false
+			t.Preemptions++
+			t.Overhead += overhead
+			o.BusyTime += overhead
+			o.K.Schedule(o.K.Now()+overhead, func() { o.preemptNow(t) })
+		}
+		// Non-preemptable: let the op finish; dispatch will re-sort.
+	case segSetup:
+		// OS code: finishes, then the scheduler re-decides.
+	}
+}
+
+// preemptNow moves the running task back to ready and dispatches.
+func (o *OS) preemptNow(t *Task) {
+	if o.current != t {
+		return
+	}
+	o.current = nil
+	o.segKind = segNone
+	o.makeReady(t)
+	o.kick()
+}
+
+// block parks the running task waiting for the FPGA manager.
+func (o *OS) block(t *Task) {
+	o.current = nil
+	o.segKind = segNone
+	t.state = TaskBlocked
+	t.lastChange = o.K.Now()
+	o.emit(t, EvBlock)
+	o.kick()
+}
+
+// finish completes a task.
+func (o *OS) finish(t *Task) {
+	o.current = nil
+	o.segKind = segNone
+	t.state = TaskDone
+	t.Finished = o.K.Now()
+	o.emit(t, EvDone)
+	o.fpga.Remove(t)
+	o.kick()
+}
+
+// AllDone reports whether every spawned task has completed.
+func (o *OS) AllDone() bool {
+	for _, t := range o.tasks {
+		if t.state != TaskDone {
+			return false
+		}
+	}
+	return len(o.tasks) > 0
+}
+
+// Makespan returns the latest completion time across all tasks.
+func (o *OS) Makespan() sim.Time {
+	var m sim.Time
+	for _, t := range o.tasks {
+		if t.Finished > m {
+			m = t.Finished
+		}
+	}
+	return m
+}

@@ -1,0 +1,385 @@
+package hostos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mockFPGA is a scriptable FPGA manager for scheduler tests.
+type mockFPGA struct {
+	os          *OS
+	setup       sim.Time
+	perEval     sim.Time
+	preemptable bool
+	saveCost    sim.Time
+	resumeCost  sim.Time
+	rollback    bool // preserve nothing on preempt
+
+	busyWith  *Task // non-nil models an exclusive resource
+	exclusive bool
+	waiters   []*Task
+
+	registered map[string]int
+	completes  int
+	preempts   int
+	resumes    int
+	removes    int
+}
+
+func newMock() *mockFPGA {
+	return &mockFPGA{
+		perEval:     sim.Microsecond,
+		preemptable: true,
+		registered:  map[string]int{},
+	}
+}
+
+func (m *mockFPGA) Register(t *Task, circuit string) error {
+	m.registered[circuit]++
+	return nil
+}
+
+func (m *mockFPGA) Acquire(t *Task) (sim.Time, bool) {
+	if m.exclusive {
+		if m.busyWith != nil && m.busyWith != t {
+			m.waiters = append(m.waiters, t)
+			return 0, false
+		}
+		m.busyWith = t
+	}
+	return m.setup, true
+}
+
+func (m *mockFPGA) ExecTime(t *Task) sim.Time {
+	req := t.CurrentRequest()
+	n := req.Evaluations + req.Cycles
+	return sim.Time(n) * m.perEval
+}
+
+func (m *mockFPGA) Preemptable(t *Task) bool { return m.preemptable }
+
+func (m *mockFPGA) Preempt(t *Task, done, total sim.Time) (sim.Time, sim.Time) {
+	m.preempts++
+	if m.rollback {
+		return 0, 0
+	}
+	return m.saveCost, done
+}
+
+func (m *mockFPGA) Resume(t *Task) sim.Time {
+	m.resumes++
+	return m.resumeCost
+}
+
+func (m *mockFPGA) Complete(t *Task) {
+	m.completes++
+}
+
+// Remove releases the exclusive resource at task exit, matching the
+// paper's non-preemptable FPGA: held "until the task holding it has not
+// completed the algorithm".
+func (m *mockFPGA) Remove(t *Task) {
+	m.removes++
+	if m.exclusive && m.busyWith == t {
+		m.busyWith = nil
+		if len(m.waiters) > 0 {
+			next := m.waiters[0]
+			m.waiters = m.waiters[1:]
+			m.busyWith = next
+			m.os.Unblock(next)
+		}
+	}
+}
+
+func newOS(cfg Config, m *mockFPGA) *OS {
+	k := sim.New()
+	o := New(k, cfg, m)
+	m.os = o
+	return o
+}
+
+func TestSingleComputeTask(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: FIFO, CtxSwitch: 50 * sim.Microsecond}, m)
+	task, err := o.Spawn("a", 0, []Op{Compute(5 * sim.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.K.Run()
+	if task.State() != TaskDone {
+		t.Fatalf("task state %v", task.State())
+	}
+	if task.CPUTime != 5*sim.Millisecond {
+		t.Fatalf("CPU time %v", task.CPUTime)
+	}
+	if task.Turnaround() != 5*sim.Millisecond+50*sim.Microsecond {
+		t.Fatalf("turnaround %v should be burst + ctx switch", task.Turnaround())
+	}
+}
+
+func TestEmptyProgramRejected(t *testing.T) {
+	o := newOS(Config{}, newMock())
+	if _, err := o.Spawn("x", 0, nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestFIFORunsToCompletion(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: FIFO, CtxSwitch: 0}, m)
+	a, _ := o.Spawn("a", 0, []Op{Compute(10 * sim.Millisecond)})
+	b, _ := o.Spawn("b", 0, []Op{Compute(1 * sim.Millisecond)})
+	o.K.Run()
+	// FIFO: a finishes before b starts despite b being shorter.
+	if !(a.Finished <= b.FirstRun) {
+		t.Fatalf("FIFO violated: a done %v, b first run %v", a.Finished, b.FirstRun)
+	}
+}
+
+func TestRRInterleaves(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 0}, m)
+	a, _ := o.Spawn("a", 0, []Op{Compute(5 * sim.Millisecond)})
+	b, _ := o.Spawn("b", 0, []Op{Compute(5 * sim.Millisecond)})
+	o.K.Run()
+	// Round robin: both finish within one slice of each other.
+	gap := a.Finished - b.Finished
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > sim.Millisecond+sim.Microsecond {
+		t.Fatalf("RR tasks finished %v apart", gap)
+	}
+	if a.Preemptions == 0 && b.Preemptions == 0 {
+		t.Fatal("no preemptions under RR with long bursts")
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: Priority, TimeSlice: 100 * sim.Millisecond, CtxSwitch: 0}, m)
+	low, _ := o.Spawn("low", 10, []Op{Compute(20 * sim.Millisecond)})
+	o.K.Schedule(5*sim.Millisecond, func() {
+		if _, err := o.spawnAt(o.K.Now(), "high", 1, []Op{Compute(2 * sim.Millisecond)}, true); err != nil {
+			t.Error(err)
+		}
+	})
+	o.K.Run()
+	var high *Task
+	for _, task := range o.Tasks() {
+		if task.Name == "high" {
+			high = task
+		}
+	}
+	if high.Finished >= low.Finished {
+		t.Fatalf("high finished %v after low %v", high.Finished, low.Finished)
+	}
+	if high.Finished != 7*sim.Millisecond {
+		t.Fatalf("high finished at %v, want 7ms (preempted low immediately)", high.Finished)
+	}
+}
+
+func TestFPGAOpBasic(t *testing.T) {
+	m := newMock()
+	m.setup = 2 * sim.Millisecond
+	o := newOS(Config{Policy: FIFO, Syscall: 10 * sim.Microsecond, CtxSwitch: 0}, m)
+	task, _ := o.Spawn("hw", 0, []Op{UseFPGA(FPGARequest{Circuit: "c", Evaluations: 1000})})
+	o.K.Run()
+	if task.State() != TaskDone {
+		t.Fatalf("state %v", task.State())
+	}
+	if m.completes != 1 {
+		t.Fatalf("completes = %d", m.completes)
+	}
+	if task.HWTime != 1000*sim.Microsecond {
+		t.Fatalf("HW time %v", task.HWTime)
+	}
+	if task.Overhead < 2*sim.Millisecond {
+		t.Fatalf("overhead %v must include setup", task.Overhead)
+	}
+	if m.registered["c"] != 1 {
+		t.Fatal("circuit not registered at spawn")
+	}
+}
+
+func TestFPGABlockingAndHandoff(t *testing.T) {
+	m := newMock()
+	m.exclusive = true
+	m.preemptable = false
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 0}, m)
+	// a grabs the FPGA and, per the paper's exclusive model, holds it
+	// until task exit; b reaches its own FPGA op during a's CPU phase and
+	// must wait.
+	a, _ := o.Spawn("a", 0, []Op{
+		UseFPGA(FPGARequest{Circuit: "c", Evaluations: 5000}),
+		Compute(3 * sim.Millisecond),
+	})
+	b, _ := o.Spawn("b", 0, []Op{
+		Compute(100 * sim.Microsecond),
+		UseFPGA(FPGARequest{Circuit: "c", Evaluations: 100}),
+	})
+	o.K.Run()
+	if a.State() != TaskDone || b.State() != TaskDone {
+		t.Fatalf("states %v %v", a.State(), b.State())
+	}
+	if b.BlockWait == 0 {
+		t.Fatal("b never waited for the exclusive FPGA")
+	}
+	if b.Finished <= a.Finished {
+		t.Fatal("b finished before a released the FPGA")
+	}
+}
+
+func TestPreemptionSaveRestore(t *testing.T) {
+	m := newMock()
+	m.saveCost = 100 * sim.Microsecond
+	m.resumeCost = 150 * sim.Microsecond
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 0}, m)
+	hw, _ := o.Spawn("hw", 0, []Op{UseFPGA(FPGARequest{Circuit: "c", Evaluations: 3500})})
+	cpu, _ := o.Spawn("cpu", 0, []Op{Compute(3 * sim.Millisecond)})
+	o.K.Run()
+	if hw.State() != TaskDone || cpu.State() != TaskDone {
+		t.Fatal("not all done")
+	}
+	if m.preempts == 0 || m.resumes == 0 {
+		t.Fatalf("expected save/restore cycles: %d preempts, %d resumes", m.preempts, m.resumes)
+	}
+	// With state preserved, total HW time equals the pure exec time.
+	if hw.HWTime != 3500*sim.Microsecond {
+		t.Fatalf("HW time %v, want 3.5ms exactly (no lost work)", hw.HWTime)
+	}
+	if hw.Overhead < m.saveCost+m.resumeCost {
+		t.Fatalf("overhead %v missing save/restore costs", hw.Overhead)
+	}
+}
+
+func TestRollbackRedoesWork(t *testing.T) {
+	m := newMock()
+	m.rollback = true
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 0}, m)
+	// 1.5ms op with 1ms slices and a competing task: first slice loses
+	// 1ms of work, so total HW time exceeds the pure 1.5ms.
+	hw, _ := o.Spawn("hw", 0, []Op{UseFPGA(FPGARequest{Circuit: "c", Evaluations: 1500})})
+	o.Spawn("cpu", 0, []Op{Compute(3 * sim.Millisecond)})
+	o.K.Run()
+	if hw.State() != TaskDone {
+		t.Fatal("hw not done")
+	}
+	if hw.HWTime <= 1500*sim.Microsecond {
+		t.Fatalf("rollback should redo work: HW time %v", hw.HWTime)
+	}
+}
+
+func TestNonPreemptableRunsThroughSlice(t *testing.T) {
+	m := newMock()
+	m.preemptable = false
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 0}, m)
+	hw, _ := o.Spawn("hw", 0, []Op{UseFPGA(FPGARequest{Circuit: "c", Evaluations: 5000})})
+	o.Spawn("cpu", 0, []Op{Compute(1 * sim.Millisecond)})
+	o.K.Run()
+	if hw.Preemptions != 0 {
+		t.Fatalf("non-preemptable op preempted %d times", hw.Preemptions)
+	}
+	if m.preempts != 0 {
+		t.Fatal("manager.Preempt called for non-preemptable op")
+	}
+}
+
+func TestMixedProgram(t *testing.T) {
+	m := newMock()
+	o := newOS(DefaultConfig(), m)
+	task, _ := o.Spawn("mix", 0, []Op{
+		Compute(2 * sim.Millisecond),
+		UseFPGA(FPGARequest{Circuit: "a", Evaluations: 500}),
+		Compute(1 * sim.Millisecond),
+		UseFPGA(FPGARequest{Circuit: "b", Cycles: 200}),
+	})
+	o.K.Run()
+	if task.State() != TaskDone {
+		t.Fatalf("state %v", task.State())
+	}
+	if task.CPUTime != 3*sim.Millisecond {
+		t.Fatalf("CPU %v", task.CPUTime)
+	}
+	if task.HWTime != 700*sim.Microsecond {
+		t.Fatalf("HW %v", task.HWTime)
+	}
+	if m.completes != 2 || len(m.registered) != 2 {
+		t.Fatalf("completes %d, registered %v", m.completes, m.registered)
+	}
+}
+
+func TestSpawnAtDelaysArrival(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: FIFO, CtxSwitch: 0}, m)
+	o.SpawnAt(10*sim.Millisecond, "late", 0, []Op{Compute(sim.Millisecond)})
+	o.K.Run()
+	task := o.Tasks()[0]
+	if task.Created != 10*sim.Millisecond {
+		t.Fatalf("created %v", task.Created)
+	}
+	if task.Finished != 11*sim.Millisecond {
+		t.Fatalf("finished %v", task.Finished)
+	}
+}
+
+func TestMakespanAndAllDone(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: FIFO, CtxSwitch: 0}, m)
+	if o.AllDone() {
+		t.Fatal("empty OS reports all done")
+	}
+	o.Spawn("a", 0, []Op{Compute(sim.Millisecond)})
+	o.Spawn("b", 0, []Op{Compute(2 * sim.Millisecond)})
+	o.K.Run()
+	if !o.AllDone() {
+		t.Fatal("not all done after run")
+	}
+	if o.Makespan() != 3*sim.Millisecond {
+		t.Fatalf("makespan %v", o.Makespan())
+	}
+}
+
+func TestCtxSwitchAccounting(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: RR, TimeSlice: sim.Millisecond, CtxSwitch: 10 * sim.Microsecond}, m)
+	o.Spawn("a", 0, []Op{Compute(3 * sim.Millisecond)})
+	o.Spawn("b", 0, []Op{Compute(3 * sim.Millisecond)})
+	o.K.Run()
+	if o.CtxSwitches < 4 {
+		t.Fatalf("ctx switches = %d, want several", o.CtxSwitches)
+	}
+}
+
+func TestReadyWaitAccumulates(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: FIFO, CtxSwitch: 0}, m)
+	o.Spawn("a", 0, []Op{Compute(10 * sim.Millisecond)})
+	b, _ := o.Spawn("b", 0, []Op{Compute(sim.Millisecond)})
+	o.K.Run()
+	if b.ReadyWait < 10*sim.Millisecond {
+		t.Fatalf("b ready wait %v, want >= 10ms", b.ReadyWait)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if FIFO.String() != "fifo" || RR.String() != "rr" || Priority.String() != "priority" {
+		t.Fatal("policy names wrong")
+	}
+	if TaskReady.String() != "ready" || TaskDone.String() != "done" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestCurrentRequestPanicsOnCompute(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{}, m)
+	task, _ := o.spawnAt(0, "a", 0, []Op{Compute(sim.Millisecond)}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	task.CurrentRequest()
+}

@@ -1,0 +1,273 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment decomposes a combinational netlist into k self-contained
+// stages — the paper's §2 segmentation: "decomposes the function to be
+// downloaded in the FPGA into smaller parts computing a self-contained
+// sub-function and, as a consequence, having variable size".
+//
+// Gates are assigned to stages by logic level, so every wire crosses
+// stage boundaries forward only. Signals that cross a boundary become an
+// output port of the producing stage and an input port of each consuming
+// stage, named "w<id>" after the original node; primary ports keep their
+// names. The host (or the VFPGA manager) carries the wire values between
+// stage executions, loading one stage at a time.
+//
+// Sequential netlists cannot be segmented this way (state would straddle
+// stages); Segment returns an error for them.
+func Segment(nl *Netlist, k int) ([]*Netlist, error) {
+	if nl.IsSequential() {
+		return nil, fmt.Errorf("netlist: cannot segment sequential circuit %q", nl.Name)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("netlist: segment count %d", k)
+	}
+	depth := nl.Depth()
+	if depth == 0 {
+		k = 1 // pure wiring: one stage
+	}
+	if k > depth && depth > 0 {
+		k = depth
+	}
+
+	// Level per node (inputs/consts at 0, each gate one deeper).
+	level := make([]int, len(nl.Nodes))
+	for _, id := range nl.TopoOrder() {
+		nd := &nl.Nodes[id]
+		in := 0
+		for _, f := range nd.Fanin {
+			if level[f] > in {
+				in = level[f]
+			}
+		}
+		switch nd.Kind {
+		case KindInput, KindConst, KindOutput, KindBuf:
+			level[id] = in
+		default:
+			level[id] = in + 1
+		}
+	}
+	stageOf := func(id NodeID) int {
+		if depth == 0 {
+			return 0
+		}
+		s := (level[id] - 1) * k / depth
+		if s < 0 {
+			s = 0
+		}
+		if s >= k {
+			s = k - 1
+		}
+		return s
+	}
+
+	// resolve follows Buf/Output to the producing node.
+	var resolve func(id NodeID) NodeID
+	resolve = func(id NodeID) NodeID {
+		nd := &nl.Nodes[id]
+		if nd.Kind == KindBuf || nd.Kind == KindOutput {
+			return resolve(nd.Fanin[0])
+		}
+		return id
+	}
+	isGate := func(id NodeID) bool {
+		switch nl.Nodes[id].Kind {
+		case KindInput, KindConst, KindOutput, KindBuf, KindDFF:
+			return false
+		}
+		return true
+	}
+
+	// Which stages consume each producing node?
+	consumers := map[NodeID]map[int]bool{} // producer -> stages needing it
+	note := func(producer NodeID, stage int) {
+		m := consumers[producer]
+		if m == nil {
+			m = map[int]bool{}
+			consumers[producer] = m
+		}
+		m[stage] = true
+	}
+	for i := range nl.Nodes {
+		nd := &nl.Nodes[i]
+		if !isGate(NodeID(i)) {
+			continue
+		}
+		s := stageOf(NodeID(i))
+		for _, f := range nd.Fanin {
+			note(resolve(f), s)
+		}
+	}
+	// Primary outputs "consume" in a virtual stage k (so producers export).
+	outStage := k
+	for _, o := range nl.Outputs {
+		note(resolve(nl.Nodes[o].Fanin[0]), outStage)
+	}
+
+	stages := make([]*Builder, k)
+	for s := range stages {
+		stages[s] = NewBuilder(fmt.Sprintf("%s_seg%dof%d", nl.Name, s+1, k))
+	}
+	// localID[s][orig] = node id of orig's value within stage s.
+	localID := make([]map[NodeID]NodeID, k)
+	for s := range localID {
+		localID[s] = map[NodeID]NodeID{}
+	}
+	wireName := func(id NodeID) string { return fmt.Sprintf("w%d", id) }
+
+	// valueIn returns (importing if needed) node orig's value in stage s.
+	var valueIn func(s int, orig NodeID) NodeID
+	valueIn = func(s int, orig NodeID) NodeID {
+		orig = resolve(orig)
+		if id, ok := localID[s][orig]; ok {
+			return id
+		}
+		b := stages[s]
+		nd := &nl.Nodes[orig]
+		var id NodeID
+		switch {
+		case nd.Kind == KindConst:
+			id = b.Const(nd.Init)
+		case nd.Kind == KindInput:
+			id = b.Input(nd.Name)
+		default: // a gate from an earlier stage: import as a wire port
+			if stageOf(orig) >= s {
+				panic(fmt.Sprintf("netlist: segment %d imports node %d of stage %d", s, orig, stageOf(orig)))
+			}
+			id = b.Input(wireName(orig))
+		}
+		localID[s][orig] = id
+		return id
+	}
+
+	// Build gates stage by stage in global topological order.
+	for _, id := range nl.TopoOrder() {
+		if !isGate(id) {
+			continue
+		}
+		s := stageOf(id)
+		b := stages[s]
+		nd := &nl.Nodes[id]
+		fan := make([]NodeID, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			fan[i] = valueIn(s, f)
+		}
+		var local NodeID
+		switch nd.Kind {
+		case KindNot:
+			local = b.Not(fan[0])
+		case KindAnd:
+			local = b.And(fan[0], fan[1])
+		case KindOr:
+			local = b.Or(fan[0], fan[1])
+		case KindXor:
+			local = b.Xor(fan[0], fan[1])
+		case KindNand:
+			local = b.Nand(fan[0], fan[1])
+		case KindNor:
+			local = b.Nor(fan[0], fan[1])
+		case KindMux:
+			local = b.Mux(fan[0], fan[1], fan[2])
+		default:
+			return nil, fmt.Errorf("netlist: cannot segment %v node", nd.Kind)
+		}
+		localID[s][id] = local
+	}
+
+	// Export boundary wires: producer stages emit an output port for each
+	// consumer in a later stage (or the virtual output stage).
+	for producer, users := range consumers {
+		ps := 0
+		if isGate(producer) {
+			ps = stageOf(producer)
+		} else {
+			continue // inputs/consts are imported directly, never exported
+		}
+		needed := false
+		for s := range users {
+			// Primary outputs (the virtual stage) are exported under their
+			// own port names below, not as wires.
+			if s > ps && s != outStage {
+				needed = true
+			}
+		}
+		if !needed {
+			continue
+		}
+		stages[ps].Output(wireName(producer), localID[ps][producer])
+	}
+	// Primary outputs: emitted by the stage producing their driver (or,
+	// for input/const-driven outputs, by stage 0).
+	for _, o := range nl.Outputs {
+		driver := resolve(nl.Nodes[o].Fanin[0])
+		s := 0
+		if isGate(driver) {
+			s = stageOf(driver)
+		}
+		stages[s].Output(nl.Nodes[o].Name, valueIn(s, driver))
+	}
+
+	out := make([]*Netlist, k)
+	for s := range stages {
+		var err error
+		out[s], err = stages[s].Build()
+		if err != nil {
+			return nil, fmt.Errorf("netlist: segment %d: %w", s, err)
+		}
+	}
+	return out, nil
+}
+
+// EvalSegments executes the stages in order, carrying boundary wires in
+// an environment, and returns the values of the original circuit's
+// outputs in original port order. It is the host-side composition loop a
+// segmented application runs (load stage, present wires, collect wires).
+func EvalSegments(stages []*Netlist, original *Netlist, inputs []bool) []bool {
+	env := map[string]bool{}
+	for i, id := range original.Inputs {
+		env[original.Nodes[id].Name] = inputs[i]
+	}
+	for _, st := range stages {
+		in := make([]bool, st.NumInputs())
+		for i, name := range st.InputNames() {
+			v, ok := env[name]
+			if !ok {
+				panic(fmt.Sprintf("netlist: stage %s needs undefined wire %s", st.Name, name))
+			}
+			in[i] = v
+		}
+		out := NewSimulator(st).Eval(in)
+		for i, name := range st.OutputNames() {
+			env[name] = out[i]
+		}
+	}
+	res := make([]bool, original.NumOutputs())
+	for i, name := range original.OutputNames() {
+		v, ok := env[name]
+		if !ok {
+			panic(fmt.Sprintf("netlist: output %s never produced", name))
+		}
+		res[i] = v
+	}
+	return res
+}
+
+// SegmentSizes reports the gate count of each stage, sorted by stage.
+func SegmentSizes(stages []*Netlist) []int {
+	sizes := make([]int, len(stages))
+	for i, s := range stages {
+		sizes[i] = s.NumGates()
+	}
+	return sizes
+}
+
+// sortedWireNames is a test helper: the boundary interface of a stage.
+func sortedWireNames(st *Netlist) []string {
+	names := st.InputNames()
+	sort.Strings(names)
+	return names
+}

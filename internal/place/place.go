@@ -1,0 +1,318 @@
+// Package place assigns the cells of a technology-mapped design to CLB
+// locations inside a rectangular region. Placements are expressed in
+// region-relative coordinates, which is what makes compiled circuits
+// relocatable: the paper's variable partitioning and garbage collection
+// depend on loading the same configuration "virtually in any location of
+// the FPGA".
+//
+// The placer is a greedy scan-order seed refined by simulated annealing
+// over half-perimeter wirelength. It is deterministic for a given seed.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/techmap"
+)
+
+// Loc is a region-relative CLB coordinate.
+type Loc struct {
+	X, Y int
+}
+
+// Placement maps every cell of a mapped design to a distinct location in a
+// W x H region (origin at (0,0); the loader translates on download).
+type Placement struct {
+	Mapped *techmap.Mapped
+	W, H   int
+	Cells  []Loc // indexed by CellID
+	// InPorts and OutPorts are the nominal boundary positions of the
+	// primary inputs and outputs, used for wirelength and routing; the
+	// manager binds them to physical device pins at load time.
+	InPorts  []Loc
+	OutPorts []Loc
+	// Wirelength is the final half-perimeter wirelength (quality metric).
+	Wirelength int
+}
+
+// Options tunes the placer.
+type Options struct {
+	Seed uint64
+	// Effort scales the annealing schedule; 0 selects the default. Higher
+	// effort improves wirelength at linear cost.
+	Effort int
+}
+
+// Shape returns a near-square region shape with enough cells for the
+// design plus routing slack. The minimum slack keeps the router from
+// being boxed in on dense designs.
+func Shape(cells int) (w, h int) {
+	if cells <= 0 {
+		return 1, 1
+	}
+	target := cells + cells/8 + 1 // ~12% slack
+	w = int(math.Ceil(math.Sqrt(float64(target))))
+	h = (target + w - 1) / w
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return w, h
+}
+
+// net is a source position index plus sink position indices into the
+// placer's combined position table.
+type net struct {
+	pins []int // indices into pos; pins[0] is the source
+}
+
+// placer state: positions 0..numCells-1 are movable cells; the rest are
+// fixed port positions.
+type placer struct {
+	m        *techmap.Mapped
+	w, h     int
+	cellLoc  []Loc
+	inPorts  []Loc
+	outPorts []Loc
+	nets     []net
+	netsAt   [][]int // nets touching each cell
+	src      *rng.Source
+}
+
+// Place places m into a w x h region. It returns an error if the region
+// is too small.
+func Place(m *techmap.Mapped, w, h int, opt Options) (*Placement, error) {
+	if m.NumCells() > w*h {
+		return nil, fmt.Errorf("place: %s needs %d cells, region %dx%d has %d",
+			m.Name, m.NumCells(), w, h, w*h)
+	}
+	p := &placer{m: m, w: w, h: h, src: rng.New(opt.Seed ^ 0x9e3779b97f4a7c15)}
+	p.seedPorts()
+	p.seedCells()
+	p.buildNets()
+	effort := opt.Effort
+	if effort <= 0 {
+		effort = 1
+	}
+	p.anneal(effort)
+	res := &Placement{
+		Mapped:   m,
+		W:        w,
+		H:        h,
+		Cells:    p.cellLoc,
+		InPorts:  p.inPorts,
+		OutPorts: p.outPorts,
+	}
+	res.Wirelength = res.TotalWirelength()
+	return res, nil
+}
+
+// seedPorts distributes input ports along the left edge and output ports
+// along the right edge.
+func (p *placer) seedPorts() {
+	spread := func(n, edgeX int) []Loc {
+		locs := make([]Loc, n)
+		for i := range locs {
+			y := 0
+			if n > 1 {
+				y = i * (p.h - 1) / (n - 1)
+			}
+			locs[i] = Loc{X: edgeX, Y: y}
+		}
+		return locs
+	}
+	p.inPorts = spread(p.m.NumInputs, 0)
+	p.outPorts = spread(len(p.m.Outputs), p.w-1)
+}
+
+// seedCells assigns initial locations in scan order, which keeps
+// topologically adjacent cells physically adjacent (cells are created in
+// topological-ish order by the mapper).
+func (p *placer) seedCells() {
+	p.cellLoc = make([]Loc, p.m.NumCells())
+	for i := range p.cellLoc {
+		p.cellLoc[i] = Loc{X: i % p.w, Y: i / p.w}
+	}
+}
+
+// position returns the current location of a combined position index:
+// [0, numCells) are cells, then input ports, then output ports.
+func (p *placer) position(idx int) Loc {
+	n := p.m.NumCells()
+	if idx < n {
+		return p.cellLoc[idx]
+	}
+	idx -= n
+	if idx < len(p.inPorts) {
+		return p.inPorts[idx]
+	}
+	return p.outPorts[idx-len(p.inPorts)]
+}
+
+// buildNets creates one net per driving signal.
+func (p *placer) buildNets() {
+	n := p.m.NumCells()
+	bySource := map[int][]int{} // source position index -> sink position indices
+	addSink := func(sig techmap.Signal, sinkIdx int) {
+		switch sig.Kind {
+		case techmap.SigCell:
+			bySource[int(sig.Cell)] = append(bySource[int(sig.Cell)], sinkIdx)
+		case techmap.SigInput:
+			bySource[n+sig.Input] = append(bySource[n+sig.Input], sinkIdx)
+		}
+	}
+	for ci := range p.m.Cells {
+		for _, in := range p.m.Cells[ci].Inputs {
+			addSink(in, ci)
+		}
+	}
+	for oi, sig := range p.m.Outputs {
+		addSink(sig, n+p.m.NumInputs+oi)
+	}
+	p.netsAt = make([][]int, n)
+	// Deterministic net order: iterate sources in index order.
+	for srcIdx := 0; srcIdx < n+p.m.NumInputs; srcIdx++ {
+		sinks, ok := bySource[srcIdx]
+		if !ok {
+			continue
+		}
+		pins := append([]int{srcIdx}, sinks...)
+		netID := len(p.nets)
+		p.nets = append(p.nets, net{pins: pins})
+		for _, pin := range pins {
+			if pin < n {
+				p.netsAt[pin] = append(p.netsAt[pin], netID)
+			}
+		}
+	}
+}
+
+// hpwl returns the half-perimeter wirelength of one net.
+func (p *placer) hpwl(nt *net) int {
+	minX, minY := math.MaxInt32, math.MaxInt32
+	maxX, maxY := -1, -1
+	for _, pin := range nt.pins {
+		l := p.position(pin)
+		if l.X < minX {
+			minX = l.X
+		}
+		if l.X > maxX {
+			maxX = l.X
+		}
+		if l.Y < minY {
+			minY = l.Y
+		}
+		if l.Y > maxY {
+			maxY = l.Y
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// costAround sums the wirelength of all nets touching the given cells.
+func (p *placer) costAround(cells ...int) int {
+	seen := map[int]bool{}
+	total := 0
+	for _, c := range cells {
+		if c < 0 || c >= len(p.netsAt) {
+			continue
+		}
+		for _, nid := range p.netsAt[c] {
+			if !seen[nid] {
+				seen[nid] = true
+				total += p.hpwl(&p.nets[nid])
+			}
+		}
+	}
+	return total
+}
+
+// anneal runs simulated annealing with swap and relocate moves.
+func (p *placer) anneal(effort int) {
+	nCells := p.m.NumCells()
+	if nCells <= 1 || len(p.nets) == 0 {
+		return
+	}
+	occupied := make(map[Loc]int, nCells) // loc -> cell index
+	for i, l := range p.cellLoc {
+		occupied[l] = i
+	}
+	iters := effort * 160 * nCells
+	temp := float64(p.w + p.h)
+	cooling := math.Pow(0.005/temp, 1/float64(iters+1))
+	for it := 0; it < iters; it++ {
+		ci := p.src.Intn(nCells)
+		target := Loc{X: p.src.Intn(p.w), Y: p.src.Intn(p.h)}
+		cj, swap := occupied[target]
+		if swap && cj == ci {
+			temp *= cooling
+			continue
+		}
+		var before, after int
+		if swap {
+			before = p.costAround(ci, cj)
+			p.cellLoc[ci], p.cellLoc[cj] = p.cellLoc[cj], p.cellLoc[ci]
+			after = p.costAround(ci, cj)
+		} else {
+			before = p.costAround(ci)
+			old := p.cellLoc[ci]
+			p.cellLoc[ci] = target
+			after = p.costAround(ci)
+			if accept(before, after, temp, p.src) {
+				delete(occupied, old)
+				occupied[target] = ci
+				temp *= cooling
+				continue
+			}
+			p.cellLoc[ci] = old
+			temp *= cooling
+			continue
+		}
+		if accept(before, after, temp, p.src) {
+			occupied[p.cellLoc[ci]] = ci
+			occupied[p.cellLoc[cj]] = cj
+		} else {
+			p.cellLoc[ci], p.cellLoc[cj] = p.cellLoc[cj], p.cellLoc[ci]
+		}
+		temp *= cooling
+	}
+}
+
+func accept(before, after int, temp float64, src *rng.Source) bool {
+	if after <= before {
+		return true
+	}
+	return src.Float64() < math.Exp(float64(before-after)/temp)
+}
+
+// TotalWirelength recomputes the HPWL of the placement (exposed for tests
+// and reports).
+func (pl *Placement) TotalWirelength() int {
+	p := &placer{m: pl.Mapped, w: pl.W, h: pl.H, cellLoc: pl.Cells, inPorts: pl.InPorts, outPorts: pl.OutPorts}
+	p.buildNets()
+	total := 0
+	for i := range p.nets {
+		total += p.hpwl(&p.nets[i])
+	}
+	return total
+}
+
+// Validate checks that the placement is legal: every cell inside the
+// region, no two cells on the same location.
+func (pl *Placement) Validate() error {
+	seen := make(map[Loc]techmap.CellID, len(pl.Cells))
+	for i, l := range pl.Cells {
+		if l.X < 0 || l.X >= pl.W || l.Y < 0 || l.Y >= pl.H {
+			return fmt.Errorf("place: cell %d at %v outside %dx%d", i, l, pl.W, pl.H)
+		}
+		if prev, dup := seen[l]; dup {
+			return fmt.Errorf("place: cells %d and %d share %v", prev, i, l)
+		}
+		seen[l] = techmap.CellID(i)
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+// Package route routes the connections of a placed design through the
+// fabric's channel graph using PathFinder-style negotiated congestion:
+// every source-to-sink connection gets a shortest path, connections bid
+// for channel segments, and congestion history pushes latecomers around
+// hot spots until no channel exceeds its track capacity.
+//
+// Routing is what grounds two physical effects the paper leans on: a
+// region must have spare cells/channels to be routable (area slack), and
+// wire delay grows with distance (placement quality shows up in the clock
+// period).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/place"
+	"repro/internal/sim"
+	"repro/internal/techmap"
+)
+
+// Sink identifies the endpoint of a connection: either a LUT input pin of
+// a cell, or a primary output port.
+type Sink struct {
+	IsPort bool
+	Cell   techmap.CellID // when !IsPort
+	Input  int            // LUT pin index when !IsPort
+	Port   int            // output port index when IsPort
+}
+
+// Connection is one routed source-to-sink path.
+type Connection struct {
+	Src  techmap.Signal // SigCell or SigInput (constants are not routed)
+	Sink Sink
+	Path []place.Loc // traversed cells, endpoints included
+}
+
+// Hops returns the number of channel segments the connection crosses.
+func (c *Connection) Hops() int { return len(c.Path) - 1 }
+
+// Result is a complete legal routing.
+type Result struct {
+	P          *place.Placement
+	Conns      []Connection
+	Tracks     int // channel capacity routed against
+	MaxUse     int // maximum channel occupancy achieved
+	Iterations int // negotiation iterations used
+	TotalHops  int
+}
+
+// Options tunes the router.
+type Options struct {
+	// MaxIterations bounds the negotiation loop; 0 selects the default.
+	MaxIterations int
+}
+
+// edge indexes the undirected channel between two adjacent cells.
+// Horizontal edges: between (x,y) and (x+1,y); vertical between (x,y) and
+// (x,y+1).
+type edgeID int
+
+type grid struct {
+	w, h int
+}
+
+func (g grid) nodes() int { return g.w * g.h }
+func (g grid) node(l place.Loc) int {
+	return l.Y*g.w + l.X
+}
+func (g grid) loc(n int) place.Loc { return place.Loc{X: n % g.w, Y: n / g.w} }
+
+// hEdges are indexed first, then vEdges.
+func (g grid) numEdges() int { return (g.w-1)*g.h + g.w*(g.h-1) }
+
+// edgeBetween returns the edge id between two adjacent nodes.
+func (g grid) edgeBetween(a, b int) edgeID {
+	la, lb := g.loc(a), g.loc(b)
+	if la.Y == lb.Y { // horizontal
+		x := la.X
+		if lb.X < x {
+			x = lb.X
+		}
+		return edgeID(la.Y*(g.w-1) + x)
+	}
+	y := la.Y
+	if lb.Y < y {
+		y = lb.Y
+	}
+	return edgeID((g.w-1)*g.h + y*g.w + la.X)
+}
+
+// neighbors appends the orthogonal neighbors of node n to buf.
+func (g grid) neighbors(n int, buf []int) []int {
+	l := g.loc(n)
+	if l.X > 0 {
+		buf = append(buf, n-1)
+	}
+	if l.X < g.w-1 {
+		buf = append(buf, n+1)
+	}
+	if l.Y > 0 {
+		buf = append(buf, n-g.w)
+	}
+	if l.Y < g.h-1 {
+		buf = append(buf, n+g.w)
+	}
+	return buf
+}
+
+// connections enumerates every routable connection of a placement in
+// deterministic order.
+func connections(p *place.Placement) []Connection {
+	var conns []Connection
+	for ci := range p.Mapped.Cells {
+		for k, in := range p.Mapped.Cells[ci].Inputs {
+			if in.Kind == techmap.SigConst {
+				continue
+			}
+			conns = append(conns, Connection{
+				Src:  in,
+				Sink: Sink{Cell: techmap.CellID(ci), Input: k},
+			})
+		}
+	}
+	for oi, sig := range p.Mapped.Outputs {
+		if sig.Kind == techmap.SigConst {
+			continue
+		}
+		conns = append(conns, Connection{
+			Src:  sig,
+			Sink: Sink{IsPort: true, Port: oi},
+		})
+	}
+	return conns
+}
+
+func (r *Result) srcLoc(sig techmap.Signal) place.Loc {
+	if sig.Kind == techmap.SigCell {
+		return r.P.Cells[sig.Cell]
+	}
+	return r.P.InPorts[sig.Input]
+}
+
+func (r *Result) sinkLoc(s Sink) place.Loc {
+	if s.IsPort {
+		return r.P.OutPorts[s.Port]
+	}
+	return r.P.Cells[s.Cell]
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
+// Route produces a legal routing of p against the given channel capacity.
+func Route(p *place.Placement, tracks int, opt Options) (*Result, error) {
+	if tracks <= 0 {
+		return nil, fmt.Errorf("route: non-positive track count %d", tracks)
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 40
+	}
+	g := grid{w: p.W, h: p.H}
+	res := &Result{P: p, Tracks: tracks, Conns: connections(p)}
+
+	// Group connections into nets by driving signal: a net's fanout shares
+	// one routing tree, so a channel segment carries a net once no matter
+	// how many sinks lie beyond it.
+	netOf := map[techmap.Signal][]int{}
+	var netOrder []techmap.Signal
+	for i := range res.Conns {
+		s := res.Conns[i].Src
+		if _, ok := netOf[s]; !ok {
+			netOrder = append(netOrder, s)
+		}
+		netOf[s] = append(netOf[s], i)
+	}
+
+	occ := make([]int, g.numEdges())      // present occupancy
+	hist := make([]float64, g.numEdges()) // history cost
+	paths := make([][]int, len(res.Conns))
+	inNet := make([]bool, g.numEdges()) // scratch: edges already in current net
+
+	presFac := 0.5
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		// Rip up everything and re-route in order with current costs.
+		for i := range occ {
+			occ[i] = 0
+		}
+		for _, src := range netOrder {
+			conns := netOf[src]
+			var netEdges []edgeID
+			for _, i := range conns {
+				c := &res.Conns[i]
+				from, to := g.node(res.srcLoc(c.Src)), g.node(res.sinkLoc(c.Sink))
+				path := shortestPath(g, from, to, func(e edgeID) float64 {
+					if inNet[e] {
+						return 1e-4 // already carried by this net: reuse freely
+					}
+					over := float64(occ[e] + 1 - tracks)
+					if over < 0 {
+						over = 0
+					}
+					return (1 + hist[e]) * (1 + over*presFac)
+				})
+				paths[i] = path
+				for k := 0; k+1 < len(path); k++ {
+					e := g.edgeBetween(path[k], path[k+1])
+					if !inNet[e] {
+						inNet[e] = true
+						netEdges = append(netEdges, e)
+						occ[e]++
+					}
+				}
+			}
+			for _, e := range netEdges {
+				inNet[e] = false
+			}
+		}
+		// Check for overuse.
+		maxUse, over := 0, false
+		for e, u := range occ {
+			if u > maxUse {
+				maxUse = u
+			}
+			if u > tracks {
+				over = true
+				hist[e] += float64(u - tracks)
+			}
+		}
+		res.MaxUse = maxUse
+		if !over {
+			res.TotalHops = 0
+			for i := range res.Conns {
+				res.Conns[i].Path = make([]place.Loc, len(paths[i]))
+				for k, n := range paths[i] {
+					res.Conns[i].Path[k] = g.loc(n)
+				}
+				res.TotalHops += res.Conns[i].Hops()
+			}
+			return res, nil
+		}
+		presFac *= 1.6
+	}
+	return nil, fmt.Errorf("route: %s unroutable in %dx%d with %d tracks after %d iterations (max use %d)",
+		p.Mapped.Name, p.W, p.H, tracks, maxIter, res.MaxUse)
+}
+
+// shortestPath runs Dijkstra over the grid with the given edge cost.
+func shortestPath(g grid, from, to int, cost func(edgeID) float64) []int {
+	if from == to {
+		return []int{from}
+	}
+	dist := make([]float64, g.nodes())
+	prev := make([]int, g.nodes())
+	done := make([]bool, g.nodes())
+	for i := range dist {
+		dist[i] = -1
+		prev[i] = -1
+	}
+	dist[from] = 0
+	q := &pq{{node: from}}
+	var nbuf [4]int
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == to {
+			break
+		}
+		for _, nb := range g.neighbors(it.node, nbuf[:0]) {
+			if done[nb] {
+				continue
+			}
+			c := it.cost + cost(g.edgeBetween(it.node, nb))
+			if dist[nb] < 0 || c < dist[nb] {
+				dist[nb] = c
+				prev[nb] = it.node
+				heap.Push(q, pqItem{node: nb, cost: c})
+			}
+		}
+	}
+	if prev[to] == -1 && to != from {
+		panic("route: grid is connected; unreachable node")
+	}
+	var rev []int
+	for n := to; n != -1; n = prev[n] {
+		rev = append(rev, n)
+		if n == from {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, n := range rev {
+		path[len(rev)-1-i] = n
+	}
+	return path
+}
+
+// CriticalPath returns the longest combinational delay through the routed
+// design: LUT delay per logic level plus hop delay per channel segment,
+// over all register-to-register, input-to-register, register-to-output
+// and input-to-output paths.
+func (r *Result) CriticalPath(lutDelay, hopDelay sim.Time) sim.Time {
+	m := r.P.Mapped
+	// hops[sink] for cell-input connections, indexed [cell][pin].
+	hops := make(map[[2]int]int)
+	outHops := make(map[int]int)
+	for i := range r.Conns {
+		c := &r.Conns[i]
+		if c.Sink.IsPort {
+			outHops[c.Sink.Port] = c.Hops()
+		} else {
+			hops[[2]int{int(c.Sink.Cell), c.Sink.Input}] = c.Hops()
+		}
+	}
+	// arrival time of each cell's output (combinational cells only; FF
+	// outputs and inputs are time-zero sources).
+	arrival := make([]sim.Time, len(m.Cells))
+	state := make([]uint8, len(m.Cells))
+	crit := sim.Time(0)
+	var arrive func(ci int) sim.Time
+	inputArrival := func(ci int) sim.Time {
+		worst := sim.Time(0)
+		for k, in := range m.Cells[ci].Inputs {
+			var src sim.Time
+			switch in.Kind {
+			case techmap.SigCell:
+				if !m.Cells[in.Cell].UseFF {
+					src = arrive(int(in.Cell))
+				}
+			case techmap.SigInput, techmap.SigConst:
+				src = 0
+			}
+			t := src + sim.Time(hops[[2]int{ci, k}])*hopDelay
+			if t > worst {
+				worst = t
+			}
+		}
+		return worst
+	}
+	arrive = func(ci int) sim.Time {
+		if state[ci] == 2 {
+			return arrival[ci]
+		}
+		if state[ci] == 1 {
+			return 0 // cycles only via FFs; guarded by techmap validation
+		}
+		state[ci] = 1
+		arrival[ci] = inputArrival(ci) + lutDelay
+		state[ci] = 2
+		return arrival[ci]
+	}
+	for ci := range m.Cells {
+		// Every cell's D/LUT input path terminates a timing path when the
+		// cell is registered; otherwise it contributes via consumers, but
+		// we still take it as a lower bound (covers dangling comb cells).
+		t := inputArrival(ci) + lutDelay
+		if t > crit {
+			crit = t
+		}
+	}
+	for oi, sig := range m.Outputs {
+		var src sim.Time
+		if sig.Kind == techmap.SigCell && !m.Cells[sig.Cell].UseFF {
+			src = arrive(int(sig.Cell))
+		}
+		t := src + sim.Time(outHops[oi])*hopDelay
+		if t > crit {
+			crit = t
+		}
+	}
+	return crit
+}

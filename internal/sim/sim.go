@@ -1,0 +1,212 @@
+// Package sim implements the discrete-event simulation kernel that drives
+// the whole VFPGA reproduction: the host operating system, the FPGA
+// configuration ports, and the workloads all advance a single virtual
+// clock through this kernel.
+//
+// The kernel is strictly deterministic: events scheduled for the same
+// virtual time fire in (time, priority, sequence) order, where sequence is
+// the order of scheduling. Virtual time is an int64 nanosecond count; it
+// never touches the wall clock, so experiment results are bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, mirroring time.Duration constants but in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String renders the time with an adaptive unit, e.g. "1.5ms".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback. It is returned by Schedule so that the
+// caller can cancel it (e.g. a preemption timer that is no longer needed).
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether the event has been canceled or already fired.
+func (e *Event) Canceled() bool { return e.fn == nil }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is ready
+// to use at virtual time zero.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	fired   int64
+}
+
+// New returns a kernel at virtual time zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired returns the number of events executed so far.
+func (k *Kernel) EventsFired() int64 { return k.fired }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule arranges for fn to run at absolute virtual time at. Events at
+// equal times run in scheduling order. Scheduling in the past panics —
+// that is always a logic error in a discrete-event model.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	return k.SchedulePri(at, 0, fn)
+}
+
+// SchedulePri schedules fn at time at with an explicit priority; among
+// events at the same time, lower priority values fire first. The host OS
+// uses priorities to order hardware completions before scheduler decisions.
+func (k *Kernel) SchedulePri(at Time, priority int, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, k.now))
+	}
+	e := &Event{at: at, priority: priority, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run delay after the current time.
+func (k *Kernel) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return k.Schedule(k.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an event that already fired
+// or was already canceled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.fn == nil {
+		return
+	}
+	e.fn = nil
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+	}
+}
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.fn == nil {
+			continue // canceled while queued (defensive; Cancel removes eagerly)
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, and returns the final time.
+func (k *Kernel) Run() Time {
+	if k.running {
+		panic("sim: Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with time <= deadline. Events scheduled beyond
+// the deadline remain queued; the clock is advanced to the deadline even
+// if the queue drained earlier. It returns the number of events fired.
+func (k *Kernel) RunUntil(deadline Time) int64 {
+	if k.running {
+		panic("sim: RunUntil re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	start := k.fired
+	for len(k.queue) > 0 && k.queue[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.fired - start
+}

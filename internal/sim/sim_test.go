@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroKernel(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 || k.Pending() != 0 {
+		t.Fatal("zero kernel not at time 0 with empty queue")
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	k := New()
+	var got []string
+	k.SchedulePri(5, 1, func() { got = append(got, "low") })
+	k.SchedulePri(5, 0, func() { got = append(got, "high") })
+	k.Run()
+	if got[0] != "high" || got[1] != "low" {
+		t.Fatalf("priority order wrong: %v", got)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	k := New()
+	var at Time
+	k.Schedule(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := New()
+	k.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		k.Schedule(50, func() {})
+	})
+	k.Run()
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.Schedule(10, func() { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("event does not report canceled")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	k.Cancel(e)
+	k.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	k := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, k.Schedule(Time(i*10), func() { got = append(got, i) }))
+	}
+	k.Cancel(events[2])
+	k.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.Schedule(at, func() { got = append(got, at) })
+	}
+	n := k.RunUntil(25)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunUntil fired %d events (%v), want 2", n, got)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	k.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events did not fire: %v", got)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New()
+	k.RunUntil(1000)
+	if k.Now() != 1000 {
+		t.Fatalf("idle clock = %v, want 1000", k.Now())
+	}
+}
+
+func TestEventsFired(t *testing.T) {
+	k := New()
+	for i := 0; i < 7; i++ {
+		k.Schedule(Time(i), func() {})
+	}
+	k.Run()
+	if k.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", k.EventsFired())
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	// An event chain where each event schedules the next; models a polling
+	// loop. Ensures the kernel handles events scheduled during Run.
+	k := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.After(10, tick)
+		}
+	}
+	k.Schedule(0, tick)
+	k.Run()
+	if count != 100 {
+		t.Fatalf("chain executed %d ticks, want 100", count)
+	}
+	if k.Now() != 990 {
+		t.Fatalf("final time %v, want 990", k.Now())
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			k.Schedule(at, func() { fired = append(fired, at) })
+		}
+		k.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		sorted := append([]Time(nil), fired...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{5, "5ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3s"},
+		{1500 * Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Milliseconds() != 3 {
+		t.Fatal("Milliseconds conversion wrong")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New()
+		for j := 0; j < 1000; j++ {
+			k.Schedule(Time(j%97), func() {})
+		}
+		k.Run()
+	}
+}

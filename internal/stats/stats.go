@@ -1,0 +1,240 @@
+// Package stats provides the measurement primitives used by the VFPGA
+// experiments: counters, sample accumulators, time-weighted averages (for
+// quantities like "fraction of CLBs in use"), and fixed-bucket histograms.
+//
+// All statistics operate on virtual time expressed as int64 nanoseconds,
+// matching the simulation kernel; nothing here touches the wall clock.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by delta (which must be >= 0).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("stats: Counter.Add with negative delta")
+	}
+	c.n += delta
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Sample accumulates scalar observations and reports summary statistics.
+type Sample struct {
+	n      int64
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+	values []float64 // retained only when keep is true
+	keep   bool
+}
+
+// NewSample returns an empty Sample. If keepValues is true the individual
+// observations are retained so that quantiles can be computed.
+func NewSample(keepValues bool) *Sample {
+	return &Sample{min: math.Inf(1), max: math.Inf(-1), keep: keepValues}
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(v float64) {
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if s.keep {
+		s.values = append(s.values, v)
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int64 { return s.n }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 if there are no observations.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the population variance, or 0 for fewer than two
+// observations.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 { // numerical noise
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 if there are none.
+func (s *Sample) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 if there are none.
+func (s *Sample) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// retained values. It panics if the sample was not created with
+// keepValues, and returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if !s.keep {
+		panic("stats: Quantile on Sample without retained values")
+	}
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TimeWeighted tracks the time-weighted average of a piecewise-constant
+// quantity, e.g. the number of busy CLBs. Set must be called with
+// non-decreasing timestamps.
+type TimeWeighted struct {
+	lastT    int64
+	lastV    float64
+	area     float64
+	start    int64
+	started  bool
+	maxValue float64
+}
+
+// Set records that the quantity changed to v at virtual time t (ns).
+func (w *TimeWeighted) Set(t int64, v float64) {
+	if !w.started {
+		w.start, w.lastT, w.lastV, w.started = t, t, v, true
+		w.maxValue = v
+		return
+	}
+	if t < w.lastT {
+		panic(fmt.Sprintf("stats: TimeWeighted.Set time went backwards: %d < %d", t, w.lastT))
+	}
+	w.area += w.lastV * float64(t-w.lastT)
+	w.lastT, w.lastV = t, v
+	if v > w.maxValue {
+		w.maxValue = v
+	}
+}
+
+// Add adjusts the current value by delta at time t.
+func (w *TimeWeighted) Add(t int64, delta float64) {
+	w.Set(t, w.lastV+delta)
+}
+
+// Value returns the current instantaneous value.
+func (w *TimeWeighted) Value() float64 { return w.lastV }
+
+// Max returns the maximum value observed so far.
+func (w *TimeWeighted) Max() float64 { return w.maxValue }
+
+// Average returns the time-weighted average over [start, t]. If no time
+// has elapsed it returns the current value.
+func (w *TimeWeighted) Average(t int64) float64 {
+	if !w.started || t <= w.start {
+		return w.lastV
+	}
+	area := w.area + w.lastV*float64(t-w.lastT)
+	return area / float64(t-w.start)
+}
+
+// Histogram is a fixed-bucket histogram over [lo, hi) with out-of-range
+// observations clamped into the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.total++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// String renders the histogram as a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&b, "[%10.3g,%10.3g) %8d %s\n", h.lo+float64(i)*width, h.lo+float64(i+1)*width, c, bar)
+	}
+	return b.String()
+}

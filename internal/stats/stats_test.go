@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(false)
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-1.25) > 1e-12 {
+		t.Fatalf("variance = %v, want 1.25", s.Variance())
+	}
+	if s.Sum() != 10 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample(true)
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample statistics should all be zero")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample quantile should be zero")
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	s := NewSample(true)
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %v, want 100", got)
+	}
+}
+
+func TestQuantileWithoutRetentionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile without retained values did not panic")
+		}
+	}()
+	s := NewSample(false)
+	s.Observe(1)
+	s.Quantile(0.5)
+}
+
+func TestSampleMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := NewSample(false)
+		sum := 0.0
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			s.Observe(v)
+			sum += v
+			n++
+		}
+		if n == 0 {
+			return s.Mean() == 0
+		}
+		return math.Abs(s.Mean()-sum/float64(n)) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 10)
+	w.Set(100, 20) // 10 for 100ns
+	w.Set(300, 0)  // 20 for 200ns
+	// average over [0,400]: (10*100 + 20*200 + 0*100)/400 = 12.5
+	if got := w.Average(400); got != 12.5 {
+		t.Fatalf("average = %v, want 12.5", got)
+	}
+	if w.Max() != 20 {
+		t.Fatalf("max = %v, want 20", w.Max())
+	}
+	if w.Value() != 0 {
+		t.Fatalf("value = %v, want 0", w.Value())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Add(10, 3)
+	w.Add(20, -1)
+	if w.Value() != 2 {
+		t.Fatalf("value = %v, want 2", w.Value())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	var w TimeWeighted
+	w.Set(100, 1)
+	w.Set(50, 2)
+}
+
+func TestTimeWeightedNoElapsed(t *testing.T) {
+	var w TimeWeighted
+	w.Set(5, 7)
+	if got := w.Average(5); got != 7 {
+		t.Fatalf("zero-width average = %v, want current value 7", got)
+	}
+}
+
+func TestTimeWeightedConstantProperty(t *testing.T) {
+	f := func(v float64, span uint16) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+			return true
+		}
+		var w TimeWeighted
+		w.Set(0, v)
+		end := int64(span) + 1
+		return w.Average(end) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-100)
+	h.Observe(1e9)
+	if h.Bucket(0) != 1 || h.Bucket(4) != 1 {
+		t.Fatalf("clamping failed: first=%d last=%d", h.Bucket(0), h.Bucket(4))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(0.1)
+	h.Observe(0.9)
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 2 {
+		t.Fatalf("unexpected histogram rendering:\n%s", s)
+	}
+}
+
+func TestHistogramInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram shape did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "T9",
+		Title:   "sample",
+		Note:    "testing rendering",
+		Columns: []string{"name", "value", "ratio"},
+	}
+	t.AddRow("alpha", 42, 1.5)
+	t.AddRow("beta-long-name", 7, 0.25)
+	return t
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tb := sample()
+	if tb.Rows[0][1] != "42" {
+		t.Fatalf("int cell %q", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "1.500" {
+		t.Fatalf("float cell %q", tb.Rows[0][2])
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "== T9: sample ==") {
+		t.Fatalf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "testing rendering") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(s, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+			row = lines[i+2]
+		}
+	}
+	if header == "" {
+		t.Fatalf("no column header:\n%s", s)
+	}
+	// The "value" column must start at the same offset in header and rows.
+	if strings.Index(header, "value") < 0 {
+		t.Fatal("no value column")
+	}
+	if !strings.HasPrefix(row, "alpha") {
+		t.Fatalf("row misaligned: %q", row)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "name,value,ratio" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[1] != "alpha,42,1.500" {
+		t.Fatalf("csv row %q", lines[1])
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tb := &Table{ID: "X", Title: "empty", Columns: []string{"a"}}
+	if !strings.Contains(tb.String(), "empty") {
+		t.Fatal("empty table failed to render")
+	}
+}
