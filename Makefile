@@ -1,0 +1,28 @@
+# Tier-1 gate plus the repo's own static verifier. `make check` is what
+# CI (and every PR) must pass.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race lint
+
+check: fmt vet build race test lint
+
+fmt:
+	@out=$$(gofmt -l cmd internal examples); \
+	if [ -n "$$out" ]; then echo "gofmt needed in:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/hostos/...
+
+test:
+	$(GO) test ./...
+
+# Lint the whole circuit library (netlists + compiled bitstreams + pages).
+lint:
+	$(GO) run ./cmd/vfpgalint

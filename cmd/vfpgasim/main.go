@@ -18,6 +18,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -33,15 +34,42 @@ func main() {
 	cols := flag.Int("cols", 32, "device columns")
 	rows := flag.Int("rows", 16, "device rows")
 	gantt := flag.Bool("gantt", false, "print an ASCII scheduling timeline")
+	lintFlag := flag.Bool("lint", false, "run the static verifier on the workload's circuits before simulating; abort on errors")
 	flag.Parse()
 
-	if err := run(*scenario, *manager, *sched, sim.Time(slice.Nanoseconds()), *tasks, *seed, *cols, *rows, *gantt); err != nil {
+	if err := run(*scenario, *manager, *sched, sim.Time(slice.Nanoseconds()), *tasks, *seed, *cols, *rows, *gantt, *lintFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64, cols, rows int, gantt bool) error {
+// lintCircuits runs the netlist- and bitstream-domain passes over every
+// compiled workload circuit; error diagnostics abort the run before any
+// simulated time is spent on a broken artifact.
+func lintCircuits(set *workload.Set, e *core.Engine) error {
+	var targets []*lint.Target
+	for _, nl := range set.Circuits {
+		t := &lint.Target{Netlist: nl}
+		if c, ok := e.Lib[nl.Name]; ok {
+			t.Bitstream = c.BS
+		}
+		targets = append(targets, t)
+	}
+	diags, err := lint.Run(targets, lint.Options{MinSeverity: lint.Warning})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Printf("lint: %s\n", d)
+	}
+	if lint.HasErrors(diags) {
+		return fmt.Errorf("lint found %d error(s); refusing to simulate broken circuits", len(lint.Errors(diags)))
+	}
+	fmt.Printf("lint: %d circuits verified, %d warning(s)\n", len(targets), lint.Count(diags, lint.Warning))
+	return nil
+}
+
+func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64, cols, rows int, gantt, doLint bool) error {
 	var set *workload.Set
 	switch scenario {
 	case "multimedia":
@@ -81,6 +109,11 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		}
 		c := e.Lib[nl.Name]
 		fmt.Printf("  %s\n", c)
+	}
+	if doLint {
+		if err := lintCircuits(set, e); err != nil {
+			return err
+		}
 	}
 
 	var mgr hostos.FPGA
@@ -183,6 +216,18 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		fmt.Println()
 		fmt.Println("timeline ('#' running, '.' ready, 'b' blocked):")
 		fmt.Print(tlog.Gantt(100, osim.Makespan()))
+	}
+	if doLint {
+		if pm, ok := mgr.(*core.PartitionManager); ok {
+			diags := lint.RunTarget(pm.LintTarget(), lint.Options{MinSeverity: lint.Warning})
+			for _, d := range diags {
+				fmt.Printf("lint: %s\n", d)
+			}
+			if lint.HasErrors(diags) {
+				return fmt.Errorf("partition-state invariants violated after the run")
+			}
+			fmt.Println("lint: final partition table and device configuration verified")
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
@@ -43,6 +44,11 @@ type Options struct {
 	// CSE, dead-logic removal) — the ablation knob for measuring what the
 	// logic optimizer is worth in CLBs.
 	DisableOpt bool
+	// Verify runs the static verifier (internal/lint) on the compiled
+	// netlist and generated bitstream, and fails the flow on any
+	// error-severity diagnostic — so broken artifacts are rejected
+	// before they ever reach a fabric.
+	Verify bool
 }
 
 // Circuit is a fully compiled design: everything the VFPGA manager needs
@@ -112,7 +118,7 @@ func Compile(nl *netlist.Netlist, opt Options) (*Circuit, error) {
 		r, err := route.Route(p, tracks, route.Options{})
 		if err == nil {
 			bs := bitstream.Generate(r, timing)
-			return &Circuit{
+			c := &Circuit{
 				Name:        nl.Name,
 				Netlist:     nl,
 				Mapped:      m,
@@ -121,7 +127,14 @@ func Compile(nl *netlist.Netlist, opt Options) (*Circuit, error) {
 				BS:          bs,
 				ClockPeriod: timing.ClockPeriod(bs.Delay),
 				Sequential:  nl.IsSequential(),
-			}, nil
+			}
+			if opt.Verify {
+				if errs := lint.Errors(Verify(c)); len(errs) > 0 {
+					return nil, fmt.Errorf("compile %s: verify: %s (and %d more diagnostic(s))",
+						nl.Name, errs[0], len(errs)-1)
+				}
+			}
+			return c, nil
 		}
 		lastErr = err
 		if !chooseShape {
@@ -137,6 +150,14 @@ func Compile(nl *netlist.Netlist, opt Options) (*Circuit, error) {
 		h += h / 10
 	}
 	return nil, fmt.Errorf("compile %s: %w", nl.Name, lastErr)
+}
+
+// Verify runs the static verifier over a compiled circuit — the source
+// netlist plus the generated bitstream — and returns every diagnostic.
+// Callers that only care about hard violations gate on lint.Errors;
+// Options.Verify wires this into the flow itself.
+func Verify(c *Circuit) []lint.Diagnostic {
+	return lint.RunTarget(&lint.Target{Netlist: c.Netlist, Bitstream: c.BS}, lint.Options{})
 }
 
 // MustCompile is Compile that panics on error, for tests and examples

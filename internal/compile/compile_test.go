@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/rng"
 )
@@ -25,6 +26,11 @@ func loadAt(t *testing.T, dev *fabric.Device, c *Circuit, ox, oy, pinBase int) *
 	}
 	if _, _, err := c.BS.Apply(dev, ox, oy, binding); err != nil {
 		t.Fatalf("apply %s: %v", c.Name, err)
+	}
+	// Every configuration the tests download must survive the
+	// fabric-level verifier: no dangling sources, no config loops.
+	if errs := lint.Errors(lint.RunTarget(&lint.Target{Name: c.Name, Device: dev}, lint.Options{})); len(errs) > 0 {
+		t.Fatalf("device after loading %s: %v", c.Name, errs)
 	}
 	return binding
 }
@@ -330,4 +336,44 @@ func TestOptimizedCircuitStillEquivalentOnFabric(t *testing.T) {
 	dev := fabric.NewDevice(fabric.DefaultGeometry())
 	binding := loadAt(t, dev, c, 1, 1, 0)
 	driveEqual(t, dev, c, binding, 64, 99)
+}
+
+// TestVerifyHookRejectsCorruptArtifacts compiles with the static
+// verifier enabled, then corrupts the bitstream and checks the verifier
+// catches it — the compile-time gate that keeps broken configurations
+// off the fabric.
+func TestVerifyHookRejectsCorruptArtifacts(t *testing.T) {
+	c, err := Compile(netlist.Counter(8), Options{Seed: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("verified compile failed on a library circuit: %v", err)
+	}
+	if errs := lint.Errors(Verify(c)); len(errs) > 0 {
+		t.Fatalf("fresh artifact has lint errors: %v", errs)
+	}
+	// Push a cell write outside the claimed region: relocation would
+	// scribble over a neighboring partition.
+	c.BS.Cells[0].X = c.BS.W + 3
+	if errs := lint.Errors(Verify(c)); len(errs) == 0 {
+		t.Fatal("out-of-region cell write not detected")
+	}
+	// Lie about the state volume: readback/restore vectors would tear.
+	c2 := MustCompile(netlist.Counter(8), Options{Seed: 1})
+	c2.BS.FFCells++
+	if errs := lint.Errors(Verify(c2)); len(errs) == 0 {
+		t.Fatal("state-volume mismatch not detected")
+	}
+}
+
+// TestLibraryCompilesVerified sweeps every registry circuit through the
+// flow with Verify on: the whole seed library must produce artifacts
+// the static verifier accepts.
+func TestLibraryCompilesVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-library sweep")
+	}
+	for name, gen := range netlist.Registry() {
+		if _, err := Compile(gen(), Options{Seed: 1, Verify: true}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/fabric"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 )
 
@@ -558,25 +559,40 @@ func (pm *PartitionManager) wakeWaiters() {
 	}
 }
 
-// Partitions returns a snapshot of (x, width, circuit) triples for
-// inspection and tests.
-func (pm *PartitionManager) Partitions() []struct {
+// PartitionView is one row of the manager's partition-table snapshot:
+// a column strip, what it holds, and whether it is free.
+type PartitionView struct {
 	X, W    int
 	Circuit string
 	Free    bool
-} {
+}
+
+// Partitions returns a snapshot of the partition table, sorted by
+// origin, for inspection, tests and the static verifier.
+func (pm *PartitionManager) Partitions() []PartitionView {
 	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
-	var out []struct {
-		X, W    int
-		Circuit string
-		Free    bool
-	}
+	var out []PartitionView
 	for _, p := range pm.parts {
-		out = append(out, struct {
-			X, W    int
-			Circuit string
-			Free    bool
-		}{p.x, p.w, p.circuit, p.free()})
+		out = append(out, PartitionView{X: p.x, W: p.w, Circuit: p.circuit, Free: p.free()})
 	}
 	return out
+}
+
+// LintTarget exports the manager's current state as a static-verifier
+// target, so callers can audit the §4 invariants (disjoint strips, no
+// leaked columns, merged free space) at any point of a run:
+//
+//	diags := lint.RunTarget(pm.LintTarget(), lint.Options{})
+func (pm *PartitionManager) LintTarget() *lint.Target {
+	views := make([]lint.PartitionView, 0, len(pm.parts))
+	for _, v := range pm.Partitions() {
+		views = append(views, lint.PartitionView(v))
+	}
+	return &lint.Target{
+		Name:          "partitions(" + pm.Cfg.Mode.String() + ")",
+		Partitions:    views,
+		Cols:          pm.E.Opt.Geometry.Cols,
+		PartitionMode: pm.Cfg.Mode.String(),
+		Device:        pm.E.Dev,
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -159,6 +160,11 @@ func TestStressPartitionsMergeBack(t *testing.T) {
 		parts := pm.Partitions()
 		if len(parts) != 1 || !parts[0].Free || parts[0].W != opt.Geometry.Cols {
 			t.Fatalf("rep %d: partitions did not merge back: %+v", rep, parts)
+		}
+		// The static verifier must agree: disjoint strips, no leaked
+		// columns, free space merged, device configuration consistent.
+		if errs := lint.Errors(lint.RunTarget(pm.LintTarget(), lint.Options{})); len(errs) > 0 {
+			t.Fatalf("rep %d: partition invariants violated: %v", rep, errs)
 		}
 		if free := h.E.FreePinCount(); free != opt.Geometry.NumPins() {
 			t.Fatalf("rep %d: %d pins free, want %d", rep, free, opt.Geometry.NumPins())

@@ -226,6 +226,19 @@ func (d *Device) UsedCells() int {
 	return n
 }
 
+// EachUsedCLB calls f for every configured CLB in x-major scan order.
+// This is the read path the static verifier uses to audit a configured
+// device without reaching into the configuration RAM layout.
+func (d *Device) EachUsedCLB(f func(x, y int, cfg CLBConfig)) {
+	for x := 0; x < d.geom.Cols; x++ {
+		for y := 0; y < d.geom.Rows; y++ {
+			if c := d.clbs[d.idx(x, y)]; c.Used {
+				f(x, y, c)
+			}
+		}
+	}
+}
+
 // resolve returns the current value of a source given the per-CLB output
 // values computed so far.
 func (d *Device) resolve(s Source, outs []bool) bool {

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// raw assembles a Netlist directly, bypassing Builder.Build — exactly
+// what a deserialized or corrupted artifact looks like to the verifier.
+func raw(name string, nodes []netlist.Node, in, out, dffs []netlist.NodeID) *netlist.Netlist {
+	return &netlist.Netlist{Name: name, Nodes: nodes, Inputs: in, Outputs: out, DFFs: dffs}
+}
+
+func node(id int, kind netlist.Kind, name string, fanin ...netlist.NodeID) netlist.Node {
+	return netlist.Node{ID: netlist.NodeID(id), Kind: kind, Name: name, Fanin: fanin}
+}
+
+// only runs a single pass over a single target.
+func only(t *testing.T, pass string, target *Target) []Diagnostic {
+	t.Helper()
+	diags, err := Run([]*Target{target}, Options{Passes: []string{pass}})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", pass, err)
+	}
+	return diags
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, sev Severity, msgFragment string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Severity == sev && strings.Contains(d.Msg, msgFragment) {
+			return
+		}
+	}
+	t.Fatalf("no %v diagnostic containing %q in %v", sev, msgFragment, diags)
+}
+
+func wantNone(t *testing.T, diags []Diagnostic) {
+	t.Helper()
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+func TestCombLoopDetected(t *testing.T) {
+	// a -> not(1) -> not(2) -> back to not(1); output reads node 2.
+	nl := raw("looped", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindNot, "", 2),
+		node(2, netlist.KindNot, "", 1),
+		node(3, netlist.KindOutput, "y", 2),
+	}, []netlist.NodeID{0}, []netlist.NodeID{3}, nil)
+	diags := only(t, "comb-loop", &Target{Netlist: nl})
+	wantDiag(t, diags, Error, "combinational loop")
+}
+
+func TestCombLoopCleanOnDFFFeedback(t *testing.T) {
+	// The same feedback through a DFF is sequential, not combinational.
+	nl := raw("dffloop", []netlist.Node{
+		node(0, netlist.KindDFF, "", 1),
+		node(1, netlist.KindNot, "", 0),
+		node(2, netlist.KindOutput, "y", 0),
+	}, nil, []netlist.NodeID{2}, []netlist.NodeID{0})
+	wantNone(t, only(t, "comb-loop", &Target{Netlist: nl}))
+}
+
+func TestNetDriveDanglingAndUnused(t *testing.T) {
+	nl := raw("dangle", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindInput, "b"), // never read
+		node(2, netlist.KindNot, "", 0), // never consumed
+		node(3, netlist.KindOutput, "y", 0),
+	}, []netlist.NodeID{0, 1}, []netlist.NodeID{3}, nil)
+	diags := only(t, "net-drive", &Target{Netlist: nl})
+	wantDiag(t, diags, Warning, "unused input port")
+	wantDiag(t, diags, Warning, "dangling net")
+}
+
+func TestNetDriveMultiplyDrivenPort(t *testing.T) {
+	nl := raw("dup", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindInput, "a"), // same net name, second driver
+		node(2, netlist.KindOutput, "y", 0),
+	}, []netlist.NodeID{0, 1}, []netlist.NodeID{2}, nil)
+	diags := only(t, "net-drive", &Target{Netlist: nl})
+	wantDiag(t, diags, Error, "multiply-driven net")
+}
+
+func TestNetDriveStructuralDamage(t *testing.T) {
+	nl := raw("damaged", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindAnd, "", 0, 9), // fanin 9 out of range
+		node(2, netlist.KindNot, ""),       // arity 1, zero fanins
+		node(3, netlist.KindOutput, "y", 1),
+	}, []netlist.NodeID{0}, []netlist.NodeID{3}, nil)
+	diags := only(t, "net-drive", &Target{Netlist: nl})
+	wantDiag(t, diags, Error, "outside the node table")
+	wantDiag(t, diags, Error, "want 1")
+}
+
+func TestPortWidthMismatch(t *testing.T) {
+	nl := raw("bus", []netlist.Node{
+		node(0, netlist.KindInput, "d[0]"),
+		node(1, netlist.KindInput, "d[2]"), // d[1] missing
+		node(2, netlist.KindOutput, "q[0]", 0),
+		node(3, netlist.KindOutput, "q[1]", 1),
+		node(4, netlist.KindOutput, "q[1]", 0), // duplicate bit
+		node(5, netlist.KindOutput, "q", 1),    // scalar aliases the bus
+	}, []netlist.NodeID{0, 1}, []netlist.NodeID{2, 3, 4, 5}, nil)
+	diags := only(t, "port-width", &Target{Netlist: nl})
+	wantDiag(t, diags, Error, "bit(s) 1 missing")
+	wantDiag(t, diags, Error, "declared 2 times")
+	wantDiag(t, diags, Error, "aliases bus bits")
+}
+
+func TestPortWidthSegmentChain(t *testing.T) {
+	orig := netlist.Adder(8)
+	stages, err := netlist.Segment(orig, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNone(t, only(t, "port-width", &Target{Netlist: orig, Segments: stages}))
+
+	// Drop the first stage: later stages now import wires nobody makes.
+	broken := only(t, "port-width", &Target{Netlist: orig, Segments: stages[1:]})
+	wantDiag(t, broken, Error, "no earlier stage exports")
+}
+
+func TestDeadLogicDetected(t *testing.T) {
+	nl := raw("dead", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindNot, "", 0), // feeds node 2 only
+		node(2, netlist.KindNot, "", 1), // consumed by nothing
+		node(3, netlist.KindOutput, "y", 0),
+	}, []netlist.NodeID{0}, []netlist.NodeID{3}, nil)
+	diags := only(t, "dead-logic", &Target{Netlist: nl})
+	wantDiag(t, diags, Warning, "dead logic")
+	if len(diags) != 2 {
+		t.Fatalf("want exactly nodes 1 and 2 flagged, got %v", diags)
+	}
+}
+
+func TestSeqPreemptUnobservableState(t *testing.T) {
+	// A DFF chain that never reaches an output: dead, unobservable state.
+	nl := raw("hidden", []netlist.Node{
+		node(0, netlist.KindInput, "d"),
+		node(1, netlist.KindDFF, "", 0),
+		node(2, netlist.KindOutput, "y", 0), // output bypasses the DFF
+	}, []netlist.NodeID{0}, []netlist.NodeID{2}, []netlist.NodeID{1})
+	diags := only(t, "seq-preempt", &Target{Netlist: nl})
+	wantDiag(t, diags, Warning, "not observable")
+	wantDiag(t, diags, Warning, "not fully preemptable")
+}
+
+func TestSeqPreemptBitstreamStateVolume(t *testing.T) {
+	bs := &bitstream.Bitstream{
+		Name: "b", W: 2, H: 1, NumIn: 1, NumOut: 1,
+		Cells: []bitstream.CellWrite{
+			{X: 0, Y: 0, UseFF: true, Inputs: [fabric.LUTInputs]bitstream.Src{{Kind: bitstream.SrcPort, Port: 0}}},
+		},
+		OutDrivers: []bitstream.Src{{Kind: bitstream.SrcRel, DX: 0, DY: 0}},
+		FFCells:    2, // lies: only one registered cell
+	}
+	diags := only(t, "seq-preempt", &Target{Bitstream: bs})
+	wantDiag(t, diags, Error, "readback/restore vectors will mismatch")
+
+	// A sequential netlist whose bitstream carries no state at all.
+	nl := raw("seq", []netlist.Node{
+		node(0, netlist.KindDFF, "", 0),
+		node(1, netlist.KindOutput, "y", 0),
+	}, nil, []netlist.NodeID{1}, []netlist.NodeID{0})
+	bs2 := &bitstream.Bitstream{
+		Name: "b2", W: 1, H: 1, NumIn: 0, NumOut: 1,
+		Cells:      []bitstream.CellWrite{{X: 0, Y: 0}},
+		OutDrivers: []bitstream.Src{{Kind: bitstream.SrcRel}},
+	}
+	diags = only(t, "seq-preempt", &Target{Netlist: nl, Bitstream: bs2})
+	wantDiag(t, diags, Error, "state cannot be read back")
+}
+
+func brokenBitstream() *bitstream.Bitstream {
+	return &bitstream.Bitstream{
+		Name: "bad", W: 2, H: 2, NumIn: 1, NumOut: 2,
+		Cells: []bitstream.CellWrite{
+			{X: 0, Y: 0, Inputs: [fabric.LUTInputs]bitstream.Src{
+				{Kind: bitstream.SrcRel, DX: 5, DY: 0}, // source outside region
+				{Kind: bitstream.SrcPort, Port: 3},     // port out of range
+				{Kind: bitstream.SrcRel, DX: 1, DY: 1}, // in region but unconfigured
+			}},
+			{X: 3, Y: 0}, // cell write outside the region
+			{X: 0, Y: 0}, // multiply-driven cell
+		},
+		OutDrivers: []bitstream.Src{{Kind: bitstream.SrcRel, DX: 0, DY: 0}}, // 1 driver for 2 ports
+	}
+}
+
+func TestBitstreamBounds(t *testing.T) {
+	diags := only(t, "bitstream-bounds", &Target{Bitstream: brokenBitstream()})
+	wantDiag(t, diags, Error, "cell write outside the claimed 2x2 region")
+	wantDiag(t, diags, Error, "multiply-driven cell")
+	wantDiag(t, diags, Error, "region-relative source (5,0) outside")
+	wantDiag(t, diags, Error, "references input port 3 of 1")
+	wantDiag(t, diags, Error, "reads unconfigured cell (1,1)")
+	wantDiag(t, diags, Error, "1 output drivers for 2 output ports")
+}
+
+func TestBitstreamBoundsDeviceExtents(t *testing.T) {
+	bs := &bitstream.Bitstream{
+		Name: "wide", W: 10, H: 2, NumIn: 0, NumOut: 0,
+		Cells: []bitstream.CellWrite{{X: 0, Y: 0}},
+	}
+	g := fabric.Geometry{Cols: 4, Rows: 4, TracksPerChannel: 4, PinsPerSide: 2}
+	diags := only(t, "bitstream-bounds", &Target{Bitstream: bs, Geometry: &g})
+	wantDiag(t, diags, Error, "exceeds device")
+}
+
+func TestPageCoverage(t *testing.T) {
+	bs := &bitstream.Bitstream{
+		Name: "paged", W: 2, H: 2, NumOut: 0,
+		Cells: []bitstream.CellWrite{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}},
+	}
+	// The derived page set is clean by construction.
+	wantNone(t, only(t, "page-coverage", &Target{Bitstream: bs, PageCells: 2}))
+
+	// A torn page set: cell (0,1) missing, cell (0,0) duplicated, a page
+	// over its size, a misnumbered page.
+	pages := []bitstream.Page{
+		{Index: 0, Cells: []bitstream.CellWrite{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0}}},
+		{Index: 5, Cells: []bitstream.CellWrite{{X: 1, Y: 1}}},
+	}
+	diags := only(t, "page-coverage", &Target{Bitstream: bs, PageCells: 2, Pages: pages})
+	wantDiag(t, diags, Error, "not covered by any page")
+	wantDiag(t, diags, Error, "covered by 2 pages")
+	wantDiag(t, diags, Error, "page holds 3 cells, page size is 2")
+	wantDiag(t, diags, Error, "out of sequence")
+	wantDiag(t, diags, Error, "paged in but not part of the bitstream")
+}
+
+func TestPartitionStateInvariants(t *testing.T) {
+	clean := &Target{
+		Name: "pt", Cols: 10, PartitionMode: "variable",
+		Partitions: []PartitionView{
+			{X: 0, W: 4, Circuit: "a"},
+			{X: 4, W: 6, Free: true},
+		},
+	}
+	wantNone(t, only(t, "partition-state", clean))
+
+	broken := &Target{
+		Name: "pt", Cols: 10, PartitionMode: "variable",
+		Partitions: []PartitionView{
+			{X: 0, W: 4, Circuit: "a"},
+			{X: 3, W: 2, Circuit: "b"},             // overlaps a
+			{X: 6, W: 2, Free: true, Circuit: "c"}, // freed but still claims c; gap 5..5 leaked
+			{X: 8, W: 2, Free: true},               // adjacent free strips unmerged
+		},
+	}
+	diags := only(t, "partition-state", broken)
+	wantDiag(t, diags, Error, "overlaps the previous strip")
+	wantDiag(t, diags, Error, "leaked")
+	wantDiag(t, diags, Error, "still claims circuit")
+	wantDiag(t, diags, Error, "not merged")
+}
+
+func TestPartitionStateFixedModeAllowsTail(t *testing.T) {
+	fixed := &Target{
+		Name: "pt", Cols: 10, PartitionMode: "fixed",
+		Partitions: []PartitionView{
+			{X: 0, W: 4, Free: true},
+			{X: 4, W: 4, Circuit: "a"},
+			// columns 8..9 are the uncovered tail of the fixed table: fine.
+		},
+	}
+	wantNone(t, only(t, "partition-state", fixed))
+}
+
+func TestFabricConfig(t *testing.T) {
+	g := fabric.Geometry{Cols: 4, Rows: 4, TracksPerChannel: 4, PinsPerSide: 2}
+	d := fabric.NewDevice(g)
+	// CLB (0,0) reads unconfigured CLB (2,2) and pin 1 (not an input).
+	d.WriteCLB(0, 0, fabric.CLBConfig{Used: true, Inputs: [fabric.LUTInputs]fabric.Source{
+		fabric.CLBSource(2, 2),
+		fabric.PinSource(1),
+	}})
+	diags := only(t, "fabric-config", &Target{Device: d})
+	wantDiag(t, diags, Error, "reads unconfigured CLB (2,2)")
+	wantDiag(t, diags, Error, "not configured as an input")
+}
+
+func TestFabricConfigLoop(t *testing.T) {
+	g := fabric.Geometry{Cols: 4, Rows: 4, TracksPerChannel: 4, PinsPerSide: 2}
+	d := fabric.NewDevice(g)
+	d.WriteCLB(0, 0, fabric.CLBConfig{Used: true, Inputs: [fabric.LUTInputs]fabric.Source{fabric.CLBSource(1, 0)}})
+	d.WriteCLB(1, 0, fabric.CLBConfig{Used: true, Inputs: [fabric.LUTInputs]fabric.Source{fabric.CLBSource(0, 0)}})
+	diags := only(t, "fabric-config", &Target{Device: d})
+	wantDiag(t, diags, Error, "combinational loop")
+
+	// Registering one of the two CLBs breaks the cycle.
+	d.WriteCLB(1, 0, fabric.CLBConfig{Used: true, UseFF: true, Inputs: [fabric.LUTInputs]fabric.Source{fabric.CLBSource(0, 0)}})
+	wantNone(t, only(t, "fabric-config", &Target{Device: d}))
+}
+
+func TestRunOptions(t *testing.T) {
+	nl := raw("dangle", []netlist.Node{
+		node(0, netlist.KindInput, "a"),
+		node(1, netlist.KindNot, "", 0),
+		node(2, netlist.KindOutput, "y", 0),
+	}, []netlist.NodeID{0}, []netlist.NodeID{2}, nil)
+	// MinSeverity filters the dangling-net warning out.
+	diags, err := Run([]*Target{{Netlist: nl}}, Options{MinSeverity: Error})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNone(t, diags)
+	// Unknown pass names are an error, not a silent no-op.
+	if _, err := Run([]*Target{{Netlist: nl}}, Options{Passes: []string{"no-such-pass"}}); err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Pass: "comb-loop", Severity: Error, Pos: "x", Msg: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity":"error"`) {
+		t.Fatalf("severity not encoded by name: %s", b)
+	}
+	var back Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip: %+v != %+v", back, d)
+	}
+}
+
+// TestLibraryIsClean sweeps every registry builder through every
+// netlist-domain pass: the seed circuit library must carry no
+// error-severity findings (warnings — genuinely dead gates, unused
+// ports — are reported but tolerated).
+func TestLibraryIsClean(t *testing.T) {
+	for name, gen := range netlist.Registry() {
+		nl := gen()
+		diags := RunTarget(&Target{Netlist: nl}, Options{})
+		if errs := Errors(diags); len(errs) > 0 {
+			t.Errorf("%s: %d lint error(s), first: %s", name, len(errs), errs[0])
+		}
+	}
+}
+
+// TestRandomNetlistsAreClean fuzzes the verifier with generator-valid
+// circuits: anything Build accepted must lint error-free.
+func TestRandomNetlistsAreClean(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		src := rng.New(seed)
+		nl := netlist.Random(src, netlist.RandomConfig{})
+		if errs := Errors(RunTarget(&Target{Netlist: nl}, Options{})); len(errs) > 0 {
+			t.Errorf("seed %d (%s): %s", seed, nl.Name, errs[0])
+		}
+	}
+}

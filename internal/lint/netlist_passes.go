@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// The netlist-domain passes deliberately avoid Netlist.TopoOrder: lint
+// targets may be hand-assembled (or deserialized) netlists that never
+// went through Builder.Build, so every traversal here recomputes what it
+// needs and tolerates structurally damaged graphs.
+
+func nodePos(t *Target, nl *netlist.Netlist, id netlist.NodeID) string {
+	nd := &nl.Nodes[id]
+	if nd.Name != "" {
+		return fmt.Sprintf("%s: node %d (%v %q)", nl.Name, id, nd.Kind, nd.Name)
+	}
+	return fmt.Sprintf("%s: node %d (%v)", nl.Name, id, nd.Kind)
+}
+
+// faninOK reports whether every fanin index of every node is a valid
+// node id; traversal passes bail out on damaged graphs and let
+// net-drive report the damage.
+func faninOK(nl *netlist.Netlist) bool {
+	for i := range nl.Nodes {
+		for _, f := range nl.Nodes[i].Fanin {
+			if f < 0 || int(f) >= len(nl.Nodes) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// passCombLoop detects combinational cycles: Kahn's algorithm over the
+// combinational edges (a DFF's D input is a sequential edge and is
+// excluded). Any node left unordered sits on a cycle.
+func passCombLoop(t *Target, r *Reporter) {
+	for _, nl := range t.netlists() {
+		combLoopOne(t, nl, r)
+	}
+}
+
+func combLoopOne(t *Target, nl *netlist.Netlist, r *Reporter) {
+	if !faninOK(nl) {
+		return
+	}
+	n := len(nl.Nodes)
+	indeg := make([]int, n)
+	succ := make([][]netlist.NodeID, n)
+	for i := range nl.Nodes {
+		nd := &nl.Nodes[i]
+		if nd.Kind == netlist.KindDFF {
+			continue
+		}
+		for _, f := range nd.Fanin {
+			indeg[i]++
+			succ[f] = append(succ[f], netlist.NodeID(i))
+		}
+	}
+	queue := make([]netlist.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, netlist.NodeID(i))
+		}
+	}
+	ordered := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		ordered++
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if ordered == n {
+		return
+	}
+	// Walk one concrete cycle for the message: follow combinational
+	// fanins within the leftover set until a node repeats.
+	inCycle := func(id netlist.NodeID) bool { return indeg[id] > 0 }
+	var start netlist.NodeID = -1
+	for i := 0; i < n; i++ {
+		if inCycle(netlist.NodeID(i)) {
+			start = netlist.NodeID(i)
+			break
+		}
+	}
+	seen := map[netlist.NodeID]int{}
+	var path []netlist.NodeID
+	cur := start
+	for {
+		if at, ok := seen[cur]; ok {
+			path = path[at:]
+			break
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		next := netlist.NodeID(-1)
+		for _, f := range nl.Nodes[cur].Fanin {
+			if inCycle(f) {
+				next = f
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	names := make([]string, 0, len(path))
+	for _, id := range path {
+		names = append(names, fmt.Sprintf("%d(%v)", id, nl.Nodes[id].Kind))
+	}
+	r.Errorf(nodePos(t, nl, start),
+		"combinational loop through %d node(s): %s", n-ordered, strings.Join(names, " <- "))
+}
+
+// passNetDrive checks drive structure: damaged graphs (bad ids, arity
+// mismatches, reads from output ports), multiply-driven nets (duplicate
+// port names — in this single-driver graph representation, a name
+// collision is how a net acquires two drivers), dangling gate outputs
+// and unused input ports.
+func passNetDrive(t *Target, r *Reporter) {
+	for _, nl := range t.netlists() {
+		netDriveOne(t, nl, r)
+	}
+}
+
+func netDriveOne(t *Target, nl *netlist.Netlist, r *Reporter) {
+	damaged := false
+	for i := range nl.Nodes {
+		nd := &nl.Nodes[i]
+		if nd.ID != netlist.NodeID(i) {
+			r.Errorf(nodePos(t, nl, netlist.NodeID(i)), "node id %d does not match its slot %d", nd.ID, i)
+		}
+		if want := nd.Kind.Arity(); want >= 0 && len(nd.Fanin) != want {
+			r.Errorf(nodePos(t, nl, netlist.NodeID(i)), "%v node has %d fanin(s), want %d", nd.Kind, len(nd.Fanin), want)
+		}
+		for _, f := range nd.Fanin {
+			if f < 0 || int(f) >= len(nl.Nodes) {
+				r.Errorf(nodePos(t, nl, netlist.NodeID(i)), "fanin %d is outside the node table (%d nodes)", f, len(nl.Nodes))
+				damaged = true
+				continue
+			}
+			if nl.Nodes[f].Kind == netlist.KindOutput {
+				r.Errorf(nodePos(t, nl, netlist.NodeID(i)), "reads from output port node %d", f)
+			}
+		}
+	}
+	// Multiply-driven: two ports with the same name alias one net under
+	// two drivers (Concat and Segment both rely on names being unique).
+	seen := map[string]netlist.NodeID{}
+	for _, lists := range [][]netlist.NodeID{nl.Inputs, nl.Outputs} {
+		for _, id := range lists {
+			if int(id) >= len(nl.Nodes) {
+				continue
+			}
+			nd := &nl.Nodes[id]
+			if nd.Name == "" {
+				r.Errorf(nodePos(t, nl, id), "unnamed %v port", nd.Kind)
+				continue
+			}
+			if prev, dup := seen[nd.Name]; dup {
+				r.Errorf(nodePos(t, nl, id), "multiply-driven net: port %q already declared at node %d", nd.Name, prev)
+			} else {
+				seen[nd.Name] = id
+			}
+		}
+	}
+	if damaged {
+		return
+	}
+	// Dangling: a driver nobody consumes.
+	consumed := make([]bool, len(nl.Nodes))
+	for i := range nl.Nodes {
+		for _, f := range nl.Nodes[i].Fanin {
+			consumed[f] = true
+		}
+	}
+	for i := range nl.Nodes {
+		if consumed[i] {
+			continue
+		}
+		switch nl.Nodes[i].Kind {
+		case netlist.KindInput:
+			r.Warnf(nodePos(t, nl, netlist.NodeID(i)), "unused input port")
+		case netlist.KindOutput, netlist.KindConst, netlist.KindDFF:
+			// Outputs are sinks; unused constants are harmless noise the
+			// optimizer folds; dangling DFFs are seq-preempt's finding.
+		default:
+			r.Warnf(nodePos(t, nl, netlist.NodeID(i)), "dangling net: gate output has no consumers")
+		}
+	}
+}
+
+// busBit parses "name[idx]" port names; ok is false for scalar ports.
+func busBit(name string) (base string, idx int, ok bool) {
+	if !strings.HasSuffix(name, "]") {
+		return "", 0, false
+	}
+	open := strings.LastIndexByte(name, '[')
+	if open <= 0 {
+		return "", 0, false
+	}
+	v, err := strconv.Atoi(name[open+1 : len(name)-1])
+	if err != nil || v < 0 {
+		return "", 0, false
+	}
+	return name[:open], v, true
+}
+
+// passPortWidth checks bus-shaped port groups for width consistency —
+// a bus "q" declared via ports q[0..w) must have every bit exactly once
+// and no scalar port aliasing the base name — and, when the target
+// carries a Segment stage chain, that the boundary-wire interface
+// between stages is complete: every wire a stage imports was exported
+// by an earlier stage (or is an original primary input), and the chain
+// reproduces every original output. These are the width/interface bugs
+// Concat and Segment can introduce when port names collide or a stage
+// boundary drops a wire.
+func passPortWidth(t *Target, r *Reporter) {
+	if t.Netlist != nil {
+		portWidthOne(t, t.Netlist, true, r)
+	}
+	// A segment stage legitimately carries a partial bus slice (the bits
+	// its gates happen to produce), so only duplicate bits and scalar
+	// aliasing are wrong within a stage; completeness is checked across
+	// the whole chain below.
+	for _, st := range t.Segments {
+		portWidthOne(t, st, false, r)
+	}
+	if len(t.Segments) > 0 && t.Netlist != nil {
+		segmentChain(t, r)
+	}
+}
+
+func portWidthOne(t *Target, nl *netlist.Netlist, wantComplete bool, r *Reporter) {
+	check := func(dir string, names []string) {
+		type group struct {
+			bits map[int][]string // idx -> names claiming it
+			max  int
+		}
+		groups := map[string]*group{}
+		scalars := map[string]bool{}
+		for _, name := range names {
+			base, idx, ok := busBit(name)
+			if !ok {
+				scalars[name] = true
+				continue
+			}
+			g := groups[base]
+			if g == nil {
+				g = &group{bits: map[int][]string{}}
+				groups[base] = g
+			}
+			g.bits[idx] = append(g.bits[idx], name)
+			if idx > g.max {
+				g.max = idx
+			}
+		}
+		bases := make([]string, 0, len(groups))
+		for base := range groups {
+			bases = append(bases, base)
+		}
+		sort.Strings(bases)
+		for _, base := range bases {
+			g := groups[base]
+			pos := fmt.Sprintf("%s: %s bus %q", nl.Name, dir, base)
+			if scalars[base] {
+				r.Errorf(pos, "scalar port %q aliases bus bits %s[0..%d]", base, base, g.max)
+			}
+			var missing []string
+			for i := 0; i <= g.max; i++ {
+				switch n := len(g.bits[i]); {
+				case n == 0:
+					missing = append(missing, strconv.Itoa(i))
+				case n > 1:
+					r.Errorf(pos, "bit %d declared %d times", i, n)
+				}
+			}
+			if wantComplete && len(missing) > 0 {
+				r.Errorf(pos, "width mismatch: bits 0..%d declared but bit(s) %s missing",
+					g.max, strings.Join(missing, ","))
+			}
+		}
+	}
+	check("input", nl.InputNames())
+	check("output", nl.OutputNames())
+}
+
+// segmentChain replays the host-side wire environment of EvalSegments
+// symbolically: stage k may only import original inputs and wires
+// exported by stages < k.
+func segmentChain(t *Target, r *Reporter) {
+	orig := t.Netlist
+	produced := map[string]string{} // wire/port name -> producing stage
+	for _, name := range orig.InputNames() {
+		produced[name] = "primary inputs"
+	}
+	for _, st := range t.Segments {
+		pos := fmt.Sprintf("%s: stage %s", orig.Name, st.Name)
+		for _, name := range st.InputNames() {
+			if _, ok := produced[name]; !ok {
+				r.Errorf(pos, "imports wire %q that no earlier stage exports", name)
+			}
+		}
+		for _, name := range st.OutputNames() {
+			if by, dup := produced[name]; dup && by != "primary inputs" {
+				r.Errorf(pos, "re-exports wire %q already produced by %s", name, by)
+			}
+			produced[name] = st.Name
+		}
+	}
+	for _, name := range orig.OutputNames() {
+		if _, ok := produced[name]; !ok {
+			r.Errorf(fmt.Sprintf("%s: segment chain", orig.Name),
+				"original output %q is produced by no stage", name)
+		}
+	}
+}
+
+// liveSet marks every node from which some primary output is reachable
+// (reverse reachability over all fanin edges; DFFs are transparent, so
+// state feeding observable logic is itself observable).
+func liveSet(nl *netlist.Netlist) []bool {
+	live := make([]bool, len(nl.Nodes))
+	var stack []netlist.NodeID
+	for _, o := range nl.Outputs {
+		if int(o) < len(nl.Nodes) && !live[o] {
+			live[o] = true
+			stack = append(stack, o)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range nl.Nodes[id].Fanin {
+			if !live[f] {
+				live[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return live
+}
+
+// passDeadLogic flags gates that cannot influence any primary output.
+// Dead logic still costs CLBs, download time and (registered) readback
+// volume, and the optimizer is entitled to delete it — so its presence
+// in a hand-written netlist is almost always a wiring mistake.
+func passDeadLogic(t *Target, r *Reporter) {
+	for _, nl := range t.netlists() {
+		if !faninOK(nl) {
+			continue
+		}
+		live := liveSet(nl)
+		for i := range nl.Nodes {
+			if live[i] {
+				continue
+			}
+			switch nl.Nodes[i].Kind {
+			case netlist.KindInput, netlist.KindOutput, netlist.KindConst, netlist.KindDFF:
+				// inputs/consts: net-drive's finding; DFFs: seq-preempt's.
+			default:
+				r.Warnf(nodePos(t, nl, netlist.NodeID(i)), "dead logic: no path to any output")
+			}
+		}
+	}
+}
+
+// passSeqPreempt checks the paper's preemption requirement: to suspend
+// a hardware task, the OS must be able to observe (read back) and later
+// restore every bit of its sequential state. A flip-flop that cannot
+// reach any output is dead state — the mapper may drop it, and nothing
+// can verify that a preempt/resume round trip preserved it. When the
+// compiled bitstream is present, the pass also cross-checks that the
+// netlist's state volume survived mapping into registered cells.
+func passSeqPreempt(t *Target, r *Reporter) {
+	nl := t.Netlist
+	if nl != nil && faninOK(nl) && nl.IsSequential() {
+		live := liveSet(nl)
+		unobservable := 0
+		for _, id := range nl.DFFs {
+			if int(id) >= len(nl.Nodes) || live[id] {
+				continue
+			}
+			unobservable++
+			r.Warnf(nodePos(t, nl, id),
+				"flip-flop state is not observable: no path from this DFF to any output, so a preempt/restore round trip cannot be verified")
+		}
+		if unobservable > 0 {
+			r.Warnf(nl.Name+": sequential state",
+				"%d of %d flip-flops are unobservable; the circuit is not fully preemptable", unobservable, len(nl.DFFs))
+		}
+	}
+	bs := t.Bitstream
+	if bs == nil {
+		return
+	}
+	ffCells := 0
+	for i := range bs.Cells {
+		if bs.Cells[i].UseFF {
+			ffCells++
+		}
+	}
+	if ffCells != bs.FFCells {
+		r.Errorf(bs.Name+": state volume",
+			"FFCells metadata says %d but %d cells are registered; readback/restore vectors will mismatch", bs.FFCells, ffCells)
+	}
+	if nl != nil && nl.IsSequential() && ffCells == 0 {
+		r.Errorf(bs.Name+": state volume",
+			"sequential netlist (%d DFFs) mapped to zero registered cells: state cannot be read back", nl.NumDFFs())
+	}
+	if nl != nil && ffCells > 0 && ffCells < nl.NumDFFs() {
+		r.Infof(bs.Name+": state volume",
+			"%d of %d netlist flip-flops survive as registered cells (optimizer pruning)", ffCells, nl.NumDFFs())
+	}
+}
+
+// netlists returns the netlist set the per-netlist passes run over: the
+// main target plus every segment stage.
+func (t *Target) netlists() []*netlist.Netlist {
+	var out []*netlist.Netlist
+	if t.Netlist != nil {
+		out = append(out, t.Netlist)
+	}
+	out = append(out, t.Segments...)
+	return out
+}

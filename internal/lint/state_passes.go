@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// passPartitionState audits a partition-table snapshot against the §4
+// invariants: every strip inside the device, strips pairwise disjoint,
+// no columns leaked (variable mode must tile the device exactly — free
+// space is represented, never dropped), adjacent free strips merged
+// after release/garbage collection, and freed strips carrying no stale
+// circuit claim. Fragmentation and overlap bugs are the dominant
+// failure mode of virtual areas, so this pass is the one to run after
+// every Remove/compact in stress tests.
+func passPartitionState(t *Target, r *Reporter) {
+	if len(t.Partitions) == 0 {
+		return
+	}
+	name := t.Name
+	if name == "" {
+		name = "partitions"
+	}
+	views := append([]PartitionView(nil), t.Partitions...)
+	sort.Slice(views, func(i, j int) bool { return views[i].X < views[j].X })
+	ppos := func(v PartitionView) string {
+		return fmt.Sprintf("%s: strip x=%d w=%d", name, v.X, v.W)
+	}
+	for _, v := range views {
+		if v.W <= 0 {
+			r.Errorf(ppos(v), "non-positive width")
+		}
+		if v.X < 0 {
+			r.Errorf(ppos(v), "negative origin")
+		}
+		if t.Cols > 0 && v.X+v.W > t.Cols {
+			r.Errorf(ppos(v), "extends past the device's %d columns", t.Cols)
+		}
+		if v.Free && v.Circuit != "" {
+			r.Errorf(ppos(v), "free strip still claims circuit %q", v.Circuit)
+		}
+	}
+	variable := t.PartitionMode == "variable"
+	at := 0
+	for i, v := range views {
+		if v.X < at {
+			r.Errorf(ppos(v), "overlaps the previous strip by %d column(s)", at-v.X)
+		} else if v.X > at {
+			if variable {
+				r.Errorf(ppos(v), "columns %d..%d leaked: not covered by any strip", at, v.X-1)
+			} else if i > 0 {
+				// Fixed tables are carved contiguously from x=0; only the
+				// tail beyond the configured widths may be uncovered.
+				r.Errorf(ppos(v), "gap of %d column(s) inside a fixed partition table", v.X-at)
+			}
+		}
+		if v.X+v.W > at {
+			at = v.X + v.W
+		}
+		if i > 0 && v.Free && views[i-1].Free && views[i-1].X+views[i-1].W == v.X {
+			r.Errorf(ppos(v), "adjacent free strips not merged (previous ends at %d)", v.X)
+		}
+	}
+	if variable && t.Cols > 0 && at < t.Cols {
+		r.Errorf(fmt.Sprintf("%s: table", name), "columns %d..%d leaked: variable mode must tile the device", at, t.Cols-1)
+	}
+}
+
+// passFabricConfig cross-checks a configured device the way the
+// functional evaluator would consume it: every used CLB input and every
+// output-pin driver must reference a used CLB, a configured input pin
+// or a constant — and the configured logic must be acyclic. Dangling
+// sources read unconfigured fabric (garbage after a neighbor unloads);
+// configuration-level loops would hang evaluation at run time.
+func passFabricConfig(t *Target, r *Reporter) {
+	d := t.Device
+	if d == nil {
+		return
+	}
+	g := d.Geometry()
+	name := t.Name
+	if name == "" {
+		name = "device"
+	}
+	used := map[[2]int]bool{}
+	d.EachUsedCLB(func(x, y int, cfg fabric.CLBConfig) {
+		used[[2]int{x, y}] = true
+	})
+	checkSource := func(pos string, s fabric.Source) {
+		switch s.Kind {
+		case fabric.SrcUnused, fabric.SrcConst0, fabric.SrcConst1:
+		case fabric.SrcCLB:
+			if s.X < 0 || s.X >= g.Cols || s.Y < 0 || s.Y >= g.Rows {
+				r.Errorf(pos, "reads CLB (%d,%d) outside device %v", s.X, s.Y, g)
+			} else if !used[[2]int{s.X, s.Y}] {
+				r.Errorf(pos, "reads unconfigured CLB (%d,%d)", s.X, s.Y)
+			}
+		case fabric.SrcPin:
+			if s.Pin < 0 || s.Pin >= g.NumPins() {
+				r.Errorf(pos, "reads pin %d outside device %v", s.Pin, g)
+			} else if d.Pin(s.Pin).Mode != fabric.PinInput {
+				r.Errorf(pos, "reads pin %d which is not configured as an input", s.Pin)
+			}
+		default:
+			r.Errorf(pos, "unknown source kind %d", s.Kind)
+		}
+	}
+	d.EachUsedCLB(func(x, y int, cfg fabric.CLBConfig) {
+		for k, s := range cfg.Inputs {
+			checkSource(fmt.Sprintf("%s: CLB (%d,%d) input %d", name, x, y, k), s)
+		}
+	})
+	for p := 0; p < g.NumPins(); p++ {
+		cfg := d.Pin(p)
+		if cfg.Mode == fabric.PinOutput {
+			checkSource(fmt.Sprintf("%s: output pin %d", name, p), cfg.Driver)
+		}
+	}
+	// Configuration-level combinational loop check (registered CLBs break
+	// cycles: their output is the FF, not the LUT).
+	type xy = [2]int
+	indeg := map[xy]int{}
+	succ := map[xy][]xy{}
+	d.EachUsedCLB(func(x, y int, cfg fabric.CLBConfig) {
+		me := xy{x, y}
+		if _, ok := indeg[me]; !ok {
+			indeg[me] = 0
+		}
+		for _, s := range cfg.Inputs {
+			if s.Kind != fabric.SrcCLB || !used[xy{s.X, s.Y}] {
+				continue
+			}
+			src := d.CLB(s.X, s.Y)
+			if src.UseFF {
+				continue // sequential edge
+			}
+			indeg[me]++
+			succ[xy{s.X, s.Y}] = append(succ[xy{s.X, s.Y}], me)
+		}
+	})
+	var queue []xy
+	for c, n := range indeg {
+		if n == 0 {
+			queue = append(queue, c)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool {
+		return queue[i][0] < queue[j][0] || (queue[i][0] == queue[j][0] && queue[i][1] < queue[j][1])
+	})
+	ordered := 0
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		ordered++
+		for _, s := range succ[c] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if ordered != len(indeg) {
+		r.Errorf(name+": logic", "configured fabric contains a combinational loop (%d of %d CLBs unordered)",
+			len(indeg)-ordered, len(indeg))
+	}
+}

@@ -48,8 +48,10 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// arity returns the number of fanins the kind requires, or -1 if variable.
-func (k Kind) arity() int {
+// Arity returns the number of fanins the kind requires, or -1 if
+// unknown. Exported for the static verifier, which must re-check arity
+// on netlists that never went through Builder.Build.
+func (k Kind) Arity() int {
 	switch k {
 	case KindInput, KindConst:
 		return 0
@@ -251,7 +253,7 @@ func (n *Netlist) validate() error {
 		if nd.ID != NodeID(i) {
 			return fmt.Errorf("netlist %q: node %d has mismatched id %d", n.Name, i, nd.ID)
 		}
-		if want := nd.Kind.arity(); want >= 0 && len(nd.Fanin) != want {
+		if want := nd.Kind.Arity(); want >= 0 && len(nd.Fanin) != want {
 			return fmt.Errorf("netlist %q: node %d (%v) has %d fanins, want %d",
 				n.Name, i, nd.Kind, len(nd.Fanin), want)
 		}
