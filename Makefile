@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint bench-quick
 
-check: fmt vet build race test lint
+check: fmt vet build race test lint bench-quick
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -17,8 +17,11 @@ vet:
 build:
 	$(GO) build ./...
 
+# The race gate covers the concurrency-bearing packages: the parallel
+# experiment runner (bench), the compile cache (compile), the router
+# scratch, and the simulation layers it drives.
 race:
-	$(GO) test -race ./internal/core/... ./internal/hostos/...
+	$(GO) test -race ./internal/core/... ./internal/hostos/... ./internal/bench/... ./internal/compile/... ./internal/route/...
 
 test:
 	$(GO) test ./...
@@ -26,3 +29,7 @@ test:
 # Lint the whole circuit library (netlists + compiled bitstreams + pages).
 lint:
 	$(GO) run ./cmd/vfpgalint
+
+# Quick end-to-end harness run; leaves a machine-readable perf record.
+bench-quick:
+	$(GO) run ./cmd/vfpgabench -quick -json BENCH_quick.json

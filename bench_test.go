@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -153,6 +154,44 @@ func BenchmarkFlowCompileStripCounter16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := compile.CompileStrip(nl, 16, 12, compile.Options{Seed: uint64(i), Timing: &tm}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileStrip measures the concurrent compile cache's hot
+// path: after the first iteration every lookup is a pure hit, so ns/op
+// and allocs/op reflect cache overhead, not compilation.
+func BenchmarkCompileStrip(b *testing.B) {
+	nl := netlist.Counter(16)
+	tm := fabric.DefaultTiming()
+	sc := compile.NewStripCache(compile.DefaultCacheCapacity)
+	opt := compile.Options{Seed: 1, Timing: &tm}
+	if _, err := sc.CompileStrip(nl, 16, 12, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.CompileStrip(nl, 16, 12, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := sc.Stats()
+	b.ReportMetric(st.HitRate(), "hit_rate")
+}
+
+// BenchmarkHarnessQuick runs the whole quick harness through the
+// parallel runner once per iteration — the end-to-end number the -jobs
+// worker pool is meant to improve.
+func BenchmarkHarnessQuick(b *testing.B) {
+	cfg := bench.Config{Seed: 1, Quick: true, Jobs: runtime.NumCPU()}
+	exps := bench.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range bench.Run(cfg, exps) {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Exp.ID, o.Err)
+			}
 		}
 	}
 }

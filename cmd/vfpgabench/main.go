@@ -7,7 +7,13 @@
 //	vfpgabench                 # run everything, print tables
 //	vfpgabench -run T1,F3      # run selected experiments
 //	vfpgabench -quick          # reduced sweeps
+//	vfpgabench -jobs 4         # worker-pool width (1 = serial)
 //	vfpgabench -csv out/       # also write one CSV per table
+//	vfpgabench -json perf.json # write a machine-readable perf record
+//
+// Experiments fan out across a worker pool (-jobs, default NumCPU) and
+// the tables print in the usual order with byte-identical content for
+// every -jobs value; only the wall-clock changes.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,13 +29,15 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F7) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F8, A1) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent workers (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	jsonPath := flag.String("json", "", "file to write a perf record (JSON) to")
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Jobs: *jobs}
 
 	var selected []bench.Experiment
 	if *run == "all" {
@@ -52,35 +61,59 @@ func main() {
 		}
 	}
 
+	start := time.Now()
+	outcomes := bench.Run(cfg, selected)
+	wall := time.Since(start)
+
 	failed := false
-	for _, e := range selected {
-		start := time.Now()
-		tbl, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vfpgabench: %s failed: %v\n", e.ID, err)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: %s failed: %v\n", o.Exp.ID, o.Err)
 			failed = true
 			continue
 		}
-		if err := tbl.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "vfpgabench: render %s: %v\n", e.ID, err)
+		if err := o.Table.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: render %s: %v\n", o.Exp.ID, err)
 			failed = true
 			continue
 		}
-		fmt.Printf("   [%s ran in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("   [%s ran in %v]\n\n", o.Exp.ID, o.Wall.Round(time.Millisecond))
 		if *csvDir != "" {
-			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			path := filepath.Join(*csvDir, strings.ToLower(o.Exp.ID)+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vfpgabench: %v\n", err)
 				failed = true
 				continue
 			}
-			if err := tbl.WriteCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "vfpgabench: csv %s: %v\n", e.ID, err)
+			if err := o.Table.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vfpgabench: csv %s: %v\n", o.Exp.ID, err)
 				failed = true
 			}
 			f.Close()
 		}
+	}
+
+	rec := bench.NewPerfRecord(cfg, outcomes, wall)
+	cs := bench.CacheStats()
+	fmt.Printf("%d experiments in %v (jobs=%d; serial estimate %v, speedup %.2fx)\n",
+		len(outcomes), wall.Round(time.Millisecond), *jobs,
+		time.Duration(rec.SerialEstMS*float64(time.Millisecond)).Round(time.Millisecond),
+		rec.Speedup)
+	fmt.Printf("compile cache: %d hits, %d misses, %d dedups (%.0f%% hit rate, %d/%d entries)\n",
+		cs.Hits, cs.Misses, cs.Dedups, 100*cs.HitRate(), cs.Size, cs.Capacity)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: json: %v\n", err)
+			failed = true
+		}
+		f.Close()
 	}
 	if failed {
 		os.Exit(1)

@@ -28,22 +28,27 @@ func A1OptimizerAblation(cfg Config) (*trace.Table, error) {
 	reg := netlist.Registry()
 	opt := defaultOpt(cfg)
 	tm := opt.Timing
-	for _, name := range names {
+	rows, err := parRows(cfg.Jobs, len(names), func(i int) ([]any, error) {
+		name := names[i]
 		nl := reg[name]()
-		raw, err := compile.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+		raw, err := stripCache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
 			compile.Options{Seed: cfg.Seed + 3, Timing: &tm, DisableOpt: true})
 		if err != nil {
 			return nil, err
 		}
-		optc, err := compile.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+		optc, err := stripCache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
 			compile.Options{Seed: cfg.Seed + 3, Timing: &tm})
 		if err != nil {
 			return nil, err
 		}
 		saving := 1 - float64(optc.Cells())/float64(raw.Cells())
-		tbl.AddRow(name, raw.Cells(), optc.Cells(), saving,
+		return []any{name, raw.Cells(), optc.Cells(), saving,
 			ms(raw.BS.ConfigCost(tm)), ms(optc.BS.ConfigCost(tm)),
-			raw.ClockPeriod.String(), optc.ClockPeriod.String())
+			raw.ClockPeriod.String(), optc.ClockPeriod.String()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }

@@ -9,7 +9,6 @@ package bench
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -25,6 +24,12 @@ import (
 type Config struct {
 	Seed  uint64
 	Quick bool // reduced sweeps (used by go test benchmarks)
+	// Jobs bounds the worker fan-out: Run fans whole experiments and each
+	// experiment fans its independent sweep points across up to Jobs
+	// goroutines. 0 or 1 selects the serial path. Any value produces
+	// byte-identical tables: every sweep point builds its own sim.Kernel
+	// and seeded RNGs, and results are reassembled in presentation order.
+	Jobs int
 }
 
 // Experiment couples an id with its runner.
@@ -71,41 +76,31 @@ func benchGeometry() fabric.Geometry {
 }
 
 // --- circuit compilation cache ---
-// Strip compilation (map+place+route) is deterministic, so circuits are
-// shared across engines keyed by (name, rows, tracks, seed).
+// Strip compilation (map+place+route) is deterministic and dominates
+// experiment cost, so circuits are shared process-wide through the
+// concurrent compile service in internal/compile: singleflight
+// deduplication keeps parallel workers from compiling the same key twice,
+// and the LRU bound keeps a long-lived process from growing forever. The
+// cache key includes the *effective* seed (opt.Seed plus the circuit's
+// position in its list), so a cached circuit is a pure function of the
+// request — lookups are order-independent, which is what makes sharing
+// the cache between concurrently running experiments deterministic.
+var stripCache = compile.NewStripCache(compile.DefaultCacheCapacity)
 
-type compileKey struct {
-	name   string
-	rows   int
-	tracks int
-	seed   uint64
-}
-
-var (
-	compileMu    sync.Mutex
-	compileCache = map[compileKey]*compile.Circuit{}
-)
+// CacheStats reports the shared compile-cache counters (hits, misses,
+// singleflight joins, evictions) accumulated by this process.
+func CacheStats() compile.CacheStats { return stripCache.Stats() }
 
 // engineFor builds an engine over geometry with the given circuits
 // available, reusing cached compilations.
 func engineFor(opt core.Options, circuits []*netlist.Netlist) (*core.Engine, error) {
 	e := core.NewEngine(opt)
 	for i, nl := range circuits {
-		key := compileKey{nl.Name, opt.Geometry.Rows, opt.Geometry.TracksPerChannel, opt.Seed}
-		compileMu.Lock()
-		c, ok := compileCache[key]
-		compileMu.Unlock()
-		if !ok {
-			tm := opt.Timing
-			var err error
-			c, err = compile.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
-				compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %w", err)
-			}
-			compileMu.Lock()
-			compileCache[key] = c
-			compileMu.Unlock()
+		tm := opt.Timing
+		c, err := stripCache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+			compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
 		}
 		e.Lib[nl.Name] = c
 	}

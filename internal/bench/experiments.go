@@ -56,38 +56,52 @@ func T1DynamicLoadingOverhead(cfg Config) (*trace.Table, error) {
 		{false, core.Apriori},
 	}
 	circuits := []*netlist.Netlist{netlist.Adder(8), netlist.ALU(8)}
+	type point struct {
+		evals      int64
+		partial    bool
+		completion core.CompletionMode
+	}
+	var points []point
 	for _, evals := range evalSweep {
 		for _, mode := range modes {
-			opt := defaultOpt(cfg)
-			opt.Timing.PartialReconfig = mode.partial
-			opt.Completion = mode.completion
-			var prog []hostos.Op
-			ops := 12
-			if cfg.Quick {
-				ops = 6
-			}
-			for i := 0; i < ops; i++ {
-				c := circuits[i%2]
-				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: evals}))
-			}
-			set := &workload.Set{
-				Tasks:    []workload.TaskSpec{{Name: "alt", Program: prog}},
-				Circuits: circuits,
-			}
-			res, err := runSet(opt, defaultOS(), set, dynamicMgr)
-			if err != nil {
-				return nil, err
-			}
-			t := res.OS.Tasks()[0]
-			eff := float64(t.HWTime) / float64(t.Turnaround())
-			reconfig := "full-only"
-			if mode.partial {
-				reconfig = "partial"
-			}
-			tbl.AddRow(evals, reconfig, mode.completion.String(),
-				ms(t.Turnaround()), ms(t.HWTime), ms(t.Overhead), eff)
+			points = append(points, point{evals, mode.partial, mode.completion})
 		}
 	}
+	rows, err := parRows(cfg.Jobs, len(points), func(i int) ([]any, error) {
+		pt := points[i]
+		opt := defaultOpt(cfg)
+		opt.Timing.PartialReconfig = pt.partial
+		opt.Completion = pt.completion
+		var prog []hostos.Op
+		ops := 12
+		if cfg.Quick {
+			ops = 6
+		}
+		for i := 0; i < ops; i++ {
+			c := circuits[i%2]
+			prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: pt.evals}))
+		}
+		set := &workload.Set{
+			Tasks:    []workload.TaskSpec{{Name: "alt", Program: prog}},
+			Circuits: circuits,
+		}
+		res, err := runSet(opt, defaultOS(), set, dynamicMgr)
+		if err != nil {
+			return nil, err
+		}
+		t := res.OS.Tasks()[0]
+		eff := float64(t.HWTime) / float64(t.Turnaround())
+		reconfig := "full-only"
+		if pt.partial {
+			reconfig = "partial"
+		}
+		return []any{pt.evals, reconfig, pt.completion.String(),
+			ms(t.Turnaround()), ms(t.HWTime), ms(t.Overhead), eff}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -107,30 +121,43 @@ func T2StatePreemption(cfg Config) (*trace.Table, error) {
 	}
 	const cycles = 400_000
 	circuits := []*netlist.Netlist{netlist.Counter(8)}
+	type point struct {
+		slice  sim.Time
+		policy core.StatePolicy
+	}
+	var points []point
 	for _, slice := range slices {
 		for _, policy := range []core.StatePolicy{core.SaveRestore, core.Rollback, core.NonPreemptable} {
-			opt := defaultOpt(cfg)
-			opt.State = policy
-			osCfg := defaultOS()
-			osCfg.TimeSlice = slice
-			set := &workload.Set{
-				Tasks: []workload.TaskSpec{
-					{Name: "hw", Program: []hostos.Op{hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: cycles})}},
-					{Name: "cpu", Program: []hostos.Op{hostos.Compute(10 * sim.Millisecond)}},
-				},
-				Circuits: circuits,
-			}
-			res, err := runSet(opt, osCfg, set, dynamicMgr)
-			if err != nil {
-				return nil, err
-			}
-			hw := res.OS.Tasks()[0]
-			pure := sim.Time(cycles) * res.Engine.Lib["counter8"].ClockPeriod
-			tbl.AddRow(fmt.Sprintf("%.0f", slice.Milliseconds()), policy.String(),
-				ms(hw.HWTime), ms(hw.HWTime-pure), ms(hw.Overhead),
-				hw.Preemptions, res.Engine.M.Readbacks.Value(), ms(hw.Turnaround()))
+			points = append(points, point{slice, policy})
 		}
 	}
+	rows, err := parRows(cfg.Jobs, len(points), func(i int) ([]any, error) {
+		pt := points[i]
+		opt := defaultOpt(cfg)
+		opt.State = pt.policy
+		osCfg := defaultOS()
+		osCfg.TimeSlice = pt.slice
+		set := &workload.Set{
+			Tasks: []workload.TaskSpec{
+				{Name: "hw", Program: []hostos.Op{hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: cycles})}},
+				{Name: "cpu", Program: []hostos.Op{hostos.Compute(10 * sim.Millisecond)}},
+			},
+			Circuits: circuits,
+		}
+		res, err := runSet(opt, osCfg, set, dynamicMgr)
+		if err != nil {
+			return nil, err
+		}
+		hw := res.OS.Tasks()[0]
+		pure := sim.Time(cycles) * res.Engine.Lib["counter8"].ClockPeriod
+		return []any{fmt.Sprintf("%.0f", pt.slice.Milliseconds()), pt.policy.String(),
+			ms(hw.HWTime), ms(hw.HWTime - pure), ms(hw.Overhead),
+			hw.Preemptions, res.Engine.M.Readbacks.Value(), ms(hw.Turnaround())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -170,15 +197,20 @@ func T3Partitioning(cfg Config) (*trace.Table, error) {
 		{"variable best-fit", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, Rotate: true})},
 		{"variable + GC", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
 	}
-	for _, m := range managers {
+	rows, err := parRows(cfg.Jobs, len(managers), func(i int) ([]any, error) {
+		m := managers[i]
 		res, err := runSet(defaultOpt(cfg), defaultOS(), mkSet(), m.mk)
 		if err != nil {
 			return nil, err
 		}
 		e := res.Engine
-		tbl.AddRow(m.name, ms(res.Makespan), ms(res.MeanTurnaround), ms(res.MeanBlock),
-			e.M.Loads.Value(), e.M.Evictions.Value(), e.M.Blocks.Value(), e.M.GCRuns.Value())
+		return []any{m.name, ms(res.Makespan), ms(res.MeanTurnaround), ms(res.MeanBlock),
+			e.M.Loads.Value(), e.M.Evictions.Value(), e.M.Blocks.Value(), e.M.GCRuns.Value()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -229,8 +261,8 @@ func T4Overlay(cfg Config) (*trace.Table, error) {
 		{hot.Name},
 		{hot.Name, cold[0].Name},
 	}
-	for _, resident := range residentSets {
-		resident := resident
+	rows, err := parRows(cfg.Jobs, len(residentSets), func(i int) ([]any, error) {
+		resident := residentSets[i]
 		res, err := runSet(defaultOpt(cfg), defaultOS(), mkSet(),
 			func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
 				om, _, err := core.NewOverlayManager(k, e, resident)
@@ -246,9 +278,13 @@ func T4Overlay(cfg Config) (*trace.Table, error) {
 		if len(resident) > 0 {
 			label = fmt.Sprintf("%v", resident)
 		}
-		tbl.AddRow(label, res.Engine.M.Loads.Value(), ms(res.Engine.M.ConfigTime),
-			ms(res.Makespan), ms(res.MeanTurnaround))
+		return []any{label, res.Engine.M.Loads.Value(), ms(res.Engine.M.ConfigTime),
+			ms(res.Makespan), ms(res.MeanTurnaround)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -268,10 +304,15 @@ func T5IOMux(cfg Config) (*trace.Table, error) {
 	if cfg.Quick {
 		pinSweep = []int{16, 4}
 	}
-	var baseHW sim.Time
-	for _, pps := range pinSweep {
+	// The slowdown column is relative to the first sweep point, so run the
+	// points in parallel and derive the ratios during ordered assembly.
+	type point struct {
+		phys int
+		hw   sim.Time
+	}
+	points, err := parMap(cfg.Jobs, len(pinSweep), func(i int) (point, error) {
 		opt := defaultOpt(cfg)
-		opt.Geometry.PinsPerSide = pps
+		opt.Geometry.PinsPerSide = pinSweep[i]
 		set := &workload.Set{
 			Tasks: []workload.TaskSpec{{Name: "io", Program: []hostos.Op{
 				hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 100_000}),
@@ -280,18 +321,20 @@ func T5IOMux(cfg Config) (*trace.Table, error) {
 		}
 		res, err := runSet(opt, defaultOS(), set, dynamicMgr)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		t := res.OS.Tasks()[0]
-		phys := opt.Geometry.NumPins()
-		mux := (virt + phys - 1) / phys
+		return point{phys: opt.Geometry.NumPins(), hw: res.OS.Tasks()[0].HWTime}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseHW := points[0].hw
+	for _, pt := range points {
+		mux := (virt + pt.phys - 1) / pt.phys
 		if mux < 1 {
 			mux = 1
 		}
-		if baseHW == 0 {
-			baseHW = t.HWTime
-		}
-		tbl.AddRow(phys, virt, mux, ms(t.HWTime), float64(t.HWTime)/float64(baseHW))
+		tbl.AddRow(pt.phys, virt, mux, ms(pt.hw), float64(pt.hw)/float64(baseHW))
 	}
 	return tbl, nil
 }
@@ -392,32 +435,33 @@ func F1VirtualCapacity(cfg Config) (*trace.Table, error) {
 	sort.Sort(sort.Reverse(sort.IntSlice(uniq)))
 	colSweep = uniq
 
-	// Zero-reconfiguration reference on the largest device.
-	optRef := defaultOpt(cfg)
-	optRef.Geometry.Cols = colSweep[0]
-	mergedRes, err := runSet(optRef, defaultOS(), mkSet(),
-		func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
-			names := make([]string, len(stages))
-			for j, s := range stages {
-				names[j] = s.Name
-			}
-			m, _, err := baseline.NewMerged(k, e, names)
+	// Run the zero-reconfiguration reference (index 0) and every shrinking
+	// overlay device in parallel; the slowdown column divides by the
+	// reference makespan, so ratios are derived during ordered assembly.
+	makespans, err := parMap(cfg.Jobs, 1+len(colSweep), func(i int) (sim.Time, error) {
+		if i == 0 {
+			optRef := defaultOpt(cfg)
+			optRef.Geometry.Cols = colSweep[0]
+			mergedRes, err := runSet(optRef, defaultOS(), mkSet(),
+				func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+					names := make([]string, len(stages))
+					for j, s := range stages {
+						names[j] = s.Name
+					}
+					m, _, err := baseline.NewMerged(k, e, names)
+					if err != nil {
+						panic(err)
+					}
+					return m
+				})
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
-			return m
-		})
-	if err != nil {
-		return nil, err
-	}
-	ref := mergedRes.Makespan
-	devCells := colSweep[0] * optRef.Geometry.Rows
-	tbl.AddRow(fmt.Sprintf("%d (merged)", colSweep[0]), devCells, appCells,
-		float64(appCells)/float64(devCells), ms(ref), 1.0)
-
-	// Overlaying on shrinking devices: as many stages resident as fit,
-	// the rest swapping through the overlay area.
-	for _, cols := range colSweep {
+			return mergedRes.Makespan, nil
+		}
+		// Overlaying on a shrinking device: as many stages resident as
+		// fit, the rest swapping through the overlay area.
+		cols := colSweep[i-1]
 		opt := defaultOpt(cfg)
 		opt.Geometry.Cols = cols
 		k := residentPrefix(cols)
@@ -434,11 +478,22 @@ func F1VirtualCapacity(cfg Config) (*trace.Table, error) {
 				return om
 			})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		devCells := cols * opt.Geometry.Rows
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref := makespans[0]
+	rows := defaultOpt(cfg).Geometry.Rows
+	devCells := colSweep[0] * rows
+	tbl.AddRow(fmt.Sprintf("%d (merged)", colSweep[0]), devCells, appCells,
+		float64(appCells)/float64(devCells), ms(ref), 1.0)
+	for j, cols := range colSweep {
+		devCells := cols * rows
 		tbl.AddRow(cols, devCells, appCells, float64(appCells)/float64(devCells),
-			ms(res.Makespan), float64(res.Makespan)/float64(ref))
+			ms(makespans[j+1]), float64(makespans[j+1])/float64(ref))
 	}
 	return tbl, nil
 }
@@ -458,41 +513,55 @@ func F2SchedulingModes(cfg Config) (*trace.Table, error) {
 		taskSweep = []int{2, 4}
 	}
 	pool := []*netlist.Netlist{netlist.Parity(16), netlist.Adder(8), netlist.ALU(8), netlist.Comparator(16)}
-	for _, n := range taskSweep {
-		mkSet := func() *workload.Set {
-			set := &workload.Set{Circuits: pool}
-			for ti := 0; ti < n; ti++ {
-				c := pool[ti%len(pool)]
-				var prog []hostos.Op
-				for op := 0; op < 4; op++ {
-					prog = append(prog,
-						hostos.Compute(500*sim.Microsecond),
-						hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 50_000}))
-				}
-				set.Tasks = append(set.Tasks, workload.TaskSpec{Name: fmt.Sprintf("t%d", ti), Program: prog})
+	mkSet := func(n int) *workload.Set {
+		set := &workload.Set{Circuits: pool}
+		for ti := 0; ti < n; ti++ {
+			c := pool[ti%len(pool)]
+			var prog []hostos.Op
+			for op := 0; op < 4; op++ {
+				prog = append(prog,
+					hostos.Compute(500*sim.Microsecond),
+					hostos.UseFPGA(hostos.FPGARequest{Circuit: c.Name, Evaluations: 50_000}))
 			}
-			return set
+			set.Tasks = append(set.Tasks, workload.TaskSpec{Name: fmt.Sprintf("t%d", ti), Program: prog})
 		}
-		managers := []struct {
-			name string
-			mk   func(*sim.Kernel, *core.Engine) hostos.FPGA
-		}{
-			{"exclusive (non-preemptable)", func(k *sim.Kernel, e *core.Engine) hostos.FPGA { return baseline.NewExclusive(k, e) }},
-			{"dynamic loading", dynamicMgr},
-			{"variable partitions", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
+		return set
+	}
+	managers := []struct {
+		name string
+		mk   func(*sim.Kernel, *core.Engine) hostos.FPGA
+	}{
+		{"exclusive (non-preemptable)", func(k *sim.Kernel, e *core.Engine) hostos.FPGA { return baseline.NewExclusive(k, e) }},
+		{"dynamic loading", dynamicMgr},
+		{"variable partitions", partitionMgr(core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true})},
+	}
+	type point struct {
+		tasks int
+		mgr   int
+	}
+	var points []point
+	for _, n := range taskSweep {
+		for mi := range managers {
+			points = append(points, point{n, mi})
 		}
+	}
+	rows, err := parRows(cfg.Jobs, len(points), func(i int) ([]any, error) {
+		pt := points[i]
+		m := managers[pt.mgr]
 		// A 1 ms slice forces interleaving, so holders of the exclusive
 		// device yield the CPU between operations while keeping the FPGA.
 		osCfg := defaultOS()
 		osCfg.TimeSlice = 1 * sim.Millisecond
-		for _, m := range managers {
-			res, err := runSet(defaultOpt(cfg), osCfg, mkSet(), m.mk)
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(n, m.name, ms(res.MeanWait), ms(res.MeanBlock), ms(res.Makespan))
+		res, err := runSet(defaultOpt(cfg), osCfg, mkSet(pt.tasks), m.mk)
+		if err != nil {
+			return nil, err
 		}
+		return []any{pt.tasks, m.name, ms(res.MeanWait), ms(res.MeanBlock), ms(res.Makespan)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -537,7 +606,8 @@ func F3MergedVsDynamic(cfg Config) (*trace.Table, error) {
 	if cfg.Quick {
 		colSweep = []int{6, 16}
 	}
-	for _, cols := range colSweep {
+	rows, err := parRows(cfg.Jobs, len(colSweep), func(i int) ([]any, error) {
+		cols := colSweep[i]
 		opt := defaultOpt(cfg)
 		opt.Geometry.Cols = cols
 		merged := fmt.Sprintf("n/a (needs %d cols)", sumW)
@@ -559,8 +629,12 @@ func F3MergedVsDynamic(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(cols, merged, ms(dres.Makespan), dres.Engine.M.Loads.Value())
+		return []any{cols, merged, ms(dres.Makespan), dres.Engine.M.Loads.Value()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -616,7 +690,9 @@ func F4Fragmentation(cfg Config) (*trace.Table, error) {
 		}
 		return set
 	}
-	for _, gc := range []bool{false, true} {
+	gcSweep := []bool{false, true}
+	rows, err := parRows(cfg.Jobs, len(gcSweep), func(i int) ([]any, error) {
+		gc := gcSweep[i]
 		k := sim.New()
 		set := mkSet()
 		opt := defaultOpt(cfg)
@@ -650,9 +726,13 @@ func F4Fragmentation(cfg Config) (*trace.Table, error) {
 		for _, t := range os.Tasks() {
 			meanBlock += t.BlockWait / sim.Time(len(os.Tasks()))
 		}
-		tbl.AddRow(gc, frag.Mean(), frag.Max(), e.M.Blocks.Value(), ms(meanBlock),
-			e.M.GCRuns.Value(), e.M.Relocations.Value(), ms(os.Makespan()))
+		return []any{gc, frag.Mean(), frag.Max(), e.M.Blocks.Value(), ms(meanBlock),
+			e.M.GCRuns.Value(), e.M.Relocations.Value(), ms(os.Makespan())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -678,43 +758,56 @@ func F5Pagination(cfg Config) (*trace.Table, error) {
 	if cfg.Quick {
 		policies = []core.ReplacePolicy{core.LRU, core.Random}
 	}
+	type point struct {
+		pageCells int
+		policy    core.ReplacePolicy
+	}
+	var points []point
 	for _, pageCells := range pageSweep {
-		// Probe the page count.
+		for _, policy := range policies {
+			points = append(points, point{pageCells, policy})
+		}
+	}
+	rows, err := parRows(cfg.Jobs, len(points), func(i int) ([]any, error) {
+		pt := points[i]
+		// Probe the page count (a cache hit after the first worker).
 		probe, err := engineFor(defaultOpt(cfg), []*netlist.Netlist{circuit})
 		if err != nil {
 			return nil, err
 		}
-		pages := (probe.Lib[circuit.Name].Cells() + pageCells - 1) / pageCells
+		pages := (probe.Lib[circuit.Name].Cells() + pt.pageCells - 1) / pt.pageCells
 		frames := pages/2 + 1
-		for _, policy := range policies {
-			set := workload.Paged(workload.PagedConfig{
-				Circuit: circuit,
-				Refs:    refs,
-				Pages:   pages,
-				WorkSet: 3,
-				Skew:    1.2,
-				Evals:   5_000,
-				Seed:    cfg.Seed + 19,
-			})
-			res, err := runSet(defaultOpt(cfg), defaultOS(), set,
-				func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
-					pl, err := core.NewPagedLoader(k, e, core.PagedConfig{
-						PageCells: pageCells, Frames: frames, Policy: policy, Seed: cfg.Seed,
-					})
-					if err != nil {
-						panic(err)
-					}
-					return pl
+		set := workload.Paged(workload.PagedConfig{
+			Circuit: circuit,
+			Refs:    refs,
+			Pages:   pages,
+			WorkSet: 3,
+			Skew:    1.2,
+			Evals:   5_000,
+			Seed:    cfg.Seed + 19,
+		})
+		res, err := runSet(defaultOpt(cfg), defaultOS(), set,
+			func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				pl, err := core.NewPagedLoader(k, e, core.PagedConfig{
+					PageCells: pt.pageCells, Frames: frames, Policy: pt.policy, Seed: cfg.Seed,
 				})
-			if err != nil {
-				return nil, err
-			}
-			e := res.Engine
-			faults := e.M.PageFaults.Value()
-			tbl.AddRow(pageCells, pages, frames, policy.String(), faults,
-				float64(faults)/float64(refs*3), ms(e.M.ConfigTime), ms(res.Makespan))
+				if err != nil {
+					panic(err)
+				}
+				return pl
+			})
+		if err != nil {
+			return nil, err
 		}
+		e := res.Engine
+		faults := e.M.PageFaults.Value()
+		return []any{pt.pageCells, pages, frames, pt.policy.String(), faults,
+			float64(faults) / float64(refs*3), ms(e.M.ConfigTime), ms(res.Makespan)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }
 
@@ -758,11 +851,45 @@ func F6Segmentation(cfg Config) (*trace.Table, error) {
 		return &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: []*netlist.Netlist{mono}}
 	}
 
-	// Probe widths.
-	probe, err := engineFor(defaultOpt(cfg), append(append([]*netlist.Netlist{}, stages...), mono))
+	// Automatic segmentation input: one large netlist (an 8x8 multiplier)
+	// cut into k level-balanced stages by netlist.Segment — the paper's
+	// "self-contained sub-functions having variable size" derived
+	// mechanically rather than by hand.
+	big := netlist.Multiplier(8)
+	ks := []int{2, 4}
+	if cfg.Quick {
+		ks = []int{2}
+	}
+
+	// Phase 1 — probes. Strip compilation dominates this experiment, so
+	// the independent probe compilations (hand stages + monolith, the
+	// whole mul8, and each auto-segmentation) run in parallel; the
+	// device-sizing arithmetic below consumes their widths.
+	type probeResult struct {
+		engine *core.Engine
+		segs   []*netlist.Netlist // auto-segmentation probes only
+	}
+	probes, err := parMap(cfg.Jobs, 2+len(ks), func(i int) (probeResult, error) {
+		switch i {
+		case 0:
+			e, err := engineFor(defaultOpt(cfg), append(append([]*netlist.Netlist{}, stages...), mono))
+			return probeResult{engine: e}, err
+		case 1:
+			e, err := engineFor(defaultOpt(cfg), []*netlist.Netlist{big})
+			return probeResult{engine: e}, err
+		default:
+			segs, err := netlist.Segment(big, ks[i-2])
+			if err != nil {
+				return probeResult{}, err
+			}
+			e, err := engineFor(defaultOpt(cfg), segs)
+			return probeResult{engine: e, segs: segs}, err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
+	probe, wholeProbe := probes[0].engine, probes[1].engine
 	maxSegW, segCells := 0, 0
 	for _, s := range stages {
 		c := probe.Lib[s.Name]
@@ -772,95 +899,85 @@ func F6Segmentation(cfg Config) (*trace.Table, error) {
 		}
 	}
 	monoW := probe.Lib[mono.Name].BS.W
-
-	// Monolithic on a device sized for it.
-	optBig := defaultOpt(cfg)
-	optBig.Geometry.Cols = monoW + 2
-	resMono, err := runSet(optBig, defaultOS(), monoSet(), dynamicMgr)
-	if err != nil {
-		return nil, err
-	}
-	tbl.AddRow("monolithic (big device)", optBig.Geometry.Cols, probe.Lib[mono.Name].Cells(),
-		resMono.Engine.M.Loads.Value(), ms(resMono.Makespan))
-
-	// Segmented on a small device sized for the largest segment.
-	optSmall := defaultOpt(cfg)
-	optSmall.Geometry.Cols = maxSegW + 2
-	resSeg, err := runSet(optSmall, defaultOS(), segSet(), dynamicMgr)
-	if err != nil {
-		return nil, err
-	}
-	tbl.AddRow("segmented (small device)", optSmall.Geometry.Cols, segCells,
-		resSeg.Engine.M.Loads.Value(), ms(resSeg.Makespan))
-
-	// Monolithic on the small device: infeasible by construction.
-	tbl.AddRow("monolithic (small device)", optSmall.Geometry.Cols, probe.Lib[mono.Name].Cells(),
-		"n/a", fmt.Sprintf("infeasible: needs %d cols", monoW))
-
-	// Automatic segmentation: one large netlist (an 8x8 multiplier) cut
-	// into k level-balanced stages by netlist.Segment — the paper's
-	// "self-contained sub-functions having variable size" derived
-	// mechanically rather than by hand.
-	big := netlist.Multiplier(8)
-	ks := []int{2, 4}
-	if cfg.Quick {
-		ks = []int{2}
-	}
-	for _, kSeg := range ks {
-		segs, err := netlist.Segment(big, kSeg)
-		if err != nil {
-			return nil, err
-		}
-		segProbe, err := engineFor(defaultOpt(cfg), segs)
-		if err != nil {
-			return nil, err
-		}
-		maxSegCols, totalCells := 0, 0
-		for _, s := range segs {
-			c := segProbe.Lib[s.Name]
-			totalCells += c.Cells()
-			if c.BS.W > maxSegCols {
-				maxSegCols = c.BS.W
-			}
-		}
-		var prog []hostos.Op
-		for p := 0; p < passes; p++ {
-			for _, s := range segs {
-				prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: s.Name, Evaluations: 50_000}))
-			}
-		}
-		set := &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: segs}
-		optSeg := defaultOpt(cfg)
-		optSeg.Geometry.Cols = maxSegCols + 2
-		res, err := runSet(optSeg, defaultOS(), set, dynamicMgr)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(fmt.Sprintf("auto-segmented mul8 (k=%d)", kSeg), optSeg.Geometry.Cols,
-			totalCells, res.Engine.M.Loads.Value(), ms(res.Makespan))
-	}
-	// Whole mul8 for reference on a device sized for it.
-	wholeProbe, err := engineFor(defaultOpt(cfg), []*netlist.Netlist{big})
-	if err != nil {
-		return nil, err
-	}
 	wholeW := wholeProbe.Lib[big.Name].BS.W
-	var prog []hostos.Op
-	for p := 0; p < passes; p++ {
-		for i := 0; i < 4; i++ {
-			prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: big.Name, Evaluations: 50_000}))
+
+	// Phase 2 — runs: monolithic big, segmented small, one per
+	// auto-segmentation k, and the whole-mul8 reference.
+	runs, err := parRows(cfg.Jobs, 3+len(ks), func(i int) ([]any, error) {
+		switch i {
+		case 0: // monolithic on a device sized for it
+			optBig := defaultOpt(cfg)
+			optBig.Geometry.Cols = monoW + 2
+			res, err := runSet(optBig, defaultOS(), monoSet(), dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			return []any{"monolithic (big device)", optBig.Geometry.Cols, probe.Lib[mono.Name].Cells(),
+				res.Engine.M.Loads.Value(), ms(res.Makespan)}, nil
+		case 1: // segmented on a small device sized for the largest segment
+			optSmall := defaultOpt(cfg)
+			optSmall.Geometry.Cols = maxSegW + 2
+			res, err := runSet(optSmall, defaultOS(), segSet(), dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			return []any{"segmented (small device)", optSmall.Geometry.Cols, segCells,
+				res.Engine.M.Loads.Value(), ms(res.Makespan)}, nil
+		case 2 + len(ks): // whole mul8 reference on a device sized for it
+			var prog []hostos.Op
+			for p := 0; p < passes; p++ {
+				for j := 0; j < 4; j++ {
+					prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: big.Name, Evaluations: 50_000}))
+				}
+			}
+			optWhole := defaultOpt(cfg)
+			optWhole.Geometry.Cols = wholeW + 2
+			res, err := runSet(optWhole, defaultOS(),
+				&workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: []*netlist.Netlist{big}},
+				dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			return []any{"whole mul8 (big device)", optWhole.Geometry.Cols,
+				wholeProbe.Lib[big.Name].Cells(), res.Engine.M.Loads.Value(), ms(res.Makespan)}, nil
+		default: // auto-segmented mul8 at ks[i-2]
+			kSeg := ks[i-2]
+			segs := probes[i].segs
+			segProbe := probes[i].engine
+			maxSegCols, totalCells := 0, 0
+			for _, s := range segs {
+				c := segProbe.Lib[s.Name]
+				totalCells += c.Cells()
+				if c.BS.W > maxSegCols {
+					maxSegCols = c.BS.W
+				}
+			}
+			var prog []hostos.Op
+			for p := 0; p < passes; p++ {
+				for _, s := range segs {
+					prog = append(prog, hostos.UseFPGA(hostos.FPGARequest{Circuit: s.Name, Evaluations: 50_000}))
+				}
+			}
+			set := &workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: segs}
+			optSeg := defaultOpt(cfg)
+			optSeg.Geometry.Cols = maxSegCols + 2
+			res, err := runSet(optSeg, defaultOS(), set, dynamicMgr)
+			if err != nil {
+				return nil, err
+			}
+			return []any{fmt.Sprintf("auto-segmented mul8 (k=%d)", kSeg), optSeg.Geometry.Cols,
+				totalCells, res.Engine.M.Loads.Value(), ms(res.Makespan)}, nil
 		}
-	}
-	optWhole := defaultOpt(cfg)
-	optWhole.Geometry.Cols = wholeW + 2
-	resWhole, err := runSet(optWhole, defaultOS(),
-		&workload.Set{Tasks: []workload.TaskSpec{{Name: "app", Program: prog}}, Circuits: []*netlist.Netlist{big}},
-		dynamicMgr)
+	})
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("whole mul8 (big device)", optWhole.Geometry.Cols,
-		wholeProbe.Lib[big.Name].Cells(), resWhole.Engine.M.Loads.Value(), ms(resWhole.Makespan))
+	tbl.AddRow(runs[0]...)
+	tbl.AddRow(runs[1]...)
+	// Monolithic on the small device: infeasible by construction.
+	tbl.AddRow("monolithic (small device)", maxSegW+2, probe.Lib[mono.Name].Cells(),
+		"n/a", fmt.Sprintf("infeasible: needs %d cols", monoW))
+	addRows(tbl, runs[2:])
 	return tbl, nil
 }
 
@@ -912,7 +1029,11 @@ func F7Applications(cfg Config) (*trace.Table, error) {
 			return workload.Storage(c)
 		}, defaultOS()},
 	}
-	for _, sc := range scenarios {
+	// Scenarios fan out in parallel, and each scenario fans its manager
+	// comparison out again; rows flatten back in scenario-then-manager
+	// order.
+	perScenario, err := parMap(cfg.Jobs, len(scenarios), func(si int) ([][]any, error) {
+		sc := scenarios[si]
 		// Probe widths to size the small and big devices.
 		probeSet := sc.set()
 		probe, err := engineFor(defaultOpt(cfg), probeSet.Circuits)
@@ -949,16 +1070,23 @@ func F7Applications(cfg Config) (*trace.Table, error) {
 				return m
 			}},
 		}
-		for _, m := range managers {
+		return parRows(cfg.Jobs, len(managers), func(mi int) ([]any, error) {
+			m := managers[mi]
 			opt := defaultOpt(cfg)
 			opt.Geometry.Cols = m.cols
 			res, err := runSet(opt, sc.os, sc.set(), m.mk)
 			if err != nil {
 				return nil, fmt.Errorf("F7 %s/%s: %w", sc.name, m.name, err)
 			}
-			tbl.AddRow(sc.name, m.name, m.cols, ms(res.Makespan), ms(res.MeanTurnaround),
-				res.Engine.M.Loads.Value())
-		}
+			return []any{sc.name, m.name, m.cols, ms(res.Makespan), ms(res.MeanTurnaround),
+				res.Engine.M.Loads.Value()}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range perScenario {
+		addRows(tbl, rows)
 	}
 	return tbl, nil
 }

@@ -43,7 +43,8 @@ func F8MultiBoard(cfg Config) (*trace.Table, error) {
 		splits = []int{1, 2, 4}
 	}
 	pcfg := core.PartitionConfig{Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true}
-	for _, boards := range splits {
+	rows, err := parRows(cfg.Jobs, len(splits), func(i int) ([]any, error) {
+		boards := splits[i]
 		cols := totalCols / boards
 		opt := defaultOpt(cfg)
 		opt.Geometry.Cols = cols
@@ -52,28 +53,21 @@ func F8MultiBoard(cfg Config) (*trace.Table, error) {
 		k := sim.New()
 		var engines []*core.Engine
 		var widest int
-		buildErr := func() error {
-			for i := 0; i < boards; i++ {
-				e, err := engineFor(opt, set.Circuits)
-				if err != nil {
-					return err
-				}
-				engines = append(engines, e)
+		for b := 0; b < boards; b++ {
+			e, err := engineFor(opt, set.Circuits)
+			if err != nil {
+				return nil, err
 			}
-			for _, c := range set.Circuits {
-				if w := engines[0].Lib[c.Name].BS.W; w > widest {
-					widest = w
-				}
+			engines = append(engines, e)
+		}
+		for _, c := range set.Circuits {
+			if w := engines[0].Lib[c.Name].BS.W; w > widest {
+				widest = w
 			}
-			return nil
-		}()
-		if buildErr != nil {
-			return nil, buildErr
 		}
 		if widest > cols {
-			tbl.AddRow(boards, cols, "infeasible", "-", "-", "-",
-				fmt.Sprintf("no (widest needs %d)", widest))
-			continue
+			return []any{boards, cols, "infeasible", "-", "-", "-",
+				fmt.Sprintf("no (widest needs %d)", widest)}, nil
 		}
 		mm, err := core.NewMultiManager(k, engines, pcfg)
 		if err != nil {
@@ -94,8 +88,12 @@ func F8MultiBoard(cfg Config) (*trace.Table, error) {
 		for _, t := range osim.Tasks() {
 			meanBlock += t.BlockWait / sim.Time(len(osim.Tasks()))
 		}
-		tbl.AddRow(boards, cols, ms(osim.Makespan()), ms(meanBlock),
-			mm.TotalLoads(), mm.TotalBlocks(), "yes")
+		return []any{boards, cols, ms(osim.Makespan()), ms(meanBlock),
+			mm.TotalLoads(), mm.TotalBlocks(), "yes"}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(tbl, rows)
 	return tbl, nil
 }

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Outcome is one experiment's result from a harness run: its table (or
+// error) plus the wall-clock time the runner spent on it.
+type Outcome struct {
+	Exp   Experiment
+	Table *trace.Table
+	Err   error
+	Wall  time.Duration
+}
+
+// Run executes the experiments under cfg, fanning whole experiments out
+// across up to cfg.Jobs worker goroutines, and returns the outcomes in
+// input (presentation) order regardless of completion order. Each
+// experiment additionally fans its own independent sweep points out with
+// the same bound, so a single big experiment also scales with cores.
+//
+// Tables are byte-identical for every Jobs value: experiments share no
+// mutable state (each sweep point owns its kernel and RNG streams), and
+// the compile cache they do share is keyed by every input that affects
+// its output.
+func Run(cfg Config, exps []Experiment) []Outcome {
+	out, _ := parMap(cfg.Jobs, len(exps), func(i int) (Outcome, error) {
+		start := time.Now()
+		tbl, err := exps[i].Run(cfg)
+		return Outcome{Exp: exps[i], Table: tbl, Err: err, Wall: time.Since(start)}, nil
+	})
+	return out
+}
+
+// --- perf record (the BENCH_*.json trajectory) ---
+
+// PerfCache is the compile-cache section of a perf record.
+type PerfCache struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Dedups    int64   `json:"dedups"`
+	Evictions int64   `json:"evictions"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// PerfExperiment is one experiment's line in a perf record.
+type PerfExperiment struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Rows   int     `json:"rows"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// PerfRecord is the machine-readable performance summary of one harness
+// run, written by `vfpgabench -json` so successive PRs can track harness
+// wall-clock, parallel speedup and cache effectiveness over time.
+type PerfRecord struct {
+	Schema      string           `json:"schema"`
+	Quick       bool             `json:"quick"`
+	Seed        uint64           `json:"seed"`
+	Jobs        int              `json:"jobs"`
+	WallMS      float64          `json:"wall_ms"`
+	SerialEstMS float64          `json:"serial_est_ms"`
+	Speedup     float64          `json:"speedup"`
+	Cache       PerfCache        `json:"cache"`
+	Experiments []PerfExperiment `json:"experiments"`
+}
+
+// PerfSchema identifies the perf-record format.
+const PerfSchema = "vfpgabench/perf-v1"
+
+// NewPerfRecord summarizes a finished harness run. wall is the elapsed
+// time of the whole run; the serial estimate is the sum of per-experiment
+// walls (what -jobs 1 would roughly cost), so Speedup reports how much
+// the fan-out actually bought on this machine.
+func NewPerfRecord(cfg Config, outcomes []Outcome, wall time.Duration) *PerfRecord {
+	r := &PerfRecord{
+		Schema: PerfSchema,
+		Quick:  cfg.Quick,
+		Seed:   cfg.Seed,
+		Jobs:   cfg.Jobs,
+		WallMS: float64(wall) / float64(time.Millisecond),
+	}
+	for _, o := range outcomes {
+		pe := PerfExperiment{
+			ID:     o.Exp.ID,
+			WallMS: float64(o.Wall) / float64(time.Millisecond),
+		}
+		if o.Table != nil {
+			pe.Rows = len(o.Table.Rows)
+		}
+		if o.Err != nil {
+			pe.Error = o.Err.Error()
+		}
+		r.SerialEstMS += pe.WallMS
+		r.Experiments = append(r.Experiments, pe)
+	}
+	if r.WallMS > 0 {
+		r.Speedup = r.SerialEstMS / r.WallMS
+	}
+	cs := CacheStats()
+	r.Cache = PerfCache{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Dedups:    cs.Dedups,
+		Evictions: cs.Evictions,
+		Size:      cs.Size,
+		Capacity:  cs.Capacity,
+		HitRate:   cs.HitRate(),
+	}
+	return r
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *PerfRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// renderAll renders every outcome's table in presentation order, exactly
+// as cmd/vfpgabench prints them.
+func renderAll(t *testing.T, outs []Outcome) string {
+	t.Helper()
+	var b strings.Builder
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Exp.ID, o.Err)
+		}
+		b.WriteString(o.Table.String())
+	}
+	return b.String()
+}
+
+// TestParallelHarnessByteIdentical is the determinism regression test for
+// the parallel experiment engine: the full quick harness must render
+// byte-identical tables at -jobs 1 and -jobs 8. Run under -race by `make
+// check`, this also exercises the compile cache's singleflight path under
+// real contention.
+func TestParallelHarnessByteIdentical(t *testing.T) {
+	serial := Run(Config{Seed: 1, Quick: true, Jobs: 1}, All())
+	parallel := Run(Config{Seed: 1, Quick: true, Jobs: 8}, All())
+	a, b := renderAll(t, serial), renderAll(t, parallel)
+	if a != b {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("-jobs 1 and -jobs 8 tables differ near byte %d:\nserial:   ...%q\nparallel: ...%q",
+			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+	}
+}
+
+func TestRunPreservesOrderAndErrors(t *testing.T) {
+	exps := []Experiment{
+		{ID: "ok1", Title: "ok", Run: func(Config) (*trace.Table, error) {
+			return &trace.Table{ID: "ok1"}, nil
+		}},
+		{ID: "bad", Title: "bad", Run: func(Config) (*trace.Table, error) {
+			return nil, errors.New("boom")
+		}},
+		{ID: "ok2", Title: "ok", Run: func(Config) (*trace.Table, error) {
+			return &trace.Table{ID: "ok2"}, nil
+		}},
+	}
+	for _, jobs := range []int{1, 4} {
+		outs := Run(Config{Jobs: jobs}, exps)
+		if len(outs) != 3 {
+			t.Fatalf("jobs=%d: %d outcomes", jobs, len(outs))
+		}
+		for i, o := range outs {
+			if o.Exp.ID != exps[i].ID {
+				t.Fatalf("jobs=%d: outcome %d is %s, want %s", jobs, i, o.Exp.ID, exps[i].ID)
+			}
+		}
+		if outs[0].Err != nil || outs[2].Err != nil {
+			t.Fatalf("jobs=%d: unexpected errors %v %v", jobs, outs[0].Err, outs[2].Err)
+		}
+		if outs[1].Err == nil || outs[1].Err.Error() != "boom" {
+			t.Fatalf("jobs=%d: want boom, got %v", jobs, outs[1].Err)
+		}
+	}
+}
+
+func TestParMapOrderAndFirstIndexError(t *testing.T) {
+	vals, err := parMap(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+	// The reported error must be the lowest-index one regardless of
+	// completion order.
+	_, err = parMap(8, 100, func(i int) (int, error) {
+		if i == 70 || i == 13 {
+			return 0, fmt.Errorf("err@%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "err@13" {
+		t.Fatalf("want err@13, got %v", err)
+	}
+}
+
+func TestPerfRecordShape(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true, Jobs: 2}
+	exps := []Experiment{
+		{ID: "T2", Title: "t", Run: T2StatePreemption},
+	}
+	outs := Run(cfg, exps)
+	rec := NewPerfRecord(cfg, outs, outs[0].Wall)
+	if rec.Schema != PerfSchema || rec.Jobs != 2 || !rec.Quick {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if len(rec.Experiments) != 1 || rec.Experiments[0].ID != "T2" {
+		t.Fatalf("experiments wrong: %+v", rec.Experiments)
+	}
+	if rec.Experiments[0].Rows == 0 {
+		t.Fatal("row count missing")
+	}
+	if rec.Cache.Misses == 0 && rec.Cache.Hits == 0 {
+		t.Fatal("cache counters never moved")
+	}
+	var b strings.Builder
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "vfpgabench/perf-v1"`, `"id": "T2"`, `"hit_rate"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, b.String())
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Strip-compilation cache: the concurrent compile service behind the
+// experiment harness.
+//
+// Strip compilation (map+place+route+bitgen) is the dominant cost of
+// every experiment, and it is a pure function of its inputs, so results
+// are shared process-wide. StripCache provides three things the parallel
+// runner needs that a plain map cannot:
+//
+//   - singleflight deduplication: concurrent workers requesting the same
+//     key block on one compilation instead of redoing it;
+//   - bounded LRU eviction, so a long-lived process cannot grow the cache
+//     without limit;
+//   - hit/miss/in-flight counters (internal/stats) for the perf record.
+package compile
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// CacheKey identifies one strip compilation. Every flow input that can
+// change the compiled output participates in the key, so two lookups with
+// equal keys always denote byte-identical circuits — the property that
+// makes sharing the cache between concurrent experiments deterministic.
+// Netlist names are assumed to identify netlist content (true for the
+// registry library and the deterministic Segment/Concat derivations).
+type CacheKey struct {
+	Name       string
+	Rows       int
+	Tracks     int
+	Seed       uint64
+	Effort     int
+	DisableOpt bool
+	Timing     fabric.Timing
+}
+
+// CacheStats is a snapshot of a StripCache's counters.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that compiled
+	Dedups    int64 // lookups that joined an in-flight compilation
+	Evictions int64 // entries displaced by the LRU bound
+	InFlight  int64 // compilations running right now
+	Size      int   // entries currently cached
+	Capacity  int   // LRU bound
+}
+
+// Lookups returns the total number of cache lookups.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses + s.Dedups }
+
+// HitRate returns the fraction of lookups that avoided a compilation
+// (cache hits plus singleflight joins), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Dedups) / float64(n)
+}
+
+type cacheEntry struct {
+	key CacheKey
+	c   *Circuit
+}
+
+// flight is one in-progress compilation; joiners wait on done.
+type flight struct {
+	done chan struct{}
+	c    *Circuit
+	err  error
+}
+
+// StripCache is a concurrent, bounded, deduplicating cache over
+// CompileStrip. The zero value is not usable; use NewStripCache.
+type StripCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[CacheKey]*list.Element
+	inflight map[CacheKey]*flight
+
+	hits, misses, dedups, evictions stats.AtomicCounter
+	inFlight                        stats.AtomicCounter
+}
+
+// DefaultCacheCapacity bounds a StripCache when NewStripCache is given a
+// non-positive capacity. The full harness compiles a few dozen distinct
+// (circuit, geometry, seed) keys; 512 leaves generous headroom while
+// keeping a long-lived process bounded.
+const DefaultCacheCapacity = 512
+
+// NewStripCache returns an empty cache holding at most capacity circuits
+// (<= 0 selects DefaultCacheCapacity).
+func NewStripCache(capacity int) *StripCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &StripCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  map[CacheKey]*list.Element{},
+		inflight: map[CacheKey]*flight{},
+	}
+}
+
+// CompileStrip returns the strip compilation of nl for the given shape and
+// options, compiling at most once per key even under concurrent callers.
+// The returned Circuit is shared and must be treated as immutable (every
+// consumer in this repository already does).
+func (sc *StripCache) CompileStrip(nl *netlist.Netlist, rows, tracks int, opt Options) (*Circuit, error) {
+	timing := fabric.DefaultTiming()
+	if opt.Timing != nil {
+		timing = *opt.Timing
+	}
+	key := CacheKey{
+		Name:       nl.Name,
+		Rows:       rows,
+		Tracks:     tracks,
+		Seed:       opt.Seed,
+		Effort:     opt.Effort,
+		DisableOpt: opt.DisableOpt,
+		Timing:     timing,
+	}
+	return sc.get(key, func() (*Circuit, error) {
+		return CompileStrip(nl, rows, tracks, opt)
+	})
+}
+
+// get looks key up, joining an in-flight compilation or running fn once.
+// Failed compilations are delivered to all waiters but never cached, so a
+// transient caller error does not poison the key.
+func (sc *StripCache) get(key CacheKey, fn func() (*Circuit, error)) (*Circuit, error) {
+	sc.mu.Lock()
+	if el, ok := sc.entries[key]; ok {
+		sc.lru.MoveToFront(el)
+		sc.hits.Inc()
+		sc.mu.Unlock()
+		return el.Value.(*cacheEntry).c, nil
+	}
+	if f, ok := sc.inflight[key]; ok {
+		sc.dedups.Inc()
+		sc.mu.Unlock()
+		<-f.done
+		return f.c, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sc.inflight[key] = f
+	sc.misses.Inc()
+	sc.inFlight.Inc()
+	sc.mu.Unlock()
+
+	f.c, f.err = fn()
+
+	sc.mu.Lock()
+	delete(sc.inflight, key)
+	sc.inFlight.Dec()
+	if f.err == nil {
+		sc.entries[key] = sc.lru.PushFront(&cacheEntry{key: key, c: f.c})
+		for sc.lru.Len() > sc.capacity {
+			oldest := sc.lru.Back()
+			sc.lru.Remove(oldest)
+			delete(sc.entries, oldest.Value.(*cacheEntry).key)
+			sc.evictions.Inc()
+		}
+	}
+	sc.mu.Unlock()
+	close(f.done)
+	return f.c, f.err
+}
+
+// Len returns the number of cached circuits.
+func (sc *StripCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.lru.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (sc *StripCache) Stats() CacheStats {
+	sc.mu.Lock()
+	size := sc.lru.Len()
+	sc.mu.Unlock()
+	return CacheStats{
+		Hits:      sc.hits.Value(),
+		Misses:    sc.misses.Value(),
+		Dedups:    sc.dedups.Value(),
+		Evictions: sc.evictions.Value(),
+		InFlight:  sc.inFlight.Value(),
+		Size:      size,
+		Capacity:  sc.capacity,
+	}
+}

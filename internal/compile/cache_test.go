@@ -1,0 +1,153 @@
+package compile
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func testKey(name string, seed uint64) CacheKey {
+	return CacheKey{Name: name, Rows: 8, Tracks: 4, Seed: seed}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	sc := NewStripCache(16)
+	key := testKey("sf", 1)
+	const waiters = 8
+
+	gate := make(chan struct{})
+	var compiles int
+	var wg sync.WaitGroup
+	want := &Circuit{Name: "sf"}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := sc.get(key, func() (*Circuit, error) {
+				compiles++ // inside the flight: only one goroutine may get here
+				<-gate
+				return want, nil
+			})
+			if err != nil || c != want {
+				t.Errorf("get: %v %v", c, err)
+			}
+		}()
+	}
+	// Wait until every goroutine has either claimed the flight or parked
+	// on it, then release the one compiler.
+	for sc.Stats().Misses+sc.Stats().Dedups < waiters {
+	}
+	close(gate)
+	wg.Wait()
+
+	st := sc.Stats()
+	if compiles != 1 {
+		t.Fatalf("compiled %d times, want 1", compiles)
+	}
+	if st.Misses != 1 || st.Dedups != waiters-1 {
+		t.Fatalf("misses=%d dedups=%d, want 1 and %d", st.Misses, st.Dedups, waiters-1)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("inflight=%d after completion", st.InFlight)
+	}
+	// A later lookup is a plain hit.
+	if _, err := sc.get(key, func() (*Circuit, error) {
+		t.Fatal("recompiled a cached key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.Hits != 1 {
+		t.Fatalf("hits=%d, want 1", st.Hits)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	sc := NewStripCache(2)
+	mk := func(seed uint64) func() (*Circuit, error) {
+		return func() (*Circuit, error) { return &Circuit{}, nil }
+	}
+	a, b, c := testKey("a", 1), testKey("b", 2), testKey("c", 3)
+	sc.get(a, mk(1))
+	sc.get(b, mk(2))
+	sc.get(a, mk(1)) // touch a: b is now LRU
+	sc.get(c, mk(3)) // evicts b
+	if sc.Len() != 2 {
+		t.Fatalf("len=%d, want 2", sc.Len())
+	}
+	st := sc.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+	sc.get(a, func() (*Circuit, error) {
+		t.Fatal("a was evicted; expected b (the LRU) to go")
+		return nil, nil
+	})
+	sc.get(c, func() (*Circuit, error) {
+		t.Fatal("c was evicted; expected b (the LRU) to go")
+		return nil, nil
+	})
+	recompiled := false
+	sc.get(b, func() (*Circuit, error) {
+		recompiled = true
+		return &Circuit{}, nil
+	})
+	if !recompiled {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	sc := NewStripCache(4)
+	key := testKey("err", 1)
+	boom := errors.New("boom")
+	if _, err := sc.get(key, func() (*Circuit, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if sc.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// Next lookup compiles again (and can succeed).
+	c, err := sc.get(key, func() (*Circuit, error) { return &Circuit{}, nil })
+	if err != nil || c == nil {
+		t.Fatalf("retry after error: %v %v", c, err)
+	}
+}
+
+func TestCacheKeyIncludesAllInputs(t *testing.T) {
+	sc := NewStripCache(0) // 0 => default capacity
+	if sc.Stats().Capacity != DefaultCacheCapacity {
+		t.Fatalf("capacity=%d, want default %d", sc.Stats().Capacity, DefaultCacheCapacity)
+	}
+	nl := netlist.Counter(4)
+	base := Options{Seed: 7}
+	variants := []Options{
+		{Seed: 8},
+		{Seed: 7, Effort: 3},
+		{Seed: 7, DisableOpt: true},
+	}
+	if _, err := sc.CompileStrip(nl, 8, 4, base); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range variants {
+		if _, err := sc.CompileStrip(nl, 8, 4, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sc.Stats()
+	if st.Misses != int64(1+len(variants)) || st.Hits != 0 {
+		t.Fatalf("misses=%d hits=%d: option variants collided in the key", st.Misses, st.Hits)
+	}
+	// Same options again: pure hit.
+	if _, err := sc.CompileStrip(nl, 8, 4, base); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.Hits != 1 {
+		t.Fatalf("hits=%d, want 1", st.Hits)
+	}
+	if got := sc.Stats().HitRate(); got <= 0 || got >= 1 {
+		t.Fatalf("hit rate %v out of range", got)
+	}
+}

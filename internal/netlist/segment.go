@@ -179,8 +179,16 @@ func Segment(nl *Netlist, k int) ([]*Netlist, error) {
 	}
 
 	// Export boundary wires: producer stages emit an output port for each
-	// consumer in a later stage (or the virtual output stage).
-	for producer, users := range consumers {
+	// consumer in a later stage (or the virtual output stage). Producers
+	// are visited in id order so stage port order (and hence downstream
+	// placement) is deterministic.
+	producers := make([]NodeID, 0, len(consumers))
+	for producer := range consumers {
+		producers = append(producers, producer)
+	}
+	sort.Slice(producers, func(i, j int) bool { return producers[i] < producers[j] })
+	for _, producer := range producers {
+		users := consumers[producer]
 		ps := 0
 		if isGate(producer) {
 			ps = stageOf(producer)

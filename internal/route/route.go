@@ -11,7 +11,6 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/place"
@@ -154,13 +153,86 @@ type pqItem struct {
 	cost float64
 }
 
-type pq []pqItem
+// routeScratch holds every buffer shortestPath needs, so the thousands of
+// per-net searches a negotiation run performs share one set of
+// allocations. Visited state is generation-stamped instead of cleared:
+// bumping gen invalidates dist/prev/done for all nodes in O(1).
+type routeScratch struct {
+	dist    []float64
+	prev    []int
+	seenGen []uint32 // seenGen[n] == gen: dist/prev valid this search
+	doneGen []uint32 // doneGen[n] == gen: node settled this search
+	gen     uint32
+	heap    []pqItem // manual binary min-heap (container/heap boxes items)
+	path    []int
+}
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+func newRouteScratch(nodes int) *routeScratch {
+	s := &routeScratch{}
+	s.ensure(nodes)
+	return s
+}
+
+// ensure sizes the node-indexed buffers for a grid of n nodes.
+func (s *routeScratch) ensure(n int) {
+	if len(s.dist) >= n {
+		return
+	}
+	s.dist = make([]float64, n)
+	s.prev = make([]int, n)
+	s.seenGen = make([]uint32, n)
+	s.doneGen = make([]uint32, n)
+	s.gen = 0
+}
+
+// nextGen starts a new search, handling the (theoretical) wraparound.
+func (s *routeScratch) nextGen() {
+	s.gen++
+	if s.gen == 0 { // wrapped: stale stamps could collide, so clear
+		for i := range s.seenGen {
+			s.seenGen[i] = 0
+			s.doneGen[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+func (s *routeScratch) hpush(it pqItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].cost <= s.heap[i].cost {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *routeScratch) hpop() pqItem {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && s.heap[l].cost < s.heap[min].cost {
+			min = l
+		}
+		if r < last && s.heap[r].cost < s.heap[min].cost {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+	return top
+}
 
 // Route produces a legal routing of p against the given channel capacity.
 func Route(p *place.Placement, tracks int, opt Options) (*Result, error) {
@@ -193,6 +265,21 @@ func Route(p *place.Placement, tracks int, opt Options) (*Result, error) {
 	inNet := make([]bool, g.numEdges()) // scratch: edges already in current net
 
 	presFac := 0.5
+	scratch := newRouteScratch(g.nodes())
+	// One cost closure for the whole negotiation: it reads presFac and the
+	// occupancy arrays by reference, so allocating it per connection (as a
+	// literal in the loop would) is pure garbage-collector churn.
+	cost := func(e edgeID) float64 {
+		if inNet[e] {
+			return 1e-4 // already carried by this net: reuse freely
+		}
+		over := float64(occ[e] + 1 - tracks)
+		if over < 0 {
+			over = 0
+		}
+		return (1 + hist[e]) * (1 + over*presFac)
+	}
+	var netEdges []edgeID
 	for iter := 1; iter <= maxIter; iter++ {
 		res.Iterations = iter
 		// Rip up everything and re-route in order with current costs.
@@ -201,21 +288,12 @@ func Route(p *place.Placement, tracks int, opt Options) (*Result, error) {
 		}
 		for _, src := range netOrder {
 			conns := netOf[src]
-			var netEdges []edgeID
+			netEdges = netEdges[:0]
 			for _, i := range conns {
 				c := &res.Conns[i]
 				from, to := g.node(res.srcLoc(c.Src)), g.node(res.sinkLoc(c.Sink))
-				path := shortestPath(g, from, to, func(e edgeID) float64 {
-					if inNet[e] {
-						return 1e-4 // already carried by this net: reuse freely
-					}
-					over := float64(occ[e] + 1 - tracks)
-					if over < 0 {
-						over = 0
-					}
-					return (1 + hist[e]) * (1 + over*presFac)
-				})
-				paths[i] = path
+				path := scratch.shortestPath(g, from, to, cost)
+				paths[i] = append(paths[i][:0], path...)
 				for k := 0; k+1 < len(path); k++ {
 					e := g.edgeBetween(path[k], path[k+1])
 					if !inNet[e] {
@@ -258,57 +336,59 @@ func Route(p *place.Placement, tracks int, opt Options) (*Result, error) {
 		p.Mapped.Name, p.W, p.H, tracks, maxIter, res.MaxUse)
 }
 
-// shortestPath runs Dijkstra over the grid with the given edge cost.
-func shortestPath(g grid, from, to int, cost func(edgeID) float64) []int {
+// shortestPath runs Dijkstra over the grid with the given edge cost. The
+// returned slice aliases the scratch buffer and is valid only until the
+// next call; callers that keep a path must copy it. Beyond amortized
+// buffer growth the search allocates nothing.
+func (s *routeScratch) shortestPath(g grid, from, to int, cost func(edgeID) float64) []int {
+	s.path = s.path[:0]
 	if from == to {
-		return []int{from}
+		s.path = append(s.path, from)
+		return s.path
 	}
-	dist := make([]float64, g.nodes())
-	prev := make([]int, g.nodes())
-	done := make([]bool, g.nodes())
-	for i := range dist {
-		dist[i] = -1
-		prev[i] = -1
-	}
-	dist[from] = 0
-	q := &pq{{node: from}}
+	s.ensure(g.nodes())
+	s.nextGen()
+	s.heap = s.heap[:0]
+	s.dist[from] = 0
+	s.prev[from] = -1
+	s.seenGen[from] = s.gen
+	s.hpush(pqItem{node: from})
 	var nbuf [4]int
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
+	for len(s.heap) > 0 {
+		it := s.hpop()
+		if s.doneGen[it.node] == s.gen {
 			continue
 		}
-		done[it.node] = true
+		s.doneGen[it.node] = s.gen
 		if it.node == to {
 			break
 		}
 		for _, nb := range g.neighbors(it.node, nbuf[:0]) {
-			if done[nb] {
+			if s.doneGen[nb] == s.gen {
 				continue
 			}
 			c := it.cost + cost(g.edgeBetween(it.node, nb))
-			if dist[nb] < 0 || c < dist[nb] {
-				dist[nb] = c
-				prev[nb] = it.node
-				heap.Push(q, pqItem{node: nb, cost: c})
+			if s.seenGen[nb] != s.gen || c < s.dist[nb] {
+				s.seenGen[nb] = s.gen
+				s.dist[nb] = c
+				s.prev[nb] = it.node
+				s.hpush(pqItem{node: nb, cost: c})
 			}
 		}
 	}
-	if prev[to] == -1 && to != from {
+	if s.doneGen[to] != s.gen {
 		panic("route: grid is connected; unreachable node")
 	}
-	var rev []int
-	for n := to; n != -1; n = prev[n] {
-		rev = append(rev, n)
+	for n := to; n != -1; n = s.prev[n] {
+		s.path = append(s.path, n)
 		if n == from {
 			break
 		}
 	}
-	path := make([]int, len(rev))
-	for i, n := range rev {
-		path[len(rev)-1-i] = n
+	for i, j := 0, len(s.path)-1; i < j; i, j = i+1, j-1 {
+		s.path[i], s.path[j] = s.path[j], s.path[i]
 	}
-	return path
+	return s.path
 }
 
 // CriticalPath returns the longest combinational delay through the routed

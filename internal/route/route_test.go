@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netlist"
 	"repro/internal/place"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/techmap"
 )
@@ -194,7 +195,8 @@ func TestGridEdgeIndexing(t *testing.T) {
 
 func TestShortestPathStraightLine(t *testing.T) {
 	g := grid{w: 5, h: 5}
-	path := shortestPath(g, g.node(place.Loc{X: 0, Y: 2}), g.node(place.Loc{X: 4, Y: 2}),
+	s := newRouteScratch(g.nodes())
+	path := s.shortestPath(g, g.node(place.Loc{X: 0, Y: 2}), g.node(place.Loc{X: 4, Y: 2}),
 		func(edgeID) float64 { return 1 })
 	if len(path) != 5 {
 		t.Fatalf("path length %d, want 5", len(path))
@@ -203,7 +205,8 @@ func TestShortestPathStraightLine(t *testing.T) {
 
 func TestShortestPathSameNode(t *testing.T) {
 	g := grid{w: 3, h: 3}
-	path := shortestPath(g, 4, 4, func(edgeID) float64 { return 1 })
+	s := newRouteScratch(g.nodes())
+	path := s.shortestPath(g, 4, 4, func(edgeID) float64 { return 1 })
 	if len(path) != 1 || path[0] != 4 {
 		t.Fatalf("self path = %v", path)
 	}
@@ -213,7 +216,8 @@ func TestShortestPathAvoidsExpensiveEdges(t *testing.T) {
 	// Make the direct row expensive; the path should detour.
 	g := grid{w: 3, h: 2}
 	direct := g.edgeBetween(g.node(place.Loc{X: 0, Y: 0}), g.node(place.Loc{X: 1, Y: 0}))
-	path := shortestPath(g, g.node(place.Loc{X: 0, Y: 0}), g.node(place.Loc{X: 2, Y: 0}),
+	s := newRouteScratch(g.nodes())
+	path := s.shortestPath(g, g.node(place.Loc{X: 0, Y: 0}), g.node(place.Loc{X: 2, Y: 0}),
 		func(e edgeID) float64 {
 			if e == direct {
 				return 100
@@ -222,6 +226,49 @@ func TestShortestPathAvoidsExpensiveEdges(t *testing.T) {
 		})
 	if len(path) != 5 { // detour via row 1
 		t.Fatalf("expected detour of 4 hops, got path %v", path)
+	}
+}
+
+// TestShortestPathScratchReuse checks that a reused scratch returns the
+// same paths as a fresh one: generation stamping must fully invalidate
+// earlier searches, including ones over a different cost field.
+func TestShortestPathScratchReuse(t *testing.T) {
+	g := grid{w: 7, h: 5}
+	reused := newRouteScratch(g.nodes())
+	src := rng.New(42)
+	costs := make([]float64, g.numEdges())
+	for trial := 0; trial < 50; trial++ {
+		for i := range costs {
+			costs[i] = 0.1 + src.Float64()
+		}
+		cost := func(e edgeID) float64 { return costs[e] }
+		from := src.Intn(g.nodes())
+		to := src.Intn(g.nodes())
+		got := reused.shortestPath(g, from, to, cost)
+		want := newRouteScratch(g.nodes()).shortestPath(g, from, to, cost)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: path length %d != fresh %d", trial, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: path diverges at hop %d: %v vs %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkRouteShortestPath locks in the allocation win: after warmup a
+// search must not allocate (the scratch owns every buffer).
+func BenchmarkRouteShortestPath(b *testing.B) {
+	g := grid{w: 32, h: 16}
+	s := newRouteScratch(g.nodes())
+	cost := func(e edgeID) float64 { return 1 + float64(e%7)*0.25 }
+	from, to := 0, g.nodes()-1
+	s.shortestPath(g, from, to, cost) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.shortestPath(g, from, to, cost)
 	}
 }
 

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -216,4 +217,24 @@ func TestHistogramInvalidShape(t *testing.T) {
 		}
 	}()
 	NewHistogram(1, 0, 4)
+}
+
+func TestAtomicCounter(t *testing.T) {
+	var c AtomicCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(10)
+			c.Dec()
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*10-8 {
+		t.Fatalf("counter=%d, want %d", got, 8*1000+8*10-8)
+	}
 }
