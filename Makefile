@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench-quick
+.PHONY: check fmt vet build test race conformance lint bench-quick trace-demo
 
-check: fmt vet build race test lint bench-quick
+check: fmt vet build race conformance test lint bench-quick
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -30,6 +30,16 @@ test:
 lint:
 	$(GO) run ./cmd/vfpgalint
 
+# The hostos.FPGA conformance suite and the golden merged-timeline
+# determinism test, explicitly under -race (they also run in `race` and
+# `test`; this target pins them as a named gate).
+conformance:
+	$(GO) test -race -run 'TestConformance|TestGoldenTimeline' ./internal/core/
+
 # Quick end-to-end harness run; leaves a machine-readable perf record.
 bench-quick:
 	$(GO) run ./cmd/vfpgabench -quick -json BENCH_quick.json
+
+# Render a merged scheduler+device timeline from the time-sharing example.
+trace-demo:
+	$(GO) run ./examples/timeshare

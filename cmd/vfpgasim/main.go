@@ -7,6 +7,8 @@
 //	vfpgasim -scenario multimedia -manager dynamic
 //	vfpgasim -scenario telecom -manager partition -sched rr -slice 5ms
 //	vfpgasim -scenario synthetic -manager exclusive -tasks 8
+//	vfpgasim -scenario multimedia -manager dynamic -trace
+//	vfpgasim -scenario telecom -manager multi -boards 2
 package main
 
 import (
@@ -26,21 +28,38 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "multimedia", "multimedia | telecom | diagnosis | storage | synthetic")
-	manager := flag.String("manager", "dynamic", "dynamic | partition | overlay | paged | exclusive | software | merged")
+	manager := flag.String("manager", "dynamic", "dynamic | partition | overlay | paged | multi | exclusive | software | merged")
 	sched := flag.String("sched", "rr", "fifo | rr | priority")
 	slice := flag.Duration("slice", 10*time.Millisecond, "round-robin time slice")
 	tasks := flag.Int("tasks", 6, "task count (synthetic scenario)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	cols := flag.Int("cols", 32, "device columns")
 	rows := flag.Int("rows", 16, "device rows")
+	boards := flag.Int("boards", 2, "board count (multi manager)")
 	gantt := flag.Bool("gantt", false, "print an ASCII scheduling timeline")
-	lintFlag := flag.Bool("lint", false, "run the static verifier on the workload's circuits before simulating; abort on errors")
+	traceFlag := flag.Bool("trace", false, "print the merged scheduler+device event timeline")
+	lintFlag := flag.Bool("lint", false, "run the static verifier on the circuits before and on the device state after simulating; abort on errors")
 	flag.Parse()
 
-	if err := run(*scenario, *manager, *sched, sim.Time(slice.Nanoseconds()), *tasks, *seed, *cols, *rows, *gantt, *lintFlag); err != nil {
+	cfg := runConfig{
+		scenario: *scenario, manager: *manager, sched: *sched,
+		slice: sim.Time(slice.Nanoseconds()), tasks: *tasks, seed: *seed,
+		cols: *cols, rows: *rows, boards: *boards,
+		gantt: *gantt, trace: *traceFlag, lint: *lintFlag,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type runConfig struct {
+	scenario, manager, sched string
+	slice                    sim.Time
+	tasks                    int
+	seed                     uint64
+	cols, rows, boards       int
+	gantt, trace, lint       bool
 }
 
 // lintCircuits runs the netlist- and bitstream-domain passes over every
@@ -69,37 +88,64 @@ func lintCircuits(set *workload.Set, e *core.Engine) error {
 	return nil
 }
 
-func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64, cols, rows int, gantt, doLint bool) error {
-	var set *workload.Set
-	switch scenario {
+// lintFinal audits the manager's live device state through its ledger
+// view — every manager exposes one via core.LintTargeter.
+func lintFinal(mgr hostos.FPGA) error {
+	lt, ok := mgr.(core.LintTargeter)
+	if !ok {
+		return nil
+	}
+	diags, err := lint.Run(lt.LintTargets(), lint.Options{MinSeverity: lint.Warning})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Printf("lint: %s\n", d)
+	}
+	if lint.HasErrors(diags) {
+		return fmt.Errorf("device-state invariants violated after the run")
+	}
+	fmt.Println("lint: final device state verified")
+	return nil
+}
+
+func buildSet(cfg runConfig) (*workload.Set, error) {
+	switch cfg.scenario {
 	case "multimedia":
-		cfg := workload.DefaultMultimedia()
-		cfg.Seed = seed
-		set = workload.Multimedia(cfg)
+		c := workload.DefaultMultimedia()
+		c.Seed = cfg.seed
+		return workload.Multimedia(c), nil
 	case "telecom":
-		cfg := workload.DefaultTelecom()
-		cfg.Seed = seed
-		set = workload.Telecom(cfg)
+		c := workload.DefaultTelecom()
+		c.Seed = cfg.seed
+		return workload.Telecom(c), nil
 	case "diagnosis":
-		cfg := workload.DefaultDiagnosis()
-		cfg.Seed = seed
-		set = workload.Diagnosis(cfg)
+		c := workload.DefaultDiagnosis()
+		c.Seed = cfg.seed
+		return workload.Diagnosis(c), nil
 	case "storage":
-		cfg := workload.DefaultStorage()
-		cfg.Seed = seed
-		set = workload.Storage(cfg)
+		c := workload.DefaultStorage()
+		c.Seed = cfg.seed
+		return workload.Storage(c), nil
 	case "synthetic":
-		set = workload.Synthetic(workload.SyntheticConfig{
-			Tasks: tasks, OpsPerTask: 6, EvalsPerOp: 30_000,
-			ComputeTime: 300 * sim.Microsecond, SwitchProb: 0.3, Seed: seed,
-		})
+		return workload.Synthetic(workload.SyntheticConfig{
+			Tasks: cfg.tasks, OpsPerTask: 6, EvalsPerOp: 30_000,
+			ComputeTime: 300 * sim.Microsecond, SwitchProb: 0.3, Seed: cfg.seed,
+		}), nil
 	default:
-		return fmt.Errorf("unknown scenario %q", scenario)
+		return nil, fmt.Errorf("unknown scenario %q", cfg.scenario)
+	}
+}
+
+func run(cfg runConfig) error {
+	set, err := buildSet(cfg)
+	if err != nil {
+		return err
 	}
 
 	opt := core.DefaultOptions()
-	opt.Geometry.Cols, opt.Geometry.Rows = cols, rows
-	opt.Seed = seed + 1
+	opt.Geometry.Cols, opt.Geometry.Rows = cfg.cols, cfg.rows
+	opt.Seed = cfg.seed + 1
 	k := sim.New()
 	e := core.NewEngine(opt)
 	fmt.Printf("compiling %d circuits for a %v device...\n", len(set.Circuits), opt.Geometry)
@@ -110,14 +156,15 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		c := e.Lib[nl.Name]
 		fmt.Printf("  %s\n", c)
 	}
-	if doLint {
+	if cfg.lint {
 		if err := lintCircuits(set, e); err != nil {
 			return err
 		}
 	}
 
+	engines := []*core.Engine{e}
 	var mgr hostos.FPGA
-	switch manager {
+	switch cfg.manager {
 	case "dynamic":
 		mgr = core.NewDynamicLoader(k, e)
 	case "partition":
@@ -137,11 +184,33 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		fmt.Printf("overlay init download: %v\n", initCost)
 		mgr = om
 	case "paged":
-		pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 16, Policy: core.LRU, Seed: seed})
+		pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 16, Policy: core.LRU, Seed: cfg.seed})
 		if err != nil {
 			return err
 		}
 		mgr = pl
+	case "multi":
+		if cfg.boards < 1 {
+			return fmt.Errorf("multi manager needs at least one board")
+		}
+		// Each additional board is its own engine (device, pins, metrics)
+		// with the circuits compiled into its own library.
+		for i := 1; i < cfg.boards; i++ {
+			be := core.NewEngine(opt)
+			for _, nl := range set.Circuits {
+				if err := be.AddCircuit(nl); err != nil {
+					return err
+				}
+			}
+			engines = append(engines, be)
+		}
+		mm, err := core.NewMultiManager(k, engines, core.PartitionConfig{
+			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+		})
+		if err != nil {
+			return err
+		}
+		mgr = mm
 	case "exclusive":
 		mgr = baseline.NewExclusive(k, e)
 	case "software":
@@ -154,11 +223,11 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		fmt.Printf("merged init download: %v\n", initCost)
 		mgr = m
 	default:
-		return fmt.Errorf("unknown manager %q", manager)
+		return fmt.Errorf("unknown manager %q", cfg.manager)
 	}
 
-	osCfg := hostos.Config{TimeSlice: slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
-	switch sched {
+	osCfg := hostos.Config{TimeSlice: cfg.slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
+	switch cfg.sched {
 	case "fifo":
 		osCfg.Policy = hostos.FIFO
 	case "rr":
@@ -166,16 +235,24 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 	case "priority":
 		osCfg.Policy = hostos.Priority
 	default:
-		return fmt.Errorf("unknown scheduler %q", sched)
+		return fmt.Errorf("unknown scheduler %q", cfg.sched)
 	}
 	osim := hostos.New(k, osCfg, mgr)
 	if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
 		att.AttachOS(osim)
 	}
 	var tlog *hostos.EventLog
-	if gantt {
+	if cfg.gantt || cfg.trace {
 		tlog = hostos.NewEventLog(0)
 		osim.AttachTrace(tlog)
+	}
+	var devLogs []*core.DeviceLog
+	if cfg.trace {
+		for _, eng := range engines {
+			dl := core.NewDeviceLog(0)
+			eng.Ledger().AttachLog(dl)
+			devLogs = append(devLogs, dl)
+		}
 	}
 	set.Spawn(osim)
 	k.Run()
@@ -185,7 +262,7 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 
 	tbl := &trace.Table{
 		ID:      "RUN",
-		Title:   fmt.Sprintf("%s under %s (%s, slice %v)", scenario, manager, sched, slice),
+		Title:   fmt.Sprintf("%s under %s (%s, slice %v)", cfg.scenario, cfg.manager, cfg.sched, cfg.slice),
 		Columns: []string{"task", "turnaround_ms", "cpu_ms", "hw_ms", "overhead_ms", "wait_ms", "block_ms", "preempts"},
 	}
 	for _, t := range osim.Tasks() {
@@ -202,31 +279,37 @@ func run(scenario, manager, sched string, slice sim.Time, tasks int, seed uint64
 		return err
 	}
 
-	m := &e.M
 	fmt.Printf("makespan: %v   ctx switches: %d\n", osim.Makespan(), osim.CtxSwitches)
-	fmt.Printf("manager: loads=%d evictions=%d readbacks=%d restores=%d rollbacks=%d\n",
-		m.Loads.Value(), m.Evictions.Value(), m.Readbacks.Value(), m.Restores.Value(), m.Rollbacks.Value())
-	fmt.Printf("         page faults=%d gc runs=%d relocations=%d blocks=%d muxed ops=%d\n",
-		m.PageFaults.Value(), m.GCRuns.Value(), m.Relocations.Value(), m.Blocks.Value(), m.MuxedOps.Value())
-	fmt.Printf("         config time=%v readback time=%v restore time=%v\n",
-		m.ConfigTime, m.ReadbackTime, m.RestoreTime)
-	fmt.Printf("device:  %d/%d CLBs configured at end, mean occupancy %.1f CLBs\n",
-		e.Dev.UsedCells(), opt.Geometry.NumCLBs(), m.Util.Average(int64(k.Now())))
-	if tlog != nil {
+	for i, eng := range engines {
+		m := &eng.M
+		label := "manager:"
+		if len(engines) > 1 {
+			label = fmt.Sprintf("board %d:", i)
+		}
+		fmt.Printf("%s loads=%d evictions=%d readbacks=%d restores=%d rollbacks=%d\n",
+			label, m.Loads.Value(), m.Evictions.Value(), m.Readbacks.Value(), m.Restores.Value(), m.Rollbacks.Value())
+		fmt.Printf("         page faults=%d gc runs=%d relocations=%d blocks=%d muxed ops=%d\n",
+			m.PageFaults.Value(), m.GCRuns.Value(), m.Relocations.Value(), m.Blocks.Value(), m.MuxedOps.Value())
+		fmt.Printf("         config time=%v readback time=%v restore time=%v\n",
+			m.ConfigTime, m.ReadbackTime, m.RestoreTime)
+		fmt.Printf("device:  %d/%d CLBs configured at end, mean occupancy %.1f CLBs\n",
+			eng.Dev.UsedCells(), opt.Geometry.NumCLBs(), m.Util.Average(int64(k.Now())))
+	}
+	if tlog != nil && cfg.gantt {
 		fmt.Println()
 		fmt.Println("timeline ('#' running, '.' ready, 'b' blocked):")
 		fmt.Print(tlog.Gantt(100, osim.Makespan()))
 	}
-	if doLint {
-		if pm, ok := mgr.(*core.PartitionManager); ok {
-			diags := lint.RunTarget(pm.LintTarget(), lint.Options{MinSeverity: lint.Warning})
-			for _, d := range diags {
-				fmt.Printf("lint: %s\n", d)
-			}
-			if lint.HasErrors(diags) {
-				return fmt.Errorf("partition-state invariants violated after the run")
-			}
-			fmt.Println("lint: final partition table and device configuration verified")
+	if cfg.trace {
+		fmt.Println()
+		fmt.Println("merged scheduler+device timeline:")
+		if err := core.MergeTimeline(tlog, devLogs...).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if cfg.lint {
+		if err := lintFinal(mgr); err != nil {
+			return err
 		}
 	}
 	return nil

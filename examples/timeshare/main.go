@@ -7,7 +7,9 @@
 //     then reloaded and restored — and continues from exactly where it
 //     stopped;
 //  2. at the OS level: two sequential tasks time-share one device under
-//     round-robin, and the save/restore accounting shows no lost cycles.
+//     round-robin, and the save/restore accounting shows no lost cycles —
+//     with the merged scheduler+device timeline showing each preemption's
+//     readback and each resume's restore in causal order.
 package main
 
 import (
@@ -98,10 +100,14 @@ func osLevelDemo() {
 		}
 	}
 	d := core.NewDynamicLoader(k, e)
+	devLog := core.NewDeviceLog(0)
+	e.Ledger().AttachLog(devLog)
 	osim := hostos.New(k, hostos.Config{
 		Policy: hostos.RR, TimeSlice: 2 * sim.Millisecond,
 		CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond,
 	}, d)
+	schedLog := hostos.NewEventLog(0)
+	osim.AttachTrace(schedLog)
 	set := &workload.Set{Tasks: []workload.TaskSpec{
 		{Name: "metronome", Program: []hostos.Op{
 			hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: 300_000}),
@@ -120,6 +126,17 @@ func osLevelDemo() {
 	}
 	fmt.Printf("manager: %d loads, %d readbacks, %d restores — every preemption saved state\n",
 		e.M.Loads.Value(), e.M.Readbacks.Value(), e.M.Restores.Value())
+
+	// The merged timeline interleaves both layers: each scheduler decision
+	// (sched) followed by the device work it caused (device).
+	tl := core.MergeTimeline(schedLog, devLog)
+	const show = 24
+	fmt.Printf("\nmerged scheduler+device timeline (first %d of %d events):\n", show, len(tl.Events))
+	head := *tl
+	if len(head.Events) > show {
+		head.Events = head.Events[:show]
+	}
+	fmt.Print(head.String())
 }
 
 func main() {

@@ -11,16 +11,18 @@
 //     slowdown the paper's motivation assumes FPGAs exist to avoid.
 //
 // All three implement hostos.FPGA, so experiments swap them for the VFPGA
-// managers without touching the workload.
+// managers without touching the workload. The device-backed baselines go
+// through the same residency ledger as the managers, so their costs and
+// metrics are charged identically and their runs are traceable.
 package baseline
 
 import (
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 )
 
@@ -31,17 +33,15 @@ type Exclusive struct {
 	K  *sim.Kernel
 	OS *hostos.OS
 
-	holder   *hostos.Task
-	resident string
-	pins     []int
-	mux      int
-	waiters  []*hostos.Task
+	holder  *hostos.Task
+	waiters []*hostos.Task
 }
 
 var _ hostos.FPGA = (*Exclusive)(nil)
 
 // NewExclusive returns an exclusive-FPGA baseline over the engine.
 func NewExclusive(k *sim.Kernel, e *core.Engine) *Exclusive {
+	e.Ledger().Bind(k)
 	return &Exclusive{E: e, K: k}
 }
 
@@ -64,41 +64,22 @@ func (x *Exclusive) circuitOf(t *hostos.Task) *compile.Circuit {
 
 // Acquire implements hostos.FPGA: the device is granted whole, FIFO.
 func (x *Exclusive) Acquire(t *hostos.Task) (sim.Time, bool) {
+	led := x.E.Ledger()
 	if x.holder != nil && x.holder != t {
-		x.E.M.Blocks.Inc()
+		led.NoteBlock(t.Name)
 		x.waiters = append(x.waiters, t)
 		return 0, false
 	}
 	x.holder = t
 	c := x.circuitOf(t)
-	if x.resident == c.Name {
-		return 0, true
+	if r := led.ResidentAt(0); r != nil {
+		if r.Circuit == c.Name {
+			return 0, true
+		}
+		led.Evict(0)
 	}
-	var cost sim.Time
-	if x.resident != "" {
-		old, _ := x.E.Circuit(x.resident)
-		x.E.Dev.ClearRegion(old.BS.Region(0, 0))
-		x.E.FreePins(x.pins)
-		x.E.M.Evictions.Inc()
-	}
-	pins, mux, err := x.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
-	if err != nil {
-		panic(fmt.Sprintf("baseline: %v", err))
-	}
-	in, out := pinBinding(c, pins)
-	if _, _, err := c.BS.Apply(x.E.Dev, 0, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-		panic(fmt.Sprintf("baseline: apply %s: %v", c.Name, err))
-	}
-	if x.E.Opt.Timing.PartialReconfig {
-		cost = c.BS.ConfigCost(x.E.Opt.Timing)
-	} else {
-		cost = x.E.Opt.Timing.FullConfigTime(x.E.Opt.Geometry)
-	}
-	x.E.M.Loads.Inc()
-	x.E.M.ConfigTime += cost
-	x.resident = c.Name
-	x.pins = pins
-	x.mux = mux
+	// Without partial reconfiguration the whole device is rewritten.
+	_, cost := led.Load(t.Name, c, 0, true)
 	return cost, true
 }
 
@@ -107,9 +88,9 @@ func (x *Exclusive) ExecTime(t *hostos.Task) sim.Time {
 	c := x.circuitOf(t)
 	req := t.CurrentRequest()
 	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
-	mux := x.mux
-	if mux == 0 {
-		mux = 1
+	mux := 1
+	if r := x.E.Ledger().ResidentAt(0); r != nil {
+		mux = r.Mux
 	}
 	return x.E.ExecQuantum(pure, mux)
 }
@@ -130,6 +111,7 @@ func (x *Exclusive) Resume(t *hostos.Task) sim.Time { return 0 }
 func (x *Exclusive) Complete(t *hostos.Task) {}
 
 // Remove implements hostos.FPGA: the holder's exit releases the device.
+// The configuration stays resident (the next holder may want it).
 func (x *Exclusive) Remove(t *hostos.Task) {
 	if x.holder != t {
 		return
@@ -145,6 +127,11 @@ func (x *Exclusive) Remove(t *hostos.Task) {
 // Holder returns the task currently owning the device (nil if free).
 func (x *Exclusive) Holder() *hostos.Task { return x.holder }
 
+// LintTargets implements core.LintTargeter.
+func (x *Exclusive) LintTargets() []*lint.Target {
+	return []*lint.Target{x.E.Ledger().LintTarget("exclusive")}
+}
+
 // Merged models the all-circuits-in-one configuration: every registered
 // circuit is loaded side by side at initialization and never moves. It
 // fails construction when the device is too small — which is exactly the
@@ -153,7 +140,6 @@ type Merged struct {
 	E     *core.Engine
 	K     *sim.Kernel
 	slots map[string]int // circuit -> strip origin column
-	muxOf map[string]int
 }
 
 var _ hostos.FPGA = (*Merged)(nil)
@@ -162,7 +148,9 @@ var _ hostos.FPGA = (*Merged)(nil)
 // deterministic order) side by side. It returns the initialization cost
 // (one big download) or an error if the circuits do not all fit.
 func NewMerged(k *sim.Kernel, e *core.Engine, order []string) (*Merged, sim.Time, error) {
-	m := &Merged{E: e, K: k, slots: map[string]int{}, muxOf: map[string]int{}}
+	e.Ledger().Bind(k)
+	m := &Merged{E: e, K: k, slots: map[string]int{}}
+	led := e.Ledger()
 	x := 0
 	var cost sim.Time
 	for _, name := range order {
@@ -174,21 +162,14 @@ func NewMerged(k *sim.Kernel, e *core.Engine, order []string) (*Merged, sim.Time
 			return nil, 0, fmt.Errorf("baseline: merged circuits need more than %d columns (%s does not fit at %d)",
 				e.Opt.Geometry.Cols, name, x)
 		}
-		pins, mux, err := e.AllocPins(c.BS.NumIn + c.BS.NumOut)
+		_, loadCost, err := led.TryLoad("", c, x, false)
 		if err != nil {
 			return nil, 0, err
 		}
-		in, out := pinBinding(c, pins)
-		if _, _, err := c.BS.Apply(e.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-			return nil, 0, err
-		}
 		m.slots[name] = x
-		m.muxOf[name] = mux
-		cost += c.BS.ConfigCost(e.Opt.Timing)
-		e.M.Loads.Inc()
+		cost += loadCost
 		x += c.BS.W
 	}
-	e.M.ConfigTime += cost
 	return m, cost, nil
 }
 
@@ -210,8 +191,12 @@ func (m *Merged) ExecTime(t *hostos.Task) sim.Time {
 	if err != nil {
 		panic(err)
 	}
+	mux := 1
+	if r := m.E.Ledger().ResidentAt(m.slots[req.Circuit]); r != nil {
+		mux = r.Mux
+	}
 	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
-	return m.E.ExecQuantum(pure, m.muxOf[req.Circuit])
+	return m.E.ExecQuantum(pure, mux)
 }
 
 // Preemptable implements hostos.FPGA: circuits never move, so preemption
@@ -240,6 +225,11 @@ func (m *Merged) Complete(t *hostos.Task) {}
 
 // Remove implements hostos.FPGA.
 func (m *Merged) Remove(t *hostos.Task) {}
+
+// LintTargets implements core.LintTargeter.
+func (m *Merged) LintTargets() []*lint.Target {
+	return []*lint.Target{m.E.Ledger().LintTarget("merged")}
+}
 
 // Software runs every "FPGA" operation on the host CPU at a slowdown
 // factor — the no-FPGA null hypothesis of the paper's motivation.
@@ -297,27 +287,8 @@ func (s *Software) Complete(t *hostos.Task) {}
 // Remove implements hostos.FPGA.
 func (s *Software) Remove(t *hostos.Task) {}
 
-// pinBinding mirrors core's wrap-around binding for baselines.
-func pinBinding(c *compile.Circuit, pins []int) ([]int, []int) {
-	in := make([]int, c.BS.NumIn)
-	out := make([]int, c.BS.NumOut)
-	if len(pins) == 0 {
-		for i := range in {
-			in[i] = -1
-		}
-		for i := range out {
-			out[i] = -1
-		}
-		return in, out
-	}
-	k := 0
-	for i := range in {
-		in[i] = pins[k%len(pins)]
-		k++
-	}
-	for i := range out {
-		out[i] = pins[k%len(pins)]
-		k++
-	}
-	return in, out
+// LintTargets implements core.LintTargeter: nothing on a device, but an
+// empty device target keeps the verifier wiring uniform.
+func (s *Software) LintTargets() []*lint.Target {
+	return []*lint.Target{s.E.Ledger().LintTarget("software")}
 }

@@ -1,0 +1,310 @@
+package core_test
+
+// Conformance suite: every hostos.FPGA implementation — the five VFPGA
+// managers and the three baselines — runs the same spawn/preempt/resume/
+// complete script and must satisfy the shared contract:
+//
+//   - Preempt returns overhead ≥ 0 and 0 ≤ preserved ≤ done, with
+//     overhead+preserved ≤ total (progress is never invented);
+//   - every Metrics counter and time equals what the residency ledger's
+//     event log says happened (the accounting is auditable);
+//   - no time metric is negative;
+//   - after every task exits, the device state passes the static verifier.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// confCircuits are the circuits the conformance script uses; small enough
+// that even Merged fits them side by side on the test device.
+var confCircuits = []string{"adder8", "counter8", "mul4"}
+
+func confEngine(t testing.TB) (*core.Engine, *core.DeviceLog) {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Geometry.Cols, opt.Geometry.Rows = 24, 8
+	opt.Geometry.TracksPerChannel, opt.Geometry.PinsPerSide = 12, 24
+	e := core.NewEngine(opt)
+	for _, nl := range []func() *netlist.Netlist{
+		func() *netlist.Netlist { return netlist.Adder(8) },
+		func() *netlist.Netlist { return netlist.Counter(8) },
+		func() *netlist.Netlist { return netlist.Multiplier(4) },
+	} {
+		if err := e.AddCircuit(nl()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := core.NewDeviceLog(0)
+	e.Ledger().AttachLog(log)
+	return e, log
+}
+
+// confImpl builds one hostos.FPGA implementation under test, returning
+// the manager, every engine behind it (for metric/event auditing) and
+// every attached device log.
+type confImpl struct {
+	name  string
+	build func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog)
+}
+
+func confImpls() []confImpl {
+	one := func(t testing.TB, mk func(k *sim.Kernel, e *core.Engine) hostos.FPGA) func(testing.TB, *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+		return func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			e, log := confEngine(t)
+			return mk(k, e), []*core.Engine{e}, []*core.DeviceLog{log}
+		}
+	}
+	return []confImpl{
+		{"dynamic", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				return core.NewDynamicLoader(k, e)
+			})(t, k)
+		}},
+		{"overlay", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				om, _, err := core.NewOverlayManager(k, e, []string{"adder8"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return om
+			})(t, k)
+		}},
+		{"paged", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 8, Policy: core.LRU})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pl
+			})(t, k)
+		}},
+		{"partition", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				pm, err := core.NewPartitionManager(k, e, core.PartitionConfig{
+					Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pm
+			})(t, k)
+		}},
+		{"multi", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			e0, l0 := confEngine(t)
+			e1, l1 := confEngine(t)
+			mm, err := core.NewMultiManager(k, []*core.Engine{e0, e1}, core.PartitionConfig{
+				Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mm, []*core.Engine{e0, e1}, []*core.DeviceLog{l0, l1}
+		}},
+		{"exclusive", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				return baseline.NewExclusive(k, e)
+			})(t, k)
+		}},
+		{"merged", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				m, _, err := baseline.NewMerged(k, e, confCircuits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			})(t, k)
+		}},
+		{"software", func(t testing.TB, k *sim.Kernel) (hostos.FPGA, []*core.Engine, []*core.DeviceLog) {
+			return one(t, func(k *sim.Kernel, e *core.Engine) hostos.FPGA {
+				return baseline.NewSoftware(e, 20)
+			})(t, k)
+		}},
+	}
+}
+
+// checkedFPGA wraps the implementation under test and asserts the
+// Preempt contract on every call the scheduler makes.
+type checkedFPGA struct {
+	hostos.FPGA
+	t        *testing.T
+	preempts int
+}
+
+func (c *checkedFPGA) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, sim.Time) {
+	overhead, preserved := c.FPGA.Preempt(t, done, total)
+	c.preempts++
+	if overhead < 0 {
+		c.t.Errorf("Preempt(%s, done=%v, total=%v): negative overhead %v", t.Name, done, total, overhead)
+	}
+	if preserved < 0 || preserved > done {
+		c.t.Errorf("Preempt(%s, done=%v, total=%v): preserved %v outside [0, done]", t.Name, done, total, preserved)
+	}
+	if overhead+preserved > total {
+		c.t.Errorf("Preempt(%s, done=%v, total=%v): overhead %v + preserved %v exceeds total", t.Name, done, total, overhead, preserved)
+	}
+	return overhead, preserved
+}
+
+// confScript spawns the shared workload: combinational and sequential
+// operations under a short round-robin slice, so SaveRestore paths,
+// evictions and resumes all trigger.
+func confScript(t testing.TB, os *hostos.OS) {
+	spawn := func(name string, ops ...hostos.Op) {
+		if _, err := os.Spawn(name, 0, ops); err != nil {
+			t.Fatalf("spawn %s: %v", name, err)
+		}
+	}
+	spawn("alpha",
+		hostos.UseFPGA(hostos.FPGARequest{Circuit: "adder8", Evaluations: 50_000}),
+		hostos.Compute(200*sim.Microsecond),
+		hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: 50_000}),
+	)
+	spawn("beta",
+		hostos.UseFPGA(hostos.FPGARequest{Circuit: "counter8", Cycles: 80_000}),
+		hostos.UseFPGA(hostos.FPGARequest{Circuit: "mul4", Evaluations: 30_000}),
+	)
+	spawn("gamma",
+		hostos.Compute(100*sim.Microsecond),
+		hostos.UseFPGA(hostos.FPGARequest{Circuit: "mul4", Evaluations: 60_000}),
+	)
+}
+
+// auditLedger cross-checks every Metrics counter and time against the
+// device log: the ledger is the only writer of both, so they must agree
+// exactly.
+func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
+	t.Helper()
+	var loads, pageLoads, evictions, readbacks, restores, rollbacks, relocations, blocks, gcruns int64
+	var configTime, readbackTime, restoreTime sim.Time
+	for _, ev := range log.Events() {
+		if ev.Cost < 0 {
+			t.Errorf("event %v has negative cost", ev)
+		}
+		switch ev.Op {
+		case core.OpLoad:
+			if ev.Page >= 0 {
+				pageLoads++
+			} else {
+				loads++
+			}
+			configTime += ev.Cost
+		case core.OpEvict:
+			if !ev.Voluntary {
+				evictions++
+			}
+		case core.OpReadback:
+			readbacks++
+			readbackTime += ev.Cost
+		case core.OpRestore:
+			restores++
+			restoreTime += ev.Cost
+		case core.OpReset:
+			restoreTime += ev.Cost
+		case core.OpRollback:
+			rollbacks++
+		case core.OpRelocate:
+			relocations++
+			configTime += ev.Cost
+		case core.OpBlock:
+			blocks++
+		case core.OpGC:
+			gcruns++
+		}
+	}
+	m := &e.M
+	for _, c := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Loads", m.Loads.Value(), loads},
+		{"PageLoads", m.PageLoads.Value(), pageLoads},
+		{"PageFaults", m.PageFaults.Value(), pageLoads},
+		{"Evictions", m.Evictions.Value(), evictions},
+		{"Readbacks", m.Readbacks.Value(), readbacks},
+		{"Restores", m.Restores.Value(), restores},
+		{"Rollbacks", m.Rollbacks.Value(), rollbacks},
+		{"Relocations", m.Relocations.Value(), relocations},
+		{"Blocks", m.Blocks.Value(), blocks},
+		{"GCRuns", m.GCRuns.Value(), gcruns},
+	} {
+		if c.got != c.want {
+			t.Errorf("Metrics.%s = %d, ledger events say %d", c.name, c.got, c.want)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		got  sim.Time
+		want sim.Time
+	}{
+		{"ConfigTime", m.ConfigTime, configTime},
+		{"ReadbackTime", m.ReadbackTime, readbackTime},
+		{"RestoreTime", m.RestoreTime, restoreTime},
+	} {
+		if c.got < 0 {
+			t.Errorf("Metrics.%s = %v is negative", c.name, c.got)
+		}
+		if c.got != c.want {
+			t.Errorf("Metrics.%s = %v, ledger events say %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestConformance(t *testing.T) {
+	for _, impl := range confImpls() {
+		impl := impl
+		for _, pol := range []core.StatePolicy{core.SaveRestore, core.Rollback} {
+			pol := pol
+			t.Run(fmt.Sprintf("%s/%s", impl.name, pol), func(t *testing.T) {
+				k := sim.New()
+				mgr, engines, logs := impl.build(t, k)
+				for _, e := range engines {
+					e.Opt.State = pol
+				}
+				checked := &checkedFPGA{FPGA: mgr, t: t}
+				os := hostos.New(k, hostos.Config{
+					Policy: hostos.RR, TimeSlice: 300 * sim.Microsecond,
+					CtxSwitch: 10 * sim.Microsecond, Syscall: 2 * sim.Microsecond,
+				}, checked)
+				if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
+					att.AttachOS(os)
+				}
+				confScript(t, os)
+				k.Run()
+				if !os.AllDone() {
+					t.Fatal("script did not run to completion")
+				}
+				for _, task := range os.Tasks() {
+					if task.Turnaround() < 0 || task.CPUTime < 0 || task.HWTime < 0 ||
+						task.Overhead < 0 || task.ReadyWait < 0 || task.BlockWait < 0 {
+						t.Errorf("task %s has a negative time metric: %+v", task.Name, task)
+					}
+				}
+				for i, e := range engines {
+					auditLedger(t, e, logs[i])
+				}
+				// Every task has exited (Remove ran): the device state the
+				// ledger left behind must pass the static verifier.
+				lt, ok := mgr.(core.LintTargeter)
+				if !ok {
+					t.Fatalf("%s does not implement core.LintTargeter", impl.name)
+				}
+				diags, err := lint.Run(lt.LintTargets(), lint.Options{MinSeverity: lint.Warning})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lint.HasErrors(diags) {
+					t.Errorf("device not lint-clean after all tasks exited: %v", lint.Errors(diags))
+				}
+			})
+		}
+	}
+}

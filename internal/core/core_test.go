@@ -575,8 +575,13 @@ func TestPagedFirstTouchFaultsAll(t *testing.T) {
 	if got := h.E.M.PageFaults.Value(); got != int64(pages) {
 		t.Fatalf("faults = %d, want %d", got, pages)
 	}
-	if pl.ResidentPages() != pages {
-		t.Fatalf("resident = %d, want %d", pl.ResidentPages(), pages)
+	// The exiting task was the circuit's last user, so its frames are
+	// released rather than stranded (Remove's reclamation).
+	if pl.ResidentPages() != 0 {
+		t.Fatalf("resident = %d, want 0 after last user exited", pl.ResidentPages())
+	}
+	if h.E.M.Evictions.Value() != 0 {
+		t.Fatalf("evictions = %d, want 0 (release at exit is voluntary)", h.E.M.Evictions.Value())
 	}
 }
 

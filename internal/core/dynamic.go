@@ -1,12 +1,10 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/fabric"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 )
 
@@ -16,15 +14,17 @@ import (
 // reconfiguration time instead. A configuration shared by several tasks
 // (the paper's device-driver case) stays resident across them; sequential
 // state is virtualized per task via readback/restore.
+//
+// The loader is pure policy: every device touch (download, eviction,
+// readback, restore, reset) goes through the engine's residency ledger,
+// which charges time and metrics and emits the device-side trace.
 type DynamicLoader struct {
 	E *Engine
 	K *sim.Kernel
 
-	resident      string
-	residentPins  []int
-	residentMux   int
-	stateOwner    hostos.TaskID // whose state the on-device FFs hold
-	hasStateOwner bool
+	stateOwner     hostos.TaskID // whose state the on-device FFs hold
+	stateOwnerName string
+	hasStateOwner  bool
 
 	// saved holds per-task flip-flop state for circuits whose on-device
 	// state was displaced (preemption or eviction).
@@ -45,6 +45,7 @@ var _ hostos.FPGA = (*DynamicLoader)(nil)
 
 // NewDynamicLoader returns a dynamic-loading manager over the engine.
 func NewDynamicLoader(k *sim.Kernel, e *Engine) *DynamicLoader {
+	e.Ledger().Bind(k)
 	return &DynamicLoader{
 		E:              e,
 		K:              k,
@@ -79,46 +80,22 @@ func (d *DynamicLoader) region(c *compile.Circuit) fabric.Region {
 // OS charges the returned duration to the task.
 func (d *DynamicLoader) ensureLoaded(t *hostos.Task) sim.Time {
 	c := d.circuitOf(t)
-	tm := d.E.Opt.Timing
+	led := d.E.Ledger()
 	var cost sim.Time
 
-	if d.resident != c.Name {
+	if cur := led.ResidentAt(0); cur == nil || cur.Circuit != c.Name {
 		// Evict the current resident, saving its owner's sequential state.
-		if d.resident != "" {
-			old, _ := d.E.Circuit(d.resident)
-			if old.Sequential && d.hasStateOwner {
-				cost += d.saveState(d.stateOwner, old)
+		if cur != nil {
+			if cur.C.Sequential && d.hasStateOwner {
+				cost += d.saveState(d.stateOwner, d.stateOwnerName, cur.C)
 			}
-			d.E.Dev.ClearRegion(d.region(old))
-			d.E.FreePins(d.residentPins)
-			d.residentPins = nil
-			d.E.M.Evictions.Inc()
+			led.Evict(0)
 		}
 		// Download the new configuration. Without partial reconfiguration
 		// the whole device is rewritten (the paper's plain-XC4000 case).
-		pins, mux, err := d.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
-		if err != nil {
-			panic(fmt.Sprintf("core: %v", err))
-		}
-		in, out := binding(c, pins)
-		if _, _, err := c.BS.Apply(d.E.Dev, 0, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-			panic(fmt.Sprintf("core: apply %s: %v", c.Name, err))
-		}
-		if tm.PartialReconfig {
-			cost += c.BS.ConfigCost(tm)
-		} else {
-			cost += tm.FullConfigTime(d.E.Opt.Geometry)
-		}
-		d.E.M.Loads.Inc()
-		d.E.M.ConfigTime += cost
-		d.resident = c.Name
-		d.residentPins = pins
-		d.residentMux = mux
-		if mux > 1 {
-			d.E.M.MuxedOps.Inc()
-		}
+		_, loadCost := led.Load(t.Name, c, 0, true)
+		cost += loadCost
 		d.hasStateOwner = false
-		d.E.noteUtil(d.K.Now())
 	}
 
 	if c.Sequential {
@@ -128,17 +105,14 @@ func (d *DynamicLoader) ensureLoaded(t *hostos.Task) sim.Time {
 }
 
 // saveState reads back the on-device FF state into the owner's table.
-func (d *DynamicLoader) saveState(owner hostos.TaskID, c *compile.Circuit) sim.Time {
-	st := d.E.Dev.ReadRegionState(d.region(c))
+func (d *DynamicLoader) saveState(owner hostos.TaskID, ownerName string, c *compile.Circuit) sim.Time {
+	st, cost := d.E.Ledger().Readback(ownerName, c, d.region(c))
 	m := d.saved[owner]
 	if m == nil {
 		m = map[string][]bool{}
 		d.saved[owner] = m
 	}
 	m[c.Name] = st
-	d.E.M.Readbacks.Inc()
-	cost := d.E.Opt.Timing.ReadbackTime(c.BS.FFCells)
-	d.E.M.ReadbackTime += cost
 	return cost
 }
 
@@ -149,51 +123,28 @@ func (d *DynamicLoader) adoptState(t *hostos.Task, c *compile.Circuit) sim.Time 
 	if d.hasStateOwner && d.stateOwner == t.ID && !d.rolledBack[t.ID] {
 		return 0 // device already holds this task's live state
 	}
+	led := d.E.Ledger()
 	var cost sim.Time
 	// Save the displaced owner's state first.
 	if d.hasStateOwner && d.stateOwner != t.ID {
-		cost += d.saveState(d.stateOwner, c)
+		cost += d.saveState(d.stateOwner, d.stateOwnerName, c)
 	}
 	region := d.region(c)
 	switch {
 	case d.rolledBack[t.ID]:
 		delete(d.rolledBack, t.ID)
-		d.resetState(region, c)
-		cost += d.restoreCost(c)
+		cost += led.Reset(t.Name, c, region)
 	case d.saved[t.ID][c.Name] != nil:
-		d.E.Dev.WriteRegionState(region, d.saved[t.ID][c.Name])
+		cost += led.Restore(t.Name, c, region, d.saved[t.ID][c.Name])
 		delete(d.saved[t.ID], c.Name)
-		d.E.M.Restores.Inc()
-		cost += d.restoreCost(c)
 	default:
 		// First use: reset to init values (cheap, but still a write).
-		d.resetState(region, c)
-		cost += d.restoreCost(c)
+		cost += led.Reset(t.Name, c, region)
 	}
 	d.stateOwner = t.ID
+	d.stateOwnerName = t.Name
 	d.hasStateOwner = true
 	return cost
-}
-
-func (d *DynamicLoader) restoreCost(c *compile.Circuit) sim.Time {
-	cost := d.E.Opt.Timing.RestoreTime(c.BS.FFCells)
-	d.E.M.RestoreTime += cost
-	return cost
-}
-
-// resetState writes every FF in the region back to its configured init
-// value, scanning in the device's x-major state order.
-func (d *DynamicLoader) resetState(region fabric.Region, c *compile.Circuit) {
-	init := make([]bool, 0, c.BS.FFCells)
-	for x := region.X; x < region.X+region.W; x++ {
-		for y := region.Y; y < region.Y+region.H; y++ {
-			cfg := d.E.Dev.CLB(x, y)
-			if cfg.Used && cfg.UseFF {
-				init = append(init, cfg.FFInit)
-			}
-		}
-	}
-	d.E.Dev.WriteRegionState(region, init)
 }
 
 // Acquire implements hostos.FPGA: dynamic loading never blocks.
@@ -206,7 +157,11 @@ func (d *DynamicLoader) ExecTime(t *hostos.Task) sim.Time {
 	c := d.circuitOf(t)
 	req := t.CurrentRequest()
 	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
-	return d.E.ExecQuantum(pure, d.residentMux)
+	mux := 1
+	if r := d.E.Ledger().ResidentAt(0); r != nil {
+		mux = r.Mux
+	}
+	return d.E.ExecQuantum(pure, mux)
 }
 
 // Preemptable implements hostos.FPGA.
@@ -240,7 +195,7 @@ func (d *DynamicLoader) Preempt(t *hostos.Task, done, total sim.Time) (overhead,
 	}
 	switch d.E.Opt.State {
 	case SaveRestore:
-		overhead = d.saveState(t.ID, c)
+		overhead = d.saveState(t.ID, t.Name, c)
 		d.hasStateOwner = false
 		n := req.Cycles
 		if n <= 0 {
@@ -252,7 +207,7 @@ func (d *DynamicLoader) Preempt(t *hostos.Task, done, total sim.Time) (overhead,
 		}
 		return overhead, (done / per) * per
 	case Rollback:
-		d.E.M.Rollbacks.Inc()
+		d.E.Ledger().Rollback(t.Name, c.Name)
 		d.rolledBack[t.ID] = true
 		d.rollbackStreak[t.ID]++
 		return 0, 0
@@ -281,4 +236,20 @@ func (d *DynamicLoader) Remove(t *hostos.Task) {
 }
 
 // Resident returns the name of the currently loaded circuit ("" if none).
-func (d *DynamicLoader) Resident() string { return d.resident }
+func (d *DynamicLoader) Resident() string {
+	if r := d.E.Ledger().ResidentAt(0); r != nil {
+		return r.Circuit
+	}
+	return ""
+}
+
+// LintTarget exports the manager's live device state for the static
+// verifier via the ledger's residency view.
+func (d *DynamicLoader) LintTarget() *lint.Target {
+	return d.E.Ledger().LintTarget("dynamic")
+}
+
+// LintTargets implements LintTargeter.
+func (d *DynamicLoader) LintTargets() []*lint.Target {
+	return []*lint.Target{d.LintTarget()}
+}

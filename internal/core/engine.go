@@ -130,12 +130,13 @@ type Metrics struct {
 }
 
 // Engine bundles the device, timing model, pin pool, compiled-circuit
-// library and metrics that every manager shares.
+// library, metrics and the residency ledger that every manager shares.
 type Engine struct {
 	Dev  *fabric.Device
 	Opt  Options
 	Lib  map[string]*compile.Circuit
 	M    Metrics
+	led  Ledger
 	pins []int // free pin pool
 }
 
@@ -152,11 +153,16 @@ func NewEngine(opt Options) *Engine {
 		Opt: opt,
 		Lib: map[string]*compile.Circuit{},
 	}
+	e.led = Ledger{e: e, residents: map[int]*Resident{}}
 	for p := 0; p < opt.Geometry.NumPins(); p++ {
 		e.pins = append(e.pins, p)
 	}
 	return e
 }
+
+// Ledger returns the engine's residency ledger — the single transaction
+// layer through which every manager touches the device.
+func (e *Engine) Ledger() *Ledger { return &e.led }
 
 // AddCircuit compiles nl as a full-height strip and registers it under its
 // netlist name.

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/fabric"
+	"repro/internal/lint"
+	"repro/internal/sim"
+)
+
+// LedgerOp enumerates the residency-ledger transaction kinds. The first
+// seven are the paper's device mechanics — configuration download (§2/§3),
+// state readback and restore (§3's observability/controllability), restart
+// after rollback (§3), and garbage-collection relocation (§4). Block and
+// GC are annotations: policy decisions that change no device state but
+// belong on the same timeline.
+type LedgerOp int
+
+// Ledger operation kinds.
+const (
+	OpLoad     LedgerOp = iota // configuration download (strip or page)
+	OpEvict                    // residency displaced or released
+	OpReadback                 // flip-flop state saved to OS tables
+	OpRestore                  // flip-flop state written back
+	OpReset                    // flip-flops forced to configured init values
+	OpRollback                 // in-flight operation restarted from scratch
+	OpRelocate                 // circuit moved by garbage collection
+	OpBlock                    // task suspended waiting for device space
+	OpGC                       // compaction run started
+)
+
+func (k LedgerOp) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpEvict:
+		return "evict"
+	case OpReadback:
+		return "readback"
+	case OpRestore:
+		return "restore"
+	case OpReset:
+		return "reset"
+	case OpRollback:
+		return "rollback"
+	case OpRelocate:
+		return "relocate"
+	case OpBlock:
+		return "block"
+	case OpGC:
+		return "gc"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// DeviceEvent is one structured device-side event: what the ledger did,
+// on whose behalf, to which circuit and region, and what it cost. It is
+// the device-side counterpart of hostos.Event.
+type DeviceEvent struct {
+	At      sim.Time
+	Op      LedgerOp
+	Task    string // owning task ("" for system operations)
+	Circuit string
+	Region  fabric.Region
+	// Page is the configuration-page index for paged loads/evictions,
+	// -1 for whole-strip operations.
+	Page int
+	Cost sim.Time
+	// Voluntary marks an OpEvict that released residency at the owner's
+	// exit (or hand-back) rather than displacing it for someone else;
+	// only involuntary evictions count in Metrics.Evictions.
+	Voluntary bool
+}
+
+// Detail renders everything but the operation kind: circuit, placement,
+// cost, and the voluntary marker.
+func (e DeviceEvent) Detail() string {
+	var b strings.Builder
+	if e.Circuit != "" {
+		fmt.Fprintf(&b, "%s", e.Circuit)
+	}
+	if e.Page >= 0 {
+		fmt.Fprintf(&b, " page %d", e.Page)
+	} else if e.Region.W > 0 {
+		fmt.Fprintf(&b, " @x=%d w=%d", e.Region.X, e.Region.W)
+	}
+	if e.Cost > 0 {
+		fmt.Fprintf(&b, " cost=%v", e.Cost)
+	}
+	if e.Voluntary {
+		b.WriteString(" (released)")
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// String renders the event compactly for traces and debugging.
+func (e DeviceEvent) String() string {
+	if d := e.Detail(); d != "" {
+		return e.Op.String() + " " + d
+	}
+	return e.Op.String()
+}
+
+// DeviceLog records ledger events for post-mortem inspection and merged
+// scheduler+device timelines. Attach with Ledger.AttachLog; a nil log
+// costs nothing.
+type DeviceLog struct {
+	events []DeviceEvent
+	limit  int
+}
+
+// NewDeviceLog returns a log capped at limit events (0 = unbounded).
+func NewDeviceLog(limit int) *DeviceLog {
+	return &DeviceLog{limit: limit}
+}
+
+// Emit appends an event (dropping the oldest beyond the cap).
+func (l *DeviceLog) Emit(e DeviceEvent) {
+	l.events = append(l.events, e)
+	if l.limit > 0 && len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+}
+
+// Events returns the recorded events in emission order.
+func (l *DeviceLog) Events() []DeviceEvent { return l.events }
+
+// String renders the raw event list.
+func (l *DeviceLog) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%12v  %-10s %s\n", e.At, e.Task, e)
+	}
+	return b.String()
+}
+
+// LintTargeter is implemented by every manager: it exports the manager's
+// live device state (one target per device) for the static verifier.
+type LintTargeter interface {
+	LintTargets() []*lint.Target
+}
+
+// Resident is one live entry of the ledger's residency table: a
+// full-height circuit strip the ledger downloaded and has not yet
+// evicted, together with the physical pins it holds.
+type Resident struct {
+	Circuit string
+	C       *compile.Circuit
+	Owner   string // task that requested the download ("" for system)
+	Region  fabric.Region
+	Pins    []int
+	Mux     int
+}
+
+// Ledger is the transaction layer under every VFPGA manager: the one
+// place that performs fabric writes, charges time from the timing model,
+// bumps Metrics, and emits device-side trace events. Managers stay pure
+// policy — they decide *what* to load, evict or save; the ledger decides
+// (and accounts for) *how*.
+//
+// The ledger also keeps the authoritative residency table (which circuit
+// strip sits at which column, holding which pins), which doubles as the
+// live state source for the static verifier via LintTarget.
+type Ledger struct {
+	e         *Engine
+	k         *sim.Kernel
+	log       *DeviceLog
+	residents map[int]*Resident // keyed by strip origin column
+}
+
+// Bind attaches the simulation clock used to timestamp events. Manager
+// constructors call it; the most recent binding wins, so an engine can be
+// probed by several short-lived managers (tests do) as long as the ones
+// actually running share a kernel.
+func (l *Ledger) Bind(k *sim.Kernel) {
+	if k != nil {
+		l.k = k
+	}
+}
+
+// AttachLog starts recording device events into log.
+func (l *Ledger) AttachLog(log *DeviceLog) { l.log = log }
+
+// Log returns the attached device log (nil when tracing is off).
+func (l *Ledger) Log() *DeviceLog { return l.log }
+
+func (l *Ledger) now() sim.Time {
+	if l.k == nil {
+		return 0
+	}
+	return l.k.Now()
+}
+
+func (l *Ledger) emit(op LedgerOp, task, circuit string, region fabric.Region, page int, cost sim.Time, voluntary bool) {
+	if l.log == nil {
+		return
+	}
+	l.log.Emit(DeviceEvent{
+		At: l.now(), Op: op, Task: task, Circuit: circuit,
+		Region: region, Page: page, Cost: cost, Voluntary: voluntary,
+	})
+}
+
+// ResidentAt returns the residency entry whose strip starts at column x,
+// or nil.
+func (l *Ledger) ResidentAt(x int) *Resident { return l.residents[x] }
+
+// Residents returns the residency table sorted by origin column.
+func (l *Ledger) Residents() []Resident {
+	out := make([]Resident, 0, len(l.residents))
+	for _, r := range l.residents {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region.X < out[j].Region.X })
+	return out
+}
+
+// LintTarget exports the ledger's device view as a static-verifier
+// target, so any manager — not just the partition manager — can be
+// audited mid-run (fabric-config pass: no dangling sources, no
+// configuration-level loops).
+func (l *Ledger) LintTarget(name string) *lint.Target {
+	return &lint.Target{Name: name, Device: l.e.Dev}
+}
+
+// TryLoad downloads circuit c as a full-height strip at column x for
+// owner: it allocates pins, applies the bitstream, charges the download
+// from the timing model (the full-device serial cost when wholeDevice is
+// set and the fabric lacks partial reconfiguration, the strip's own cost
+// otherwise), and records the residency. It returns the pin-multiplexing
+// factor and the charged cost.
+func (l *Ledger) TryLoad(owner string, c *compile.Circuit, x int, wholeDevice bool) (mux int, cost sim.Time, err error) {
+	if r := l.residents[x]; r != nil {
+		return 0, 0, fmt.Errorf("core: column %d already holds %s; evict first", x, r.Circuit)
+	}
+	pins, mux, err := l.e.AllocPins(c.BS.NumIn + c.BS.NumOut)
+	if err != nil {
+		return 0, 0, err
+	}
+	in, out := binding(c, pins)
+	if _, _, err := c.BS.Apply(l.e.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+		l.e.FreePins(pins)
+		return 0, 0, fmt.Errorf("core: apply %s at column %d: %w", c.Name, x, err)
+	}
+	tm := l.e.Opt.Timing
+	if wholeDevice && !tm.PartialReconfig {
+		cost = tm.FullConfigTime(l.e.Opt.Geometry)
+	} else {
+		cost = c.BS.ConfigCost(tm)
+	}
+	l.e.M.Loads.Inc()
+	l.e.M.ConfigTime += cost
+	if mux > 1 {
+		l.e.M.MuxedOps.Inc()
+	}
+	region := c.BS.Region(x, 0)
+	l.residents[x] = &Resident{Circuit: c.Name, C: c, Owner: owner, Region: region, Pins: pins, Mux: mux}
+	l.emit(OpLoad, owner, c.Name, region, -1, cost, false)
+	l.e.noteUtil(l.now())
+	return mux, cost, nil
+}
+
+// Load is TryLoad for contexts where failure is a program bug (managers
+// validate fit at Register time).
+func (l *Ledger) Load(owner string, c *compile.Circuit, x int, wholeDevice bool) (mux int, cost sim.Time) {
+	mux, cost, err := l.TryLoad(owner, c, x, wholeDevice)
+	if err != nil {
+		panic(err)
+	}
+	return mux, cost
+}
+
+// evict clears the strip at x, returns its pins, and drops the residency.
+func (l *Ledger) evict(x int, voluntary bool) {
+	r := l.residents[x]
+	if r == nil {
+		panic(fmt.Sprintf("core: evict of empty column %d", x))
+	}
+	l.e.Dev.ClearRegion(r.Region)
+	l.e.FreePins(r.Pins)
+	delete(l.residents, x)
+	if !voluntary {
+		l.e.M.Evictions.Inc()
+	}
+	l.emit(OpEvict, r.Owner, r.Circuit, r.Region, -1, 0, voluntary)
+	l.e.noteUtil(l.now())
+}
+
+// Evict displaces the resident strip at column x to make room for
+// another circuit. Clearing configuration RAM is free in the timing
+// model; the displaced state, if any, must be read back first.
+func (l *Ledger) Evict(x int) { l.evict(x, false) }
+
+// Release returns the strip at column x voluntarily (owner exit or
+// hand-back); it clears the device like Evict but is not counted as a
+// displacement in Metrics.Evictions.
+func (l *Ledger) Release(x int) { l.evict(x, true) }
+
+// Readback reads the flip-flop state of c's footprint at region into OS
+// tables (the paper's §3 observability requirement), charging the
+// readback time.
+func (l *Ledger) Readback(owner string, c *compile.Circuit, region fabric.Region) ([]bool, sim.Time) {
+	st := l.e.Dev.ReadRegionState(region)
+	cost := l.e.Opt.Timing.ReadbackTime(c.BS.FFCells)
+	l.e.M.Readbacks.Inc()
+	l.e.M.ReadbackTime += cost
+	l.emit(OpReadback, owner, c.Name, region, -1, cost, false)
+	return st, cost
+}
+
+// Restore writes previously saved flip-flop state back into c's
+// footprint (§3 controllability), charging the restore time.
+func (l *Ledger) Restore(owner string, c *compile.Circuit, region fabric.Region, state []bool) sim.Time {
+	l.e.Dev.WriteRegionState(region, state)
+	cost := l.e.Opt.Timing.RestoreTime(c.BS.FFCells)
+	l.e.M.Restores.Inc()
+	l.e.M.RestoreTime += cost
+	l.emit(OpRestore, owner, c.Name, region, -1, cost, false)
+	return cost
+}
+
+// Reset forces every flip-flop in c's footprint back to its configured
+// init value (first use, or restart after rollback), scanning in the
+// device's x-major state order. It costs a state write but is not a
+// restore of saved state, so Metrics.Restores stays untouched.
+func (l *Ledger) Reset(owner string, c *compile.Circuit, region fabric.Region) sim.Time {
+	init := make([]bool, 0, c.BS.FFCells)
+	for x := region.X; x < region.X+region.W; x++ {
+		for y := region.Y; y < region.Y+region.H; y++ {
+			cfg := l.e.Dev.CLB(x, y)
+			if cfg.Used && cfg.UseFF {
+				init = append(init, cfg.FFInit)
+			}
+		}
+	}
+	l.e.Dev.WriteRegionState(region, init)
+	cost := l.e.Opt.Timing.RestoreTime(c.BS.FFCells)
+	l.e.M.RestoreTime += cost
+	l.emit(OpReset, owner, c.Name, region, -1, cost, false)
+	return cost
+}
+
+// Rollback records that owner's in-flight operation on circuit restarts
+// from its beginning (§3's alternative to save/restore). The device is
+// untouched: the reset happens when the circuit is next adopted.
+func (l *Ledger) Rollback(owner, circuit string) {
+	l.e.M.Rollbacks.Inc()
+	l.emit(OpRollback, owner, circuit, fabric.Region{}, -1, 0, false)
+}
+
+// Relocate moves the resident strip at oldX to newX (§4's garbage
+// collection): sequential state is read back, the configuration is
+// re-applied at the new origin with the same pins, and the state is
+// restored. It returns the total time charged. The regions may overlap —
+// the old strip is cleared before the new one is written.
+func (l *Ledger) Relocate(oldX, newX int) sim.Time {
+	r := l.residents[oldX]
+	if r == nil {
+		panic(fmt.Sprintf("core: relocate of empty column %d", oldX))
+	}
+	if oldX == newX {
+		return 0
+	}
+	if l.residents[newX] != nil {
+		panic(fmt.Sprintf("core: relocate target column %d already holds %s", newX, l.residents[newX].Circuit))
+	}
+	var cost sim.Time
+	var state []bool
+	if r.C.Sequential {
+		st, c := l.Readback(r.Owner, r.C, r.Region)
+		state, cost = st, c
+	}
+	l.e.Dev.ClearRegion(r.Region)
+	in, out := binding(r.C, r.Pins)
+	if _, _, err := r.C.BS.Apply(l.e.Dev, newX, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+		panic(fmt.Sprintf("core: relocate %s to column %d: %v", r.Circuit, newX, err))
+	}
+	newRegion := r.C.BS.Region(newX, 0)
+	ccost := r.C.BS.ConfigCost(l.e.Opt.Timing)
+	l.e.M.ConfigTime += ccost
+	cost += ccost
+	delete(l.residents, oldX)
+	r.Region = newRegion
+	l.residents[newX] = r
+	l.e.M.Relocations.Inc()
+	l.emit(OpRelocate, r.Owner, r.Circuit, newRegion, -1, ccost, false)
+	if r.C.Sequential {
+		cost += l.Restore(r.Owner, r.C, newRegion, state)
+	}
+	l.e.noteUtil(l.now())
+	return cost
+}
+
+// LoadPage charges one demand-paged configuration download of cells CLB
+// tiles for page index page of circuit (§2 pagination). Page frames are
+// a residency/timing view of configuration RAM, so no fabric cells are
+// written (see PagedLoader); the fault, the load and the download time
+// are still accounted here, in the same ledger as every other download.
+func (l *Ledger) LoadPage(owner, circuit string, page, cells int) sim.Time {
+	cost := l.e.Opt.Timing.PartialConfigTime(cells, 0)
+	l.e.M.PageFaults.Inc()
+	l.e.M.PageLoads.Inc()
+	l.e.M.ConfigTime += cost
+	l.emit(OpLoad, owner, circuit, fabric.Region{}, page, cost, false)
+	return cost
+}
+
+// EvictPage records the displacement of a resident page by the
+// replacement policy.
+func (l *Ledger) EvictPage(owner, circuit string, page int) {
+	l.e.M.Evictions.Inc()
+	l.emit(OpEvict, owner, circuit, fabric.Region{}, page, 0, false)
+}
+
+// ReleasePage records a page frame freed because no live task references
+// its circuit anymore (task exit); like Release it does not count as a
+// displacement.
+func (l *Ledger) ReleasePage(owner, circuit string, page int) {
+	l.emit(OpEvict, owner, circuit, fabric.Region{}, page, 0, true)
+}
+
+// NoteBlock records that owner suspended waiting for device space.
+func (l *Ledger) NoteBlock(owner string) {
+	l.e.M.Blocks.Inc()
+	l.emit(OpBlock, owner, "", fabric.Region{}, -1, 0, false)
+}
+
+// NoteGC records the start of a garbage-collection (compaction) run.
+func (l *Ledger) NoteGC() {
+	l.e.M.GCRuns.Inc()
+	l.emit(OpGC, "", "", fabric.Region{}, -1, 0, false)
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ledgerFixture returns an engine with the test library, a bound kernel
+// and an attached device log.
+func ledgerFixture(t *testing.T) (*Engine, *Ledger, *DeviceLog) {
+	t.Helper()
+	e := newEngine(t, testOptions())
+	led := e.Ledger()
+	led.Bind(sim.New())
+	log := NewDeviceLog(0)
+	led.AttachLog(log)
+	return e, led, log
+}
+
+func TestLedgerLoadRecordsResidency(t *testing.T) {
+	e, led, log := ledgerFixture(t)
+	c := e.Lib["adder8"]
+	mux, cost, err := led.TryLoad("a", c, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mux < 1 || cost <= 0 {
+		t.Fatalf("mux=%d cost=%v", mux, cost)
+	}
+	if cost != c.BS.ConfigCost(e.Opt.Timing) {
+		t.Fatalf("cost = %v, want strip config cost %v", cost, c.BS.ConfigCost(e.Opt.Timing))
+	}
+	r := led.ResidentAt(0)
+	if r == nil || r.Circuit != "adder8" || r.Owner != "a" {
+		t.Fatalf("resident = %+v", r)
+	}
+	if e.M.Loads.Value() != 1 || e.M.ConfigTime != cost {
+		t.Fatalf("loads=%d configTime=%v", e.M.Loads.Value(), e.M.ConfigTime)
+	}
+	if n := len(log.Events()); n != 1 || log.Events()[0].Op != OpLoad {
+		t.Fatalf("events = %v", log.Events())
+	}
+}
+
+func TestLedgerLoadWholeDeviceCost(t *testing.T) {
+	// With partial reconfiguration, a whole-device load still only pays the
+	// strip's own download; without it, the full serial configuration time.
+	e, led, _ := ledgerFixture(t)
+	c := e.Lib["adder8"]
+	_, cost, err := led.TryLoad("a", c, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.BS.ConfigCost(e.Opt.Timing); e.Opt.Timing.PartialReconfig && cost != want {
+		t.Fatalf("cost = %v, want strip cost %v under partial reconfiguration", cost, want)
+	}
+	led.Release(0)
+	e.Opt.Timing.PartialReconfig = false
+	_, cost, err = led.TryLoad("a", c, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Opt.Timing.FullConfigTime(e.Opt.Geometry); cost != want {
+		t.Fatalf("cost = %v, want full-device %v", cost, want)
+	}
+}
+
+func TestLedgerLoadOccupiedColumnFails(t *testing.T) {
+	e, led, _ := ledgerFixture(t)
+	led.Load("a", e.Lib["adder8"], 0, false)
+	if _, _, err := led.TryLoad("b", e.Lib["mul4"], 0, false); err == nil {
+		t.Fatal("double load at column 0 accepted")
+	}
+}
+
+func TestLedgerEvictVsRelease(t *testing.T) {
+	e, led, log := ledgerFixture(t)
+	led.Load("a", e.Lib["adder8"], 0, false)
+	led.Evict(0)
+	led.Load("b", e.Lib["adder8"], 0, false)
+	led.Release(0)
+	if e.M.Evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1 (release is voluntary)", e.M.Evictions.Value())
+	}
+	evs := log.Events()
+	if len(evs) != 4 || evs[1].Voluntary || !evs[3].Voluntary {
+		t.Fatalf("events = %v", evs)
+	}
+	if led.ResidentAt(0) != nil {
+		t.Fatal("residency survived eviction")
+	}
+	if e.FreePinCount() != e.Opt.Geometry.NumPins() {
+		t.Fatalf("pins leaked: %d free of %d", e.FreePinCount(), e.Opt.Geometry.NumPins())
+	}
+}
+
+func TestLedgerResetChargesRestoreTimeNotCounter(t *testing.T) {
+	e, led, _ := ledgerFixture(t)
+	c := e.Lib["counter8"]
+	led.Load("a", c, 0, false)
+	cost := led.Reset("a", c, c.BS.Region(0, 0))
+	if cost <= 0 {
+		t.Fatal("reset should cost a state write")
+	}
+	if e.M.Restores.Value() != 0 {
+		t.Fatalf("restores = %d, want 0 (reset is not a restore of saved state)", e.M.Restores.Value())
+	}
+	if e.M.RestoreTime != cost {
+		t.Fatalf("restoreTime = %v, want %v", e.M.RestoreTime, cost)
+	}
+}
+
+func TestLedgerReadbackRestoreRoundTrip(t *testing.T) {
+	e, led, _ := ledgerFixture(t)
+	c := e.Lib["counter8"]
+	led.Load("a", c, 0, false)
+	region := c.BS.Region(0, 0)
+	led.Reset("a", c, region)
+	st, rcost := led.Readback("a", c, region)
+	if rcost <= 0 || len(st) == 0 {
+		t.Fatalf("readback cost=%v state=%d bits", rcost, len(st))
+	}
+	if cost := led.Restore("a", c, region, st); cost <= 0 {
+		t.Fatal("restore should cost a state write")
+	}
+	if e.M.Readbacks.Value() != 1 || e.M.Restores.Value() != 1 {
+		t.Fatalf("readbacks=%d restores=%d", e.M.Readbacks.Value(), e.M.Restores.Value())
+	}
+}
+
+func TestLedgerRelocateMovesResidencyAndState(t *testing.T) {
+	e, led, _ := ledgerFixture(t)
+	c := e.Lib["counter8"]
+	led.Load("a", c, 4, false)
+	led.Reset("a", c, c.BS.Region(4, 0))
+	before := e.Dev.ReadRegionState(c.BS.Region(4, 0))
+	readbacks := e.M.Readbacks.Value()
+	cost := led.Relocate(4, 0)
+	if cost <= 0 {
+		t.Fatal("relocation of a sequential circuit must cost time")
+	}
+	if led.ResidentAt(4) != nil {
+		t.Fatal("old column still resident")
+	}
+	r := led.ResidentAt(0)
+	if r == nil || r.Circuit != "counter8" || r.Region.X != 0 {
+		t.Fatalf("resident after relocate = %+v", r)
+	}
+	after := e.Dev.ReadRegionState(c.BS.Region(0, 0))
+	if len(after) != len(before) {
+		t.Fatalf("state length changed: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("FF %d lost across relocation", i)
+		}
+	}
+	if e.M.Relocations.Value() != 1 {
+		t.Fatalf("relocations = %d", e.M.Relocations.Value())
+	}
+	if e.M.Readbacks.Value() != readbacks+1 {
+		t.Fatalf("sequential relocation should read back state once")
+	}
+	if led.Relocate(0, 0) != 0 {
+		t.Fatal("no-op relocation should be free")
+	}
+}
+
+func TestLedgerAnnotations(t *testing.T) {
+	e, led, log := ledgerFixture(t)
+	led.NoteBlock("a")
+	led.NoteGC()
+	led.Rollback("a", "counter8")
+	if e.M.Blocks.Value() != 1 || e.M.GCRuns.Value() != 1 || e.M.Rollbacks.Value() != 1 {
+		t.Fatalf("blocks=%d gc=%d rollbacks=%d",
+			e.M.Blocks.Value(), e.M.GCRuns.Value(), e.M.Rollbacks.Value())
+	}
+	if len(log.Events()) != 3 {
+		t.Fatalf("events = %v", log.Events())
+	}
+}
+
+func TestLedgerPageOps(t *testing.T) {
+	e, led, log := ledgerFixture(t)
+	cost := led.LoadPage("a", "adder8", 2, 8)
+	if cost != e.Opt.Timing.PartialConfigTime(8, 0) {
+		t.Fatalf("page cost = %v", cost)
+	}
+	led.EvictPage("a", "adder8", 2)
+	led.ReleasePage("a", "adder8", 3)
+	if e.M.PageLoads.Value() != 1 || e.M.PageFaults.Value() != 1 {
+		t.Fatalf("pageLoads=%d pageFaults=%d", e.M.PageLoads.Value(), e.M.PageFaults.Value())
+	}
+	if e.M.Evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1 (release is voluntary)", e.M.Evictions.Value())
+	}
+	evs := log.Events()
+	if evs[0].Page != 2 || !strings.Contains(evs[0].String(), "page 2") {
+		t.Fatalf("page event = %v", evs[0])
+	}
+}
+
+func TestDeviceLogCap(t *testing.T) {
+	log := NewDeviceLog(2)
+	for i := 0; i < 5; i++ {
+		log.Emit(DeviceEvent{At: sim.Time(i), Op: OpLoad, Page: -1})
+	}
+	evs := log.Events()
+	if len(evs) != 2 || evs[0].At != 3 || evs[1].At != 4 {
+		t.Fatalf("capped events = %v", evs)
+	}
+}
+
+func TestLedgerLintTarget(t *testing.T) {
+	e, led, _ := ledgerFixture(t)
+	led.Load("a", e.Lib["adder8"], 0, false)
+	tgt := led.LintTarget("test")
+	if tgt.Name != "test" || tgt.Device != e.Dev {
+		t.Fatalf("target = %+v", tgt)
+	}
+}

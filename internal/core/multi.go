@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 )
 
@@ -188,4 +189,16 @@ func (m *MultiManager) TotalBlocks() int64 {
 		n += b.E.M.Blocks.Value()
 	}
 	return n
+}
+
+// LintTargets implements LintTargeter: one target per board, so the
+// static verifier audits every device of the set.
+func (m *MultiManager) LintTargets() []*lint.Target {
+	out := make([]*lint.Target, 0, len(m.Boards))
+	for i, b := range m.Boards {
+		tgt := b.LintTarget()
+		tgt.Name = fmt.Sprintf("board%d/%s", i, tgt.Name)
+		out = append(out, tgt)
+	}
+	return out
 }

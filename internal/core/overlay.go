@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/fabric"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/sim"
 )
 
@@ -19,7 +19,8 @@ import (
 // device and stay pinned; everything else shares a single overlay area on
 // the right, holding one configuration at a time (the functions are
 // mutually exclusive, as in classic code overlays). Sequential state is
-// virtualized per task exactly as in dynamic loading.
+// virtualized per task exactly as in dynamic loading. All device touches
+// go through the engine's residency ledger.
 type OverlayManager struct {
 	E *Engine
 	K *sim.Kernel
@@ -35,13 +36,13 @@ type OverlayManager struct {
 }
 
 // slot is one placed circuit (resident or the overlay area's occupant).
+// Pins and mux live in the ledger's residency table.
 type slot struct {
-	x        int
-	circuit  *compile.Circuit // nil when empty
-	pins     []int
-	mux      int
-	owner    hostos.TaskID // whose state the FFs hold
-	hasOwner bool
+	x         int
+	circuit   *compile.Circuit // nil when empty
+	owner     hostos.TaskID    // whose state the FFs hold
+	ownerName string
+	hasOwner  bool
 }
 
 var _ hostos.FPGA = (*OverlayManager)(nil)
@@ -51,6 +52,7 @@ var _ hostos.FPGA = (*OverlayManager)(nil)
 // system initialization, not to any task (the paper's device-driver
 // downloading "performed once for all tasks").
 func NewOverlayManager(k *sim.Kernel, e *Engine, resident []string) (*OverlayManager, sim.Time, error) {
+	e.Ledger().Bind(k)
 	om := &OverlayManager{
 		E:              e,
 		K:              k,
@@ -71,7 +73,7 @@ func NewOverlayManager(k *sim.Kernel, e *Engine, resident []string) (*OverlayMan
 				x, c.BS.W, e.Opt.Geometry.Cols)
 		}
 		s := &slot{x: x}
-		cost, err := om.loadSlot(s, c)
+		cost, err := om.loadSlot(s, "", c)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -85,24 +87,15 @@ func NewOverlayManager(k *sim.Kernel, e *Engine, resident []string) (*OverlayMan
 	return om, initCost, nil
 }
 
-// loadSlot downloads c at the slot's origin.
-func (om *OverlayManager) loadSlot(s *slot, c *compile.Circuit) (sim.Time, error) {
-	pins, mux, err := om.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
+// loadSlot downloads c at the slot's origin on behalf of owner ("" for
+// system initialization).
+func (om *OverlayManager) loadSlot(s *slot, owner string, c *compile.Circuit) (sim.Time, error) {
+	_, cost, err := om.E.Ledger().TryLoad(owner, c, s.x, false)
 	if err != nil {
 		return 0, err
 	}
-	in, out := binding(c, pins)
-	if _, _, err := c.BS.Apply(om.E.Dev, s.x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-		return 0, err
-	}
 	s.circuit = c
-	s.pins = pins
-	s.mux = mux
 	s.hasOwner = false
-	cost := c.BS.ConfigCost(om.E.Opt.Timing)
-	om.E.M.Loads.Inc()
-	om.E.M.ConfigTime += cost
-	om.E.noteUtil(om.K.Now())
 	return cost, nil
 }
 
@@ -155,12 +148,10 @@ func (om *OverlayManager) ensure(t *hostos.Task) sim.Time {
 			if s.circuit.Sequential && s.hasOwner {
 				cost += om.saveSlot(s)
 			}
-			om.E.Dev.ClearRegion(om.region(s))
-			om.E.FreePins(s.pins)
-			om.E.M.Evictions.Inc()
+			om.E.Ledger().Evict(s.x)
 			s.circuit = nil
 		}
-		loadCost, err := om.loadSlot(s, c)
+		loadCost, err := om.loadSlot(s, t.Name, c)
 		if err != nil {
 			panic(fmt.Sprintf("core: overlay load %s: %v", c.Name, err))
 		}
@@ -173,11 +164,8 @@ func (om *OverlayManager) ensure(t *hostos.Task) sim.Time {
 }
 
 func (om *OverlayManager) saveSlot(s *slot) sim.Time {
-	st := om.E.Dev.ReadRegionState(om.region(s))
+	st, cost := om.E.Ledger().Readback(s.ownerName, s.circuit, om.region(s))
 	om.saved[savedKey{s.owner, s.circuit.Name}] = st
-	om.E.M.Readbacks.Inc()
-	cost := om.E.Opt.Timing.ReadbackTime(s.circuit.BS.FFCells)
-	om.E.M.ReadbackTime += cost
 	s.hasOwner = false
 	return cost
 }
@@ -186,6 +174,7 @@ func (om *OverlayManager) adopt(s *slot, t *hostos.Task, c *compile.Circuit) sim
 	if s.hasOwner && s.owner == t.ID && !om.rolledBack[t.ID] {
 		return 0
 	}
+	led := om.E.Ledger()
 	var cost sim.Time
 	if s.hasOwner && s.owner != t.ID {
 		cost += om.saveSlot(s)
@@ -195,33 +184,17 @@ func (om *OverlayManager) adopt(s *slot, t *hostos.Task, c *compile.Circuit) sim
 	switch {
 	case om.rolledBack[t.ID]:
 		delete(om.rolledBack, t.ID)
-		om.resetSlot(region)
+		cost += led.Reset(t.Name, c, region)
 	case om.saved[key] != nil:
-		om.E.Dev.WriteRegionState(region, om.saved[key])
+		cost += led.Restore(t.Name, c, region, om.saved[key])
 		delete(om.saved, key)
-		om.E.M.Restores.Inc()
 	default:
-		om.resetSlot(region)
+		cost += led.Reset(t.Name, c, region)
 	}
-	rc := om.E.Opt.Timing.RestoreTime(c.BS.FFCells)
-	om.E.M.RestoreTime += rc
-	cost += rc
 	s.owner = t.ID
+	s.ownerName = t.Name
 	s.hasOwner = true
 	return cost
-}
-
-func (om *OverlayManager) resetSlot(region fabric.Region) {
-	var init []bool
-	for x := region.X; x < region.X+region.W; x++ {
-		for y := region.Y; y < region.Y+region.H; y++ {
-			cfg := om.E.Dev.CLB(x, y)
-			if cfg.Used && cfg.UseFF {
-				init = append(init, cfg.FFInit)
-			}
-		}
-	}
-	om.E.Dev.WriteRegionState(region, init)
 }
 
 // Acquire implements hostos.FPGA: overlaying never blocks.
@@ -234,9 +207,9 @@ func (om *OverlayManager) ExecTime(t *hostos.Task) sim.Time {
 	c := om.circuitOf(t)
 	s, _ := om.slotFor(c)
 	req := t.CurrentRequest()
-	mux := s.mux
-	if mux == 0 {
-		mux = 1
+	mux := 1
+	if r := om.E.Ledger().ResidentAt(s.x); r != nil {
+		mux = r.Mux
 	}
 	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
 	return om.E.ExecQuantum(pure, mux)
@@ -279,7 +252,7 @@ func (om *OverlayManager) Preempt(t *hostos.Task, done, total sim.Time) (sim.Tim
 		}
 		return overhead, boundary(req.Cycles)
 	case Rollback:
-		om.E.M.Rollbacks.Inc()
+		om.E.Ledger().Rollback(t.Name, c.Name)
 		om.rolledBack[t.ID] = true
 		om.rollbackStreak[t.ID]++
 		return 0, 0
@@ -323,4 +296,15 @@ func (om *OverlayManager) OverlayCircuit() string {
 		return ""
 	}
 	return om.overlay.circuit.Name
+}
+
+// LintTarget exports the manager's live device state for the static
+// verifier via the ledger's residency view.
+func (om *OverlayManager) LintTarget() *lint.Target {
+	return om.E.Ledger().LintTarget("overlay")
+}
+
+// LintTargets implements LintTargeter.
+func (om *OverlayManager) LintTargets() []*lint.Target {
+	return []*lint.Target{om.LintTarget()}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/hostos"
+	"repro/internal/lint"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -67,11 +68,12 @@ type frame struct {
 // partial reconfiguration each; replacement follows the configured policy.
 //
 // Page frames are a residency/timing view of the configuration RAM: the
-// loader charges exact download time per page and tracks frame contents.
-// It does not maintain a functional image on the device — a page placed at
-// an arbitrary frame origin would break relative routing, the constraint
-// the paper itself raises for relocated configurations; functional
-// correctness of page-wise downloads is covered by the bitstream tests.
+// loader charges exact download time per page (through the residency
+// ledger, like every other download) and tracks frame contents. It does
+// not maintain a functional image on the device — a page placed at an
+// arbitrary frame origin would break relative routing, the constraint the
+// paper itself raises for relocated configurations; functional correctness
+// of page-wise downloads is covered by the bitstream tests.
 type PagedLoader struct {
 	E   *Engine
 	K   *sim.Kernel
@@ -83,6 +85,10 @@ type PagedLoader struct {
 	hand    int // Clock hand
 	src     *rng.Source
 	pagesOf map[string][]bitstream.Page
+	// users counts the live tasks registered per circuit; when the last
+	// user exits, the circuit's resident pages are released so long
+	// multi-task runs cannot strand frames (see Remove).
+	users map[string]map[hostos.TaskID]bool
 }
 
 var _ hostos.FPGA = (*PagedLoader)(nil)
@@ -98,6 +104,7 @@ func NewPagedLoader(k *sim.Kernel, e *Engine, cfg PagedConfig) (*PagedLoader, er
 	if cfg.Frames <= 0 {
 		return nil, fmt.Errorf("core: device too small for any page frame")
 	}
+	e.Ledger().Bind(k)
 	return &PagedLoader{
 		E:       e,
 		K:       k,
@@ -106,6 +113,7 @@ func NewPagedLoader(k *sim.Kernel, e *Engine, cfg PagedConfig) (*PagedLoader, er
 		where:   map[pageID]int{},
 		src:     rng.New(cfg.Seed ^ 0xfeed),
 		pagesOf: map[string][]bitstream.Page{},
+		users:   map[string]map[hostos.TaskID]bool{},
 	}, nil
 }
 
@@ -118,6 +126,10 @@ func (pl *PagedLoader) Register(t *hostos.Task, circuit string) error {
 	if _, ok := pl.pagesOf[circuit]; !ok {
 		pl.pagesOf[circuit] = c.BS.Pages(pl.Cfg.PageCells)
 	}
+	if pl.users[circuit] == nil {
+		pl.users[circuit] = map[hostos.TaskID]bool{}
+	}
+	pl.users[circuit][t.ID] = true
 	return nil
 }
 
@@ -218,7 +230,7 @@ func keyOf(f *frame, p ReplacePolicy) int64 {
 }
 
 // faultIn ensures the given pages are resident, returning the download
-// cost (one partial reconfiguration per fault).
+// cost (one partial reconfiguration per fault, charged by the ledger).
 func (pl *PagedLoader) faultIn(t *hostos.Task, ids []pageID) sim.Time {
 	if len(ids) > len(pl.frames) {
 		panic(fmt.Sprintf("core: task %s needs %d pages at once with only %d frames",
@@ -232,28 +244,25 @@ func (pl *PagedLoader) faultIn(t *hostos.Task, ids []pageID) sim.Time {
 			pinned[fi] = true
 		}
 	}
-	tm := pl.E.Opt.Timing
+	led := pl.E.Ledger()
 	var cost sim.Time
 	for _, id := range ids {
 		if fi, ok := pl.where[id]; ok {
 			pl.touch(fi)
 			continue
 		}
-		pl.E.M.PageFaults.Inc()
 		fi := pl.victim(pinned)
 		if pl.frames[fi].used {
-			delete(pl.where, pl.frames[fi].page)
-			pl.E.M.Evictions.Inc()
+			old := pl.frames[fi].page
+			delete(pl.where, old)
+			led.EvictPage(t.Name, old.circuit, old.index)
 		}
 		pl.seq++
 		pl.frames[fi] = frame{page: id, used: true, loadedAt: pl.seq, lastUse: pl.seq, ref: true}
 		pl.where[id] = fi
 		pinned[fi] = true
 		pages := pl.pagesOf[id.circuit]
-		pageCost := tm.PartialConfigTime(len(pages[id.index].Cells), 0)
-		cost += pageCost
-		pl.E.M.PageLoads.Inc()
-		pl.E.M.ConfigTime += pageCost
+		cost += led.LoadPage(t.Name, id.circuit, id.index, len(pages[id.index].Cells))
 	}
 	return cost
 }
@@ -301,11 +310,42 @@ func (pl *PagedLoader) Resume(t *hostos.Task) sim.Time {
 	return pl.faultIn(t, pl.neededPages(t))
 }
 
-// Complete implements hostos.FPGA.
+// Complete implements hostos.FPGA. Pages stay resident between a task's
+// operations on purpose: they are a cache for the task's next request
+// (and for other tasks sharing the circuit). Reclamation happens at task
+// exit, in Remove.
 func (pl *PagedLoader) Complete(t *hostos.Task) {}
 
-// Remove implements hostos.FPGA.
-func (pl *PagedLoader) Remove(t *hostos.Task) {}
+// Remove implements hostos.FPGA: the exiting task drops its reference on
+// every circuit it registered, and circuits left with no live user have
+// their resident pages released — their frames become free (preferred by
+// every replacement policy) instead of lingering as phantom residency for
+// the rest of a long multi-task run.
+func (pl *PagedLoader) Remove(t *hostos.Task) {
+	led := pl.E.Ledger()
+	// Frames are scanned in index order so the trace stays deterministic.
+	for fi := range pl.frames {
+		f := &pl.frames[fi]
+		if !f.used {
+			continue
+		}
+		us := pl.users[f.page.circuit]
+		if us == nil || !us[t.ID] || len(us) > 1 {
+			continue
+		}
+		delete(pl.where, f.page)
+		led.ReleasePage(t.Name, f.page.circuit, f.page.index)
+		*f = frame{}
+	}
+	for circuit, us := range pl.users {
+		if us[t.ID] {
+			delete(us, t.ID)
+			if len(us) == 0 {
+				delete(pl.users, circuit)
+			}
+		}
+	}
+}
 
 // ResidentPages returns the number of currently resident pages.
 func (pl *PagedLoader) ResidentPages() int { return len(pl.where) }
@@ -327,4 +367,16 @@ func (pl *PagedLoader) hits() int64 {
 		return 0
 	}
 	return h
+}
+
+// LintTarget exports the manager's live device state for the static
+// verifier via the ledger. Page frames write no fabric cells (see the
+// type comment), so the device view is empty but still checkable.
+func (pl *PagedLoader) LintTarget() *lint.Target {
+	return pl.E.Ledger().LintTarget("paged")
+}
+
+// LintTargets implements LintTargeter.
+func (pl *PagedLoader) LintTargets() []*lint.Target {
+	return []*lint.Target{pl.LintTarget()}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/fabric"
 	"repro/internal/hostos"
@@ -64,13 +63,12 @@ type PartitionConfig struct {
 	Rotate bool
 }
 
-// partition is one column strip of the device.
+// partition is one column strip of the device. Pins and mux of the loaded
+// circuit live in the ledger's residency table, keyed by the strip origin.
 type partition struct {
 	x, w    int
 	owner   *hostos.Task // nil when free
 	circuit string       // loaded circuit ("" when empty)
-	pins    []int
-	mux     int
 	lastUse sim.Time
 	pinned  bool // owner has an in-flight preempted op; never evict
 }
@@ -84,7 +82,8 @@ func (p *partition) region(rows int) fabric.Region {
 // PartitionManager implements hostos.FPGA with §4's partitioning. The
 // device is divided into full-height column strips; each strip hosts one
 // task's circuit. Tasks suspend when no partition fits; garbage
-// collection relocates loaded circuits to merge idle fragments.
+// collection relocates loaded circuits to merge idle fragments. Every
+// device touch goes through the engine's residency ledger.
 type PartitionManager struct {
 	E   *Engine
 	K   *sim.Kernel
@@ -104,6 +103,7 @@ var _ hostos.FPGA = (*PartitionManager)(nil)
 // widths are unusable (as with a partition table that does not cover the
 // disk); in variable mode one free partition covers the whole device.
 func NewPartitionManager(k *sim.Kernel, e *Engine, cfg PartitionConfig) (*PartitionManager, error) {
+	e.Ledger().Bind(k)
 	pm := &PartitionManager{E: e, K: k, Cfg: cfg, byTask: map[hostos.TaskID]*partition{}}
 	cols := e.Opt.Geometry.Cols
 	switch cfg.Mode {
@@ -166,54 +166,36 @@ func (pm *PartitionManager) circuitOf(t *hostos.Task) *compile.Circuit {
 // not lose the old algorithm's state if the task returns to it; the paper
 // keeps the most recent configuration per task, so we save on switch).
 func (pm *PartitionManager) loadInto(p *partition, t *hostos.Task, c *compile.Circuit) sim.Time {
-	rows := pm.E.Opt.Geometry.Rows
-	tm := pm.E.Opt.Timing
-	var cost sim.Time
+	led := pm.E.Ledger()
 	if p.circuit != "" {
-		pm.E.Dev.ClearRegion(p.region(rows))
-		pm.E.FreePins(p.pins)
-		p.pins = nil
-		pm.E.M.Evictions.Inc()
+		led.Evict(p.x)
 	}
-	pins, mux, err := pm.E.AllocPins(c.BS.NumIn + c.BS.NumOut)
-	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
-	}
-	in, out := binding(c, pins)
-	if _, _, err := c.BS.Apply(pm.E.Dev, p.x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-		panic(fmt.Sprintf("core: apply %s into %d+%d: %v", c.Name, p.x, p.w, err))
-	}
-	cost += c.BS.ConfigCost(tm)
-	pm.E.M.Loads.Inc()
-	pm.E.M.ConfigTime += cost
-	if mux > 1 {
-		pm.E.M.MuxedOps.Inc()
-	}
+	_, cost := led.Load(t.Name, c, p.x, false)
 	p.owner = t
 	p.circuit = c.Name
-	p.pins = pins
-	p.mux = mux
 	p.lastUse = pm.K.Now()
 	pm.byTask[t.ID] = p
-	pm.E.noteUtil(pm.K.Now())
 	return cost
 }
 
 // releasePartition frees p, merging with free neighbors in variable mode.
-func (pm *PartitionManager) releasePartition(p *partition) {
-	rows := pm.E.Opt.Geometry.Rows
+// displaced marks an involuntary eviction (rotation) as opposed to a
+// voluntary release (task exit or partition hand-back).
+func (pm *PartitionManager) releasePartition(p *partition, displaced bool) {
 	if p.circuit != "" {
-		pm.E.Dev.ClearRegion(p.region(rows))
-		pm.E.FreePins(p.pins)
+		if displaced {
+			pm.E.Ledger().Evict(p.x)
+		} else {
+			pm.E.Ledger().Release(p.x)
+		}
 	}
 	if p.owner != nil {
 		delete(pm.byTask, p.owner.ID)
 	}
-	p.owner, p.circuit, p.pins, p.mux, p.pinned = nil, "", nil, 0, false
+	p.owner, p.circuit, p.pinned = nil, "", false
 	if pm.Cfg.Mode == VariablePartitions {
 		pm.mergeFree()
 	}
-	pm.E.noteUtil(pm.K.Now())
 }
 
 // mergeFree coalesces adjacent free partitions (variable mode).
@@ -282,12 +264,11 @@ func (pm *PartitionManager) FreeCols() (total, largest int) {
 // compact relocates every occupied partition leftward so all free space
 // merges at the right (§4's garbage collection). Returns the relocation
 // cost: each moved circuit pays state readback, reconfiguration at the
-// new origin, and state restore.
+// new origin, and state restore — all charged by the ledger's Relocate.
 func (pm *PartitionManager) compact() sim.Time {
-	rows := pm.E.Opt.Geometry.Rows
-	tm := pm.E.Opt.Timing
+	led := pm.E.Ledger()
 	var cost sim.Time
-	pm.E.M.GCRuns.Inc()
+	led.NoteGC()
 	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
 	x := 0
 	var packed []*partition
@@ -296,31 +277,8 @@ func (pm *PartitionManager) compact() sim.Time {
 			continue
 		}
 		if p.x != x {
-			c, err := pm.E.Circuit(p.circuit)
-			if err != nil {
-				panic(err)
-			}
-			oldRegion := p.region(rows)
-			var state []bool
-			if c.Sequential {
-				state = pm.E.Dev.ReadRegionState(oldRegion)
-				cost += tm.ReadbackTime(c.BS.FFCells)
-				pm.E.M.Readbacks.Inc()
-			}
-			pm.E.Dev.ClearRegion(oldRegion)
-			in, out := binding(c, p.pins)
-			if _, _, err := c.BS.Apply(pm.E.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-				panic(fmt.Sprintf("core: relocate %s: %v", c.Name, err))
-			}
-			cost += c.BS.ConfigCost(tm)
-			pm.E.M.ConfigTime += c.BS.ConfigCost(tm)
-			if c.Sequential {
-				pm.E.Dev.WriteRegionState(fabric.Region{X: x, Y: 0, W: p.w, H: rows}, state)
-				cost += tm.RestoreTime(c.BS.FFCells)
-				pm.E.M.Restores.Inc()
-			}
+			cost += led.Relocate(p.x, x)
 			p.x = x
-			pm.E.M.Relocations.Inc()
 		}
 		x += p.w
 		packed = append(packed, p)
@@ -329,7 +287,6 @@ func (pm *PartitionManager) compact() sim.Time {
 		packed = append(packed, &partition{x: x, w: pm.E.Opt.Geometry.Cols - x})
 	}
 	pm.parts = packed
-	pm.E.noteUtil(pm.K.Now())
 	return cost
 }
 
@@ -357,8 +314,7 @@ func (pm *PartitionManager) evictLRU(t *hostos.Task) (cost sim.Time, ok bool) {
 		// Preserve the displaced task's state in OS tables.
 		cost += pm.saveFor(victim, c)
 	}
-	pm.E.M.Evictions.Inc()
-	pm.releasePartition(victim)
+	pm.releasePartition(victim, true)
 	return cost, true
 }
 
@@ -378,11 +334,8 @@ func (pm *PartitionManager) savedMap() map[savedKey][]bool {
 
 func (pm *PartitionManager) saveFor(p *partition, c *compile.Circuit) sim.Time {
 	rows := pm.E.Opt.Geometry.Rows
-	st := pm.E.Dev.ReadRegionState(p.region(rows))
+	st, cost := pm.E.Ledger().Readback(p.owner.Name, c, p.region(rows))
 	pm.savedMap()[savedKey{p.owner.ID, c.Name}] = st
-	pm.E.M.Readbacks.Inc()
-	cost := pm.E.Opt.Timing.ReadbackTime(c.BS.FFCells)
-	pm.E.M.ReadbackTime += cost
 	return cost
 }
 
@@ -394,11 +347,8 @@ func (pm *PartitionManager) restoreFor(p *partition, t *hostos.Task, c *compile.
 		return 0
 	}
 	rows := pm.E.Opt.Geometry.Rows
-	pm.E.Dev.WriteRegionState(p.region(rows), st)
+	cost := pm.E.Ledger().Restore(t.Name, c, p.region(rows), st)
 	delete(pm.saved, key)
-	pm.E.M.Restores.Inc()
-	cost := pm.E.Opt.Timing.RestoreTime(c.BS.FFCells)
-	pm.E.M.RestoreTime += cost
 	return cost
 }
 
@@ -425,7 +375,7 @@ func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
 			return cost, true
 		}
 		// Partition too small for the new algorithm: give it back.
-		pm.releasePartition(p)
+		pm.releasePartition(p, false)
 	}
 
 	p := pm.findFree(need)
@@ -464,7 +414,7 @@ func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
 		}
 	}
 	if p == nil || pm.E.FreePinCount() == 0 {
-		pm.E.M.Blocks.Inc()
+		pm.E.Ledger().NoteBlock(t.Name)
 		pm.waiters = append(pm.waiters, t)
 		return 0, false
 	}
@@ -480,7 +430,9 @@ func (pm *PartitionManager) ExecTime(t *hostos.Task) sim.Time {
 	req := t.CurrentRequest()
 	mux := 1
 	if p := pm.byTask[t.ID]; p != nil {
-		mux = p.mux
+		if r := pm.E.Ledger().ResidentAt(p.x); r != nil {
+			mux = r.Mux
+		}
 	}
 	pure := sim.Time(req.Evaluations+req.Cycles) * c.ClockPeriod
 	return pm.E.ExecQuantum(pure, mux)
@@ -536,7 +488,7 @@ func (pm *PartitionManager) Complete(t *hostos.Task) {
 // suspended tasks get a chance to allocate.
 func (pm *PartitionManager) Remove(t *hostos.Task) {
 	if p := pm.byTask[t.ID]; p != nil {
-		pm.releasePartition(p)
+		pm.releasePartition(p, false)
 	}
 	for k := range pm.saved {
 		if k.task == t.ID {
@@ -595,4 +547,9 @@ func (pm *PartitionManager) LintTarget() *lint.Target {
 		PartitionMode: pm.Cfg.Mode.String(),
 		Device:        pm.E.Dev,
 	}
+}
+
+// LintTargets implements LintTargeter.
+func (pm *PartitionManager) LintTargets() []*lint.Target {
+	return []*lint.Target{pm.LintTarget()}
 }

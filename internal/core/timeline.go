@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/hostos"
+	"repro/internal/trace"
+)
+
+// MergeTimeline flattens the scheduler's event log and any number of
+// device logs (one per board) into a single time-ordered trace.Timeline:
+// the host-OS view (who ran, who blocked) interleaved with the device
+// view (what the ledger did on whose behalf). At equal timestamps the
+// scheduler decision precedes the device operations it caused; the merge
+// is stable, so a fixed-seed run renders byte-identically.
+//
+// Nil logs are skipped, so callers can pass whatever subset a run traced.
+func MergeTimeline(sched *hostos.EventLog, devs ...*DeviceLog) *trace.Timeline {
+	tl := &trace.Timeline{}
+	if sched != nil {
+		for _, e := range sched.Events() {
+			tl.Add(trace.TimelineEvent{
+				At:     e.At,
+				Source: trace.SourceSched,
+				Task:   e.Task,
+				Kind:   e.Kind.String(),
+			})
+		}
+	}
+	for _, d := range devs {
+		if d == nil {
+			continue
+		}
+		for _, e := range d.Events() {
+			tl.Add(trace.TimelineEvent{
+				At:     e.At,
+				Source: trace.SourceDevice,
+				Task:   e.Task,
+				Kind:   e.Op.String(),
+				Detail: e.Detail(),
+			})
+		}
+	}
+	tl.Sort()
+	return tl
+}

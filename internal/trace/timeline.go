@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Timeline event sources.
+const (
+	// SourceSched marks events from the host-OS scheduler.
+	SourceSched = "sched"
+	// SourceDevice marks events from the device-side residency ledger.
+	SourceDevice = "device"
+)
+
+// TimelineEvent is one entry of a merged scheduler+device timeline. Both
+// layers flatten into the same shape: who (Task), when (At), where it
+// came from (Source), what happened (Kind) and any detail the source
+// provides ("adder8 @x=0 w=3 cost=1.2ms").
+type TimelineEvent struct {
+	At     sim.Time
+	Source string // SourceSched or SourceDevice
+	Task   string // "" for system operations
+	Kind   string // event kind within the source ("run", "load", ...)
+	Detail string
+}
+
+// Timeline is a merged, time-ordered event sequence from several sources.
+// Build one with Add and Sort (or core.MergeTimeline), then Render it.
+type Timeline struct {
+	Events []TimelineEvent
+}
+
+// Add appends an event.
+func (tl *Timeline) Add(e TimelineEvent) { tl.Events = append(tl.Events, e) }
+
+// sourceRank orders events at equal timestamps: the scheduler decision
+// precedes the device operations it causes.
+func sourceRank(s string) int {
+	if s == SourceSched {
+		return 0
+	}
+	return 1
+}
+
+// Sort orders events by time, scheduler before device at equal times; the
+// sort is stable, so each source's internal causal order survives. After
+// Sort, equal inputs render byte-identically.
+func (tl *Timeline) Sort() {
+	sort.SliceStable(tl.Events, func(i, j int) bool {
+		a, b := tl.Events[i], tl.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return sourceRank(a.Source) < sourceRank(b.Source)
+	})
+}
+
+// Render writes the timeline as aligned text, one event per line:
+//
+//	 time  source  task      event
+//	1.2ms  sched   encoder   run
+//	1.2ms  device  encoder   load adder8 @x=0 w=3 cost=806us
+func (tl *Timeline) Render(w io.Writer) error {
+	taskW := 4
+	for _, e := range tl.Events {
+		if len(e.Task) > taskW {
+			taskW = len(e.Task)
+		}
+	}
+	for _, e := range tl.Events {
+		task := e.Task
+		if task == "" {
+			task = "-"
+		}
+		line := fmt.Sprintf("%12v  %-6s  %-*s  %s", e.At, e.Source, taskW, task, e.Kind)
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the timeline to a string.
+func (tl *Timeline) String() string {
+	var b strings.Builder
+	if err := tl.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
