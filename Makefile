@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race conformance lint bench-quick trace-demo
+.PHONY: check fmt vet build test race conformance lint bench-quick trace-demo serve-smoke
 
-check: fmt vet build race conformance test lint bench-quick
+check: fmt vet build race conformance test lint bench-quick serve-smoke
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -18,10 +18,11 @@ build:
 	$(GO) build ./...
 
 # The race gate covers the concurrency-bearing packages: the parallel
-# experiment runner (bench), the compile cache (compile), the router
-# scratch, and the simulation layers it drives.
+# experiment runner (bench), the compile cache (compile), the service
+# daemon (serve), the router scratch, and the simulation layers they
+# drive.
 race:
-	$(GO) test -race ./internal/core/... ./internal/hostos/... ./internal/bench/... ./internal/compile/... ./internal/route/...
+	$(GO) test -race ./internal/core/... ./internal/hostos/... ./internal/bench/... ./internal/compile/... ./internal/route/... ./internal/serve/...
 
 test:
 	$(GO) test ./...
@@ -43,3 +44,23 @@ bench-quick:
 # Render a merged scheduler+device timeline from the time-sharing example.
 trace-demo:
 	$(GO) run ./examples/timeshare
+
+# End-to-end service smoke: boot vfpgad on an ephemeral port, drive it
+# with vfpgaload (200 jobs, 8 concurrent closed-loop clients, lint-checked
+# results), then SIGTERM it and require a clean drain. vfpgaload exits
+# nonzero on any 5xx, transport error, failed job, or lint-dirty result;
+# vfpgad exits nonzero if the drain does not complete.
+serve-smoke:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(GO) build -o .smoke/vfpgad ./cmd/vfpgad
+	$(GO) build -o .smoke/vfpgaload ./cmd/vfpgaload
+	@set -e; \
+	./.smoke/vfpgad -addr 127.0.0.1:0 -addr-file .smoke/addr -boards 2 -managers dynamic,partition -rate 0 > .smoke/vfpgad.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .smoke/addr ] || { echo "vfpgad did not come up"; cat .smoke/vfpgad.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .smoke/addr); \
+	if ./.smoke/vfpgaload -target "http://$$addr" -requests 200 -concurrency 8 -workload synthetic -check-lint; then ok=1; else ok=0; fi; \
+	kill -TERM $$pid; \
+	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke: ok"; else echo "serve-smoke: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
+	@rm -rf .smoke

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/netlist"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -30,8 +31,13 @@ func main() {
 	pages := flag.Int("pages", 16, "page size in CLBs for the pagination report")
 	dump := flag.String("dump", "", "write the compiled bitstream as JSON to this file (requires -circuit)")
 	segment := flag.Int("segment", 0, "also report a k-way segmentation of the circuit (requires -circuit)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("fabinfo", version.String())
+		return
+	}
 	if err := run(*circuit, *rows, *tracks, *seed, *pages, *dump, *segment); err != nil {
 		fmt.Fprintf(os.Stderr, "fabinfo: %v\n", err)
 		os.Exit(1)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/version"
 )
 
 func main() {
@@ -35,7 +36,12 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent workers (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
 	jsonPath := flag.String("json", "", "file to write a perf record (JSON) to")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("vfpgabench", version.String())
+		return
+	}
 
 	cfg := bench.Config{Seed: *seed, Quick: *quick, Jobs: *jobs}
 

@@ -1,0 +1,129 @@
+// Command vfpgad serves a pool of simulated VFPGA boards over HTTP.
+// Tenants submit workload specs as JSON; each board runs jobs from its
+// own bounded queue on its own goroutine, per-tenant token buckets
+// throttle admission, and /metrics exposes the service in Prometheus
+// text format.
+//
+// Usage:
+//
+//	vfpgad -addr :8080
+//	vfpgad -boards 4 -managers dynamic,partition -queue 32
+//	vfpgad -addr 127.0.0.1:0 -addr-file /tmp/vfpgad.addr
+//
+// SIGINT/SIGTERM stop intake, drain every accepted job, and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	boards := flag.Int("boards", 2, "number of boards in the pool")
+	managers := flag.String("managers", "dynamic", "comma-separated manager list, cycled across boards")
+	cols := flag.Int("cols", 32, "device columns per board")
+	rows := flag.Int("rows", 16, "device rows per board")
+	subBoards := flag.Int("sub-boards", 2, "sub-board count for multi-manager boards")
+	sched := flag.String("sched", "rr", "host OS scheduler: fifo | rr | priority")
+	slice := flag.Duration("slice", 10*time.Millisecond, "round-robin time slice")
+	queue := flag.Int("queue", 16, "job queue depth per board")
+	rate := flag.Float64("rate", 20, "per-tenant admitted jobs per second (<= 0 disables)")
+	burst := flag.Float64("burst", 40, "per-tenant admission burst")
+	seed := flag.Uint64("seed", 1, "compilation seed")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("vfpgad", version.String())
+		return
+	}
+	if err := run(*addr, *addrFile, *boards, *managers, *cols, *rows, *subBoards,
+		*sched, *slice, *queue, *rate, *burst, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, boards int, managers string, cols, rows, subBoards int,
+	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64) error {
+	if boards < 1 {
+		return fmt.Errorf("need at least one board")
+	}
+	mgrs := strings.Split(managers, ",")
+	cfgs := make([]serve.BoardConfig, boards)
+	for i := range cfgs {
+		bc := serve.DefaultBoardConfig()
+		bc.Manager = strings.TrimSpace(mgrs[i%len(mgrs)])
+		bc.Cols, bc.Rows = cols, rows
+		bc.SubBoards = subBoards
+		bc.Sched = sched
+		bc.Slice = sim.Time(slice.Nanoseconds())
+		bc.Seed = seed
+		bc.QueueDepth = queue
+		cfgs[i] = bc
+	}
+
+	srv, err := serve.New(serve.Config{
+		Boards:  cfgs,
+		Tenant:  serve.TenantLimits{Rate: rate, Burst: burst},
+		Version: "vfpgad " + version.String(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		// Written after Listen succeeds, so a reader that sees the file can
+		// connect immediately — the smoke test polls for it.
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("vfpgad: %d board(s) listening on %s\n", boards, ln.Addr())
+
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("vfpgad: draining")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Drain()
+	fmt.Println("vfpgad: drained, bye")
+	return nil
+}

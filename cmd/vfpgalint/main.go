@@ -27,6 +27,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/version"
 )
 
 func main() {
@@ -42,8 +43,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "placement seed for -compile")
 	verbose := flag.Bool("v", false, "also print info-severity diagnostics")
 	list := flag.Bool("list", false, "list the available passes and exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("vfpgalint", version.String())
+		return
+	}
 	if *list {
 		for _, p := range lint.Passes() {
 			fmt.Printf("%-18s %s\n", p.Name, p.Doc)

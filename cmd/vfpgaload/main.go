@@ -1,0 +1,222 @@
+// Command vfpgaload drives a running vfpgad with synthetic client
+// load and reports the status-code and latency distribution — the
+// smoke-test companion to vfpgad.
+//
+// Usage:
+//
+//	vfpgaload -target http://127.0.0.1:8080 -requests 200 -concurrency 8
+//	vfpgaload -target http://127.0.0.1:8080 -workload telecom -tenants 4
+//	vfpgaload -target http://127.0.0.1:8080 -requests 50 -check-lint
+//
+// Closed-loop: each of -concurrency workers submits, polls the job to
+// completion, then submits again until -requests jobs are accounted
+// for. 429s are retried after the server's Retry-After hint and do not
+// count against -requests. Exits nonzero on any 5xx, any transport
+// error, any failed job, or (with -check-lint) any lint-dirty result.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/version"
+	"repro/internal/workload"
+)
+
+type stats struct {
+	mu        sync.Mutex
+	codes     map[int]int
+	submitted int
+	completed int
+	failed    int
+	lintDirty int
+	transport int
+	retries   int
+}
+
+func (s *stats) code(c int) {
+	s.mu.Lock()
+	s.codes[c]++
+	s.mu.Unlock()
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "vfpgad base URL")
+	requests := flag.Int("requests", 100, "total jobs to run to completion")
+	concurrency := flag.Int("concurrency", 4, "concurrent closed-loop workers")
+	tenants := flag.Int("tenants", 2, "number of distinct tenants to submit as")
+	scenario := flag.String("workload", "synthetic", "workload scenario to submit")
+	checkLint := flag.Bool("check-lint", false, "fail if any job result is not lint-clean")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("vfpgaload", version.String())
+		return
+	}
+
+	spec, err := workload.BuiltinSpec(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := &stats{codes: map[int]int{}}
+	deadline := time.Now().Add(*timeout)
+	var next int64
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(*requests) {
+			return 0, false
+		}
+		next++
+		return int(next - 1), true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for {
+				n, ok := take()
+				if !ok || time.Now().After(deadline) {
+					return
+				}
+				tenant := "tenant-" + strconv.Itoa(n%*tenants)
+				runOne(client, *target, tenant, &spec, *checkLint, deadline, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fmt.Printf("vfpgaload: %d submitted, %d completed, %d failed, %d transport errors, %d retries after 429\n",
+		st.submitted, st.completed, st.failed, st.transport, st.retries)
+	codes := make([]int, 0, len(st.codes))
+	for c := range st.codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  HTTP %d: %d\n", c, st.codes[c])
+	}
+	bad := st.failed > 0 || st.transport > 0
+	for _, c := range codes {
+		if c >= 500 {
+			bad = true
+		}
+	}
+	if *checkLint && st.lintDirty > 0 {
+		fmt.Printf("  lint-dirty results: %d\n", st.lintDirty)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// runOne submits one job (retrying 429 backpressure) and polls it to a
+// terminal state.
+func runOne(client *http.Client, target, tenant string, spec *workload.Spec, checkLint bool, deadline time.Time, st *stats) {
+	body, err := json.Marshal(serve.SubmitRequest{Tenant: tenant, Workload: *spec})
+	if err != nil {
+		panic(err) // specs come from BuiltinSpec; marshal cannot fail
+	}
+	var sub serve.SubmitResponse
+	for {
+		if time.Now().After(deadline) {
+			return
+		}
+		resp, err := client.Post(target+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			st.mu.Lock()
+			st.transport++
+			st.mu.Unlock()
+			return
+		}
+		code := resp.StatusCode
+		st.code(code)
+		if code == http.StatusTooManyRequests {
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if code != http.StatusAccepted || err != nil {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return
+		}
+		break
+	}
+	st.mu.Lock()
+	st.submitted++
+	st.mu.Unlock()
+
+	for {
+		if time.Now().After(deadline) {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return
+		}
+		resp, err := client.Get(target + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			st.mu.Lock()
+			st.transport++
+			st.mu.Unlock()
+			return
+		}
+		st.code(resp.StatusCode)
+		var js serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&js)
+		resp.Body.Close()
+		if err != nil {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return
+		}
+		switch js.State {
+		case serve.StateDone:
+			st.mu.Lock()
+			st.completed++
+			if checkLint && (js.Result == nil || !js.Result.LintClean) {
+				st.lintDirty++
+			}
+			st.mu.Unlock()
+			return
+		case serve.StateFailed:
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -39,7 +40,12 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII scheduling timeline")
 	traceFlag := flag.Bool("trace", false, "print the merged scheduler+device event timeline")
 	lintFlag := flag.Bool("lint", false, "run the static verifier on the circuits before and on the device state after simulating; abort on errors")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("vfpgasim", version.String())
+		return
+	}
 
 	cfg := runConfig{
 		scenario: *scenario, manager: *manager, sched: *sched,

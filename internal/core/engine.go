@@ -131,6 +131,14 @@ type Metrics struct {
 
 // Engine bundles the device, timing model, pin pool, compiled-circuit
 // library, metrics and the residency ledger that every manager shares.
+//
+// An Engine is single-goroutine by design, like the sim.Kernel that
+// drives it: the device, metrics, pin pool and ledger perform no
+// internal locking. A concurrent serving layer must give each engine
+// (and the OS and managers built over it) a dedicated goroutine — the
+// vfpgad board pool runs one board per goroutine for exactly this
+// reason. The ledger backs this contract with a cheap assertion that
+// panics on concurrent mutation (see Ledger).
 type Engine struct {
 	Dev  *fabric.Device
 	Opt  Options

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bitstream"
 	"repro/internal/compile"
@@ -165,11 +166,35 @@ type Resident struct {
 // The ledger also keeps the authoritative residency table (which circuit
 // strip sits at which column, holding which pins), which doubles as the
 // live state source for the static verifier via LintTarget.
+//
+// A Ledger (like the Engine it belongs to) is single-goroutine by
+// design: the simulation kernel is not a concurrent object, and neither
+// are the device, metrics, or residency table under it. Concurrent
+// layers (the vfpgad board pool) must confine each engine and its
+// managers to one goroutine. Every mutating ledger operation carries a
+// cheap mutex-backed assertion that panics on concurrent entry, so
+// misuse fails loudly instead of racing.
 type Ledger struct {
 	e         *Engine
 	k         *sim.Kernel
 	log       *DeviceLog
 	residents map[int]*Resident // keyed by strip origin column
+
+	// guard backs the single-goroutine assertion: TryLock fails only if
+	// another operation is mid-flight, which under the ownership contract
+	// can only mean a second goroutine.
+	guard sync.Mutex
+}
+
+// enter asserts the single-goroutine ownership contract on entry to a
+// mutating operation and returns the matching exit function. An
+// uncontended TryLock is one atomic operation, cheap enough to keep on
+// in every build.
+func (l *Ledger) enter() func() {
+	if !l.guard.TryLock() {
+		panic("core: concurrent Ledger use — an Engine and its managers must be confined to a single goroutine")
+	}
+	return l.guard.Unlock
 }
 
 // Bind attaches the simulation clock used to timestamp events. Manager
@@ -234,6 +259,7 @@ func (l *Ledger) LintTarget(name string) *lint.Target {
 // otherwise), and records the residency. It returns the pin-multiplexing
 // factor and the charged cost.
 func (l *Ledger) TryLoad(owner string, c *compile.Circuit, x int, wholeDevice bool) (mux int, cost sim.Time, err error) {
+	defer l.enter()()
 	if r := l.residents[x]; r != nil {
 		return 0, 0, fmt.Errorf("core: column %d already holds %s; evict first", x, r.Circuit)
 	}
@@ -293,17 +319,28 @@ func (l *Ledger) evict(x int, voluntary bool) {
 // Evict displaces the resident strip at column x to make room for
 // another circuit. Clearing configuration RAM is free in the timing
 // model; the displaced state, if any, must be read back first.
-func (l *Ledger) Evict(x int) { l.evict(x, false) }
+func (l *Ledger) Evict(x int) {
+	defer l.enter()()
+	l.evict(x, false)
+}
 
 // Release returns the strip at column x voluntarily (owner exit or
 // hand-back); it clears the device like Evict but is not counted as a
 // displacement in Metrics.Evictions.
-func (l *Ledger) Release(x int) { l.evict(x, true) }
+func (l *Ledger) Release(x int) {
+	defer l.enter()()
+	l.evict(x, true)
+}
 
 // Readback reads the flip-flop state of c's footprint at region into OS
 // tables (the paper's §3 observability requirement), charging the
 // readback time.
 func (l *Ledger) Readback(owner string, c *compile.Circuit, region fabric.Region) ([]bool, sim.Time) {
+	defer l.enter()()
+	return l.readback(owner, c, region)
+}
+
+func (l *Ledger) readback(owner string, c *compile.Circuit, region fabric.Region) ([]bool, sim.Time) {
 	st := l.e.Dev.ReadRegionState(region)
 	cost := l.e.Opt.Timing.ReadbackTime(c.BS.FFCells)
 	l.e.M.Readbacks.Inc()
@@ -315,6 +352,11 @@ func (l *Ledger) Readback(owner string, c *compile.Circuit, region fabric.Region
 // Restore writes previously saved flip-flop state back into c's
 // footprint (§3 controllability), charging the restore time.
 func (l *Ledger) Restore(owner string, c *compile.Circuit, region fabric.Region, state []bool) sim.Time {
+	defer l.enter()()
+	return l.restore(owner, c, region, state)
+}
+
+func (l *Ledger) restore(owner string, c *compile.Circuit, region fabric.Region, state []bool) sim.Time {
 	l.e.Dev.WriteRegionState(region, state)
 	cost := l.e.Opt.Timing.RestoreTime(c.BS.FFCells)
 	l.e.M.Restores.Inc()
@@ -328,6 +370,7 @@ func (l *Ledger) Restore(owner string, c *compile.Circuit, region fabric.Region,
 // device's x-major state order. It costs a state write but is not a
 // restore of saved state, so Metrics.Restores stays untouched.
 func (l *Ledger) Reset(owner string, c *compile.Circuit, region fabric.Region) sim.Time {
+	defer l.enter()()
 	init := make([]bool, 0, c.BS.FFCells)
 	for x := region.X; x < region.X+region.W; x++ {
 		for y := region.Y; y < region.Y+region.H; y++ {
@@ -348,6 +391,7 @@ func (l *Ledger) Reset(owner string, c *compile.Circuit, region fabric.Region) s
 // from its beginning (§3's alternative to save/restore). The device is
 // untouched: the reset happens when the circuit is next adopted.
 func (l *Ledger) Rollback(owner, circuit string) {
+	defer l.enter()()
 	l.e.M.Rollbacks.Inc()
 	l.emit(OpRollback, owner, circuit, fabric.Region{}, -1, 0, false)
 }
@@ -358,6 +402,7 @@ func (l *Ledger) Rollback(owner, circuit string) {
 // restored. It returns the total time charged. The regions may overlap —
 // the old strip is cleared before the new one is written.
 func (l *Ledger) Relocate(oldX, newX int) sim.Time {
+	defer l.enter()()
 	r := l.residents[oldX]
 	if r == nil {
 		panic(fmt.Sprintf("core: relocate of empty column %d", oldX))
@@ -371,7 +416,7 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 	var cost sim.Time
 	var state []bool
 	if r.C.Sequential {
-		st, c := l.Readback(r.Owner, r.C, r.Region)
+		st, c := l.readback(r.Owner, r.C, r.Region)
 		state, cost = st, c
 	}
 	l.e.Dev.ClearRegion(r.Region)
@@ -389,7 +434,7 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 	l.e.M.Relocations.Inc()
 	l.emit(OpRelocate, r.Owner, r.Circuit, newRegion, -1, ccost, false)
 	if r.C.Sequential {
-		cost += l.Restore(r.Owner, r.C, newRegion, state)
+		cost += l.restore(r.Owner, r.C, newRegion, state)
 	}
 	l.e.noteUtil(l.now())
 	return cost
@@ -401,6 +446,7 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 // written (see PagedLoader); the fault, the load and the download time
 // are still accounted here, in the same ledger as every other download.
 func (l *Ledger) LoadPage(owner, circuit string, page, cells int) sim.Time {
+	defer l.enter()()
 	cost := l.e.Opt.Timing.PartialConfigTime(cells, 0)
 	l.e.M.PageFaults.Inc()
 	l.e.M.PageLoads.Inc()
@@ -412,6 +458,7 @@ func (l *Ledger) LoadPage(owner, circuit string, page, cells int) sim.Time {
 // EvictPage records the displacement of a resident page by the
 // replacement policy.
 func (l *Ledger) EvictPage(owner, circuit string, page int) {
+	defer l.enter()()
 	l.e.M.Evictions.Inc()
 	l.emit(OpEvict, owner, circuit, fabric.Region{}, page, 0, false)
 }
@@ -420,17 +467,20 @@ func (l *Ledger) EvictPage(owner, circuit string, page int) {
 // its circuit anymore (task exit); like Release it does not count as a
 // displacement.
 func (l *Ledger) ReleasePage(owner, circuit string, page int) {
+	defer l.enter()()
 	l.emit(OpEvict, owner, circuit, fabric.Region{}, page, 0, true)
 }
 
 // NoteBlock records that owner suspended waiting for device space.
 func (l *Ledger) NoteBlock(owner string) {
+	defer l.enter()()
 	l.e.M.Blocks.Inc()
 	l.emit(OpBlock, owner, "", fabric.Region{}, -1, 0, false)
 }
 
 // NoteGC records the start of a garbage-collection (compaction) run.
 func (l *Ledger) NoteGC() {
+	defer l.enter()()
 	l.e.M.GCRuns.Inc()
 	l.emit(OpGC, "", "", fabric.Region{}, -1, 0, false)
 }

@@ -1,0 +1,76 @@
+package core
+
+import "repro/internal/sim"
+
+// MetricsSnapshot is the JSON-serializable value form of Metrics: plain
+// counters and times, detached from the live engine. The serve layer
+// ships snapshots over the wire and accumulates them per board; the
+// equality tests compare them byte-for-byte against direct runs.
+type MetricsSnapshot struct {
+	Loads       int64 `json:"loads"`
+	Evictions   int64 `json:"evictions"`
+	Readbacks   int64 `json:"readbacks"`
+	Restores    int64 `json:"restores"`
+	Rollbacks   int64 `json:"rollbacks"`
+	PageFaults  int64 `json:"page_faults"`
+	PageLoads   int64 `json:"page_loads"`
+	GCRuns      int64 `json:"gc_runs"`
+	Relocations int64 `json:"relocations"`
+	Blocks      int64 `json:"blocks"`
+	MuxedOps    int64 `json:"muxed_ops"`
+
+	ConfigTime   sim.Time `json:"config_time_ns"`
+	ReadbackTime sim.Time `json:"readback_time_ns"`
+	RestoreTime  sim.Time `json:"restore_time_ns"`
+
+	// UtilMean is the time-weighted mean of configured CLBs over [0, the
+	// snapshot time]; UtilMax is the peak. Both describe one run and are
+	// deliberately dropped by Accumulate (utilization does not sum).
+	UtilMean float64 `json:"util_mean_clbs"`
+	UtilMax  float64 `json:"util_max_clbs"`
+}
+
+// Snapshot captures the metrics at virtual time now (used to close the
+// time-weighted utilization integral).
+func (m *Metrics) Snapshot(now sim.Time) MetricsSnapshot {
+	return MetricsSnapshot{
+		Loads:       m.Loads.Value(),
+		Evictions:   m.Evictions.Value(),
+		Readbacks:   m.Readbacks.Value(),
+		Restores:    m.Restores.Value(),
+		Rollbacks:   m.Rollbacks.Value(),
+		PageFaults:  m.PageFaults.Value(),
+		PageLoads:   m.PageLoads.Value(),
+		GCRuns:      m.GCRuns.Value(),
+		Relocations: m.Relocations.Value(),
+		Blocks:      m.Blocks.Value(),
+		MuxedOps:    m.MuxedOps.Value(),
+
+		ConfigTime:   m.ConfigTime,
+		ReadbackTime: m.ReadbackTime,
+		RestoreTime:  m.RestoreTime,
+
+		UtilMean: m.Util.Average(int64(now)),
+		UtilMax:  m.Util.Max(),
+	}
+}
+
+// Accumulate adds o's counters and times into s. The utilization fields
+// are zeroed: they are per-run averages and peaks, not summable totals.
+func (s *MetricsSnapshot) Accumulate(o MetricsSnapshot) {
+	s.Loads += o.Loads
+	s.Evictions += o.Evictions
+	s.Readbacks += o.Readbacks
+	s.Restores += o.Restores
+	s.Rollbacks += o.Rollbacks
+	s.PageFaults += o.PageFaults
+	s.PageLoads += o.PageLoads
+	s.GCRuns += o.GCRuns
+	s.Relocations += o.Relocations
+	s.Blocks += o.Blocks
+	s.MuxedOps += o.MuxedOps
+	s.ConfigTime += o.ConfigTime
+	s.ReadbackTime += o.ReadbackTime
+	s.RestoreTime += o.RestoreTime
+	s.UtilMean, s.UtilMax = 0, 0
+}

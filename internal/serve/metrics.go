@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled: one writer,
+// deterministic series order (boards by id, tenants sorted, label sets
+// fixed), no timestamps and no wall-clock values, so a fixed scenario
+// exposes byte-identical text — the golden test pins that, which is
+// what keeps dashboards from breaking silently.
+
+// metricsWriter accumulates families in emission order.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *metricsWriter) family(name, help, typ string) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series writes one sample line. Labels come as ordered key/value pairs.
+func (m *metricsWriter) series(name string, value string, kv ...string) {
+	if m.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(kv) > 0 {
+		b.WriteByte('{')
+		for i := 0; i+1 < len(kv); i += 2 {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%s="%s"`, kv[i], escapeLabel(kv[i+1]))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, m.err = io.WriteString(m.w, b.String())
+}
+
+func (m *metricsWriter) int(name string, v int64, kv ...string) {
+	m.series(name, strconv.FormatInt(v, 10), kv...)
+}
+
+// ledgerOpCounts flattens a metrics snapshot into the per-op counter
+// series, in fixed order.
+func ledgerOpCounts(s core.MetricsSnapshot) []struct {
+	Op string
+	N  int64
+} {
+	return []struct {
+		Op string
+		N  int64
+	}{
+		{"load", s.Loads},
+		{"evict", s.Evictions},
+		{"readback", s.Readbacks},
+		{"restore", s.Restores},
+		{"rollback", s.Rollbacks},
+		{"page_fault", s.PageFaults},
+		{"page_load", s.PageLoads},
+		{"gc", s.GCRuns},
+		{"relocate", s.Relocations},
+		{"block", s.Blocks},
+		{"muxed", s.MuxedOps},
+	}
+}
+
+// writeMetrics renders the whole exposition.
+func (s *Server) writeMetrics(w io.Writer) error {
+	m := &metricsWriter{w: w}
+
+	m.family("vfpgad_build_info", "Build identification; value is always 1.", "gauge")
+	m.series("vfpgad_build_info", "1", "version", s.version)
+
+	m.family("vfpgad_draining", "1 while the daemon is draining, 0 otherwise.", "gauge")
+	draining := int64(0)
+	if s.pool.isDraining() {
+		draining = 1
+	}
+	m.int("vfpgad_draining", draining)
+
+	m.family("vfpgad_boards", "Number of boards in the pool.", "gauge")
+	m.int("vfpgad_boards", int64(len(s.pool.boards)))
+
+	// Admission and job outcomes, per tenant.
+	tenants := s.adm.snapshot()
+	m.family("vfpgad_admission_total", "Submissions by admission decision.", "counter")
+	for _, t := range tenants {
+		m.int("vfpgad_admission_total", t.Admitted, "tenant", t.Tenant, "decision", "admitted")
+		m.int("vfpgad_admission_total", t.Throttled, "tenant", t.Tenant, "decision", "throttled")
+		m.int("vfpgad_admission_total", t.QueueFull, "tenant", t.Tenant, "decision", "queue_full")
+	}
+	m.family("vfpgad_jobs_total", "Finished jobs by outcome.", "counter")
+	for _, t := range tenants {
+		m.int("vfpgad_jobs_total", t.Completed, "tenant", t.Tenant, "outcome", "completed")
+		m.int("vfpgad_jobs_total", t.Failed, "tenant", t.Tenant, "outcome", "failed")
+	}
+
+	// Board occupancy and queues.
+	m.family("vfpgad_board_busy", "1 while the board is running a job.", "gauge")
+	infos := make([]BoardInfo, 0, len(s.pool.boards))
+	aggs := make([]core.MetricsSnapshot, 0, len(s.pool.boards))
+	for _, b := range s.pool.boards {
+		infos = append(infos, b.info())
+		b.mu.Lock()
+		aggs = append(aggs, b.agg)
+		b.mu.Unlock()
+	}
+	for _, bi := range infos {
+		busy := int64(0)
+		if bi.State == "busy" {
+			busy = 1
+		}
+		m.int("vfpgad_board_busy", busy, "board", strconv.Itoa(bi.ID), "manager", bi.Manager)
+	}
+	m.family("vfpgad_queue_depth", "Jobs waiting in the board queue.", "gauge")
+	for _, bi := range infos {
+		m.int("vfpgad_queue_depth", int64(bi.QueueDepth), "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_queue_capacity", "Board queue capacity.", "gauge")
+	for _, bi := range infos {
+		m.int("vfpgad_queue_capacity", int64(bi.QueueCap), "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_board_jobs_total", "Jobs finished by the board, by outcome.", "counter")
+	for _, bi := range infos {
+		m.int("vfpgad_board_jobs_total", bi.JobsDone, "board", strconv.Itoa(bi.ID), "outcome", "completed")
+		m.int("vfpgad_board_jobs_total", bi.JobsFailed, "board", strconv.Itoa(bi.ID), "outcome", "failed")
+	}
+
+	// Device-side ledger counters accumulated across jobs, per board.
+	m.family("vfpgad_ledger_ops_total", "Residency-ledger operations across all jobs.", "counter")
+	for i, agg := range aggs {
+		for _, oc := range ledgerOpCounts(agg) {
+			m.int("vfpgad_ledger_ops_total", oc.N, "board", strconv.Itoa(i), "op", oc.Op)
+		}
+	}
+	m.family("vfpgad_device_time_ns_total", "Virtual nanoseconds of device overhead across all jobs.", "counter")
+	for i, agg := range aggs {
+		m.int("vfpgad_device_time_ns_total", int64(agg.ConfigTime), "board", strconv.Itoa(i), "kind", "config")
+		m.int("vfpgad_device_time_ns_total", int64(agg.ReadbackTime), "board", strconv.Itoa(i), "kind", "readback")
+		m.int("vfpgad_device_time_ns_total", int64(agg.RestoreTime), "board", strconv.Itoa(i), "kind", "restore")
+	}
+
+	// Compile-cache effectiveness (shared across boards).
+	cs := s.pool.cache.Stats()
+	m.family("vfpgad_compile_cache_lookups_total", "Strip-cache lookups by result.", "counter")
+	m.int("vfpgad_compile_cache_lookups_total", cs.Hits, "result", "hit")
+	m.int("vfpgad_compile_cache_lookups_total", cs.Misses, "result", "miss")
+	m.int("vfpgad_compile_cache_lookups_total", cs.Dedups, "result", "dedup")
+	m.family("vfpgad_compile_cache_evictions_total", "Strip-cache LRU evictions.", "counter")
+	m.int("vfpgad_compile_cache_evictions_total", cs.Evictions)
+	m.family("vfpgad_compile_cache_entries", "Strips currently cached.", "gauge")
+	m.int("vfpgad_compile_cache_entries", int64(cs.Size))
+	m.family("vfpgad_compile_cache_capacity", "Strip-cache LRU bound.", "gauge")
+	m.int("vfpgad_compile_cache_capacity", int64(cs.Capacity))
+
+	return m.err
+}

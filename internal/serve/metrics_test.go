@@ -1,0 +1,144 @@
+package serve
+
+// The /metrics contract: a fixed scenario produces byte-identical
+// exposition text (pinned by a golden file), and every line obeys the
+// Prometheus text-format rules an expfmt parser would enforce.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenScenario drives one board through a fixed job sequence and
+// returns the exposition text: two jobs for tenant alpha (the second a
+// full compile-cache hit), one throttled alpha submission, one job for
+// tenant beta.
+func goldenScenario(t *testing.T) string {
+	t.Helper()
+	s := newTestServer(t, Config{
+		Tenant:  TenantLimits{Rate: 1, Burst: 2},
+		Version: "test",
+		Now:     func() time.Time { return time.Unix(1000, 0) },
+	})
+	s.Start()
+	defer s.Drain()
+
+	waitDone(t, submitOK(t, s, "alpha", "multimedia"))
+	waitDone(t, submitOK(t, s, "alpha", "multimedia"))
+	if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "alpha", "multimedia")); rec.Code != 429 {
+		t.Fatalf("throttle submit: got %d, want 429", rec.Code)
+	}
+	waitDone(t, submitOK(t, s, "beta", "telecom"))
+
+	var buf bytes.Buffer
+	if err := s.writeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestMetricsGolden(t *testing.T) {
+	got := goldenScenario(t)
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics exposition diverged from golden file (run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?$`)
+)
+
+// TestMetricsWellFormed validates the exposition line by line against
+// the text-format grammar: every sample belongs to a family declared by
+// a preceding TYPE line, families are declared once, and no line is
+// anything other than HELP, TYPE, or a sample.
+func TestMetricsWellFormed(t *testing.T) {
+	text := goldenScenario(t)
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end in a newline")
+	}
+	declared := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			if declared[m[1]] {
+				t.Errorf("line %d: family %s declared twice", i+1, m[1])
+			}
+			declared[m[1]] = true
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("line %d: malformed sample: %q", i+1, line)
+				continue
+			}
+			if !declared[m[1]] {
+				t.Errorf("line %d: sample for undeclared family %s", i+1, m[1])
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	// Spot-check the counters the scenario pins.
+	for _, want := range []string{
+		`vfpgad_admission_total{tenant="alpha",decision="admitted"} 2`,
+		`vfpgad_admission_total{tenant="alpha",decision="throttled"} 1`,
+		`vfpgad_jobs_total{tenant="alpha",outcome="completed"} 2`,
+		`vfpgad_jobs_total{tenant="beta",outcome="completed"} 1`,
+		`vfpgad_build_info{version="test"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	m := &metricsWriter{w: &buf}
+	m.series("x_total", "1", "label", "a\"b\\c\nd")
+	if m.err != nil {
+		t.Fatal(m.err)
+	}
+	want := `x_total{label="a\"b\\c\nd"} 1` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("escaped line = %q, want %q", got, want)
+	}
+	if !sampleRe.MatchString(strings.TrimSuffix(buf.String(), "\n")) {
+		t.Errorf("escaped line does not parse: %q", buf.String())
+	}
+}

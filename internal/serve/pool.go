@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Submission errors mapped to HTTP statuses by the server layer.
+var (
+	// ErrQueueFull is backpressure: every eligible board queue is at
+	// capacity (429).
+	ErrQueueFull = errors.New("serve: board queues full")
+	// ErrDraining means the pool is shutting down (503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrNoSuchBoard rejects a pin to a board id outside the pool (400).
+	ErrNoSuchBoard = errors.New("serve: no such board")
+)
+
+// job is one unit of work moving through the pool.
+type job struct {
+	id     string
+	tenant string
+	spec   *workload.Spec
+	trace  bool
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  string
+	board  int
+	errMsg string
+	result *JobResult
+	done   chan struct{}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res *JobResult, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Tenant: j.tenant, State: j.state, Board: j.board,
+		Error: j.errMsg, Result: j.result,
+	}
+}
+
+// board is one execution slot: a config, a bounded queue and the
+// accumulated accounting of everything it ran.
+type board struct {
+	id    int
+	cfg   BoardConfig
+	queue chan *job
+
+	mu      sync.Mutex
+	current string // running job id ("" when idle)
+	done    int64
+	failed  int64
+	agg     core.MetricsSnapshot // summed device metrics across jobs
+}
+
+func (b *board) info() BoardInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := "idle"
+	if b.current != "" {
+		state = "busy"
+	}
+	return BoardInfo{
+		ID: b.id, Manager: b.cfg.Manager, Cols: b.cfg.Cols, Rows: b.cfg.Rows,
+		State: state, CurrentJob: b.current,
+		QueueDepth: len(b.queue), QueueCap: cap(b.queue),
+		JobsDone: b.done, JobsFailed: b.failed,
+	}
+}
+
+// pool owns the boards and the job store. One worker goroutine per
+// board drains that board's queue; boards never share simulation state,
+// only the concurrency-safe compile cache.
+type pool struct {
+	boards []*board
+	cache  *compile.StripCache
+	adm    *admission
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int64
+	draining bool
+
+	wg sync.WaitGroup
+	// gate, when non-nil, makes every worker consume one token before
+	// running each job — a test hook to hold queues full deterministically.
+	gate chan struct{}
+}
+
+func newPool(cfgs []BoardConfig, adm *admission) (*pool, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("serve: a pool needs at least one board")
+	}
+	p := &pool{
+		cache: compile.NewStripCache(compile.DefaultCacheCapacity),
+		adm:   adm,
+		jobs:  map[string]*job{},
+	}
+	for i, bc := range cfgs {
+		if err := bc.Validate(); err != nil {
+			return nil, fmt.Errorf("board %d: %w", i, err)
+		}
+		p.boards = append(p.boards, &board{id: i, cfg: bc, queue: make(chan *job, bc.QueueDepth)})
+	}
+	return p, nil
+}
+
+// start launches one worker goroutine per board.
+func (p *pool) start() {
+	for _, b := range p.boards {
+		p.wg.Add(1)
+		go p.worker(b)
+	}
+}
+
+func (p *pool) worker(b *board) {
+	defer p.wg.Done()
+	for j := range b.queue {
+		if p.gate != nil {
+			<-p.gate
+		}
+		p.runOne(b, j)
+	}
+}
+
+func (p *pool) runOne(b *board, j *job) {
+	if err := j.ctx.Err(); err != nil {
+		// Canceled or deadline-expired while queued: fail without
+		// spending board time on it.
+		j.finish(nil, fmt.Errorf("job %s not run: %w", j.id, err))
+		b.mu.Lock()
+		b.failed++
+		b.mu.Unlock()
+		p.adm.noteFailed(j.tenant)
+		return
+	}
+	b.mu.Lock()
+	b.current = j.id
+	b.mu.Unlock()
+	j.setRunning()
+
+	res, err := runJob(p.cache, b.cfg, j.spec, j.trace)
+
+	b.mu.Lock()
+	b.current = ""
+	if err != nil {
+		b.failed++
+	} else {
+		b.done++
+		for _, m := range res.Metrics {
+			b.agg.Accumulate(m)
+		}
+	}
+	b.mu.Unlock()
+	if err != nil {
+		p.adm.noteFailed(j.tenant)
+	} else {
+		p.adm.noteCompleted(j.tenant)
+	}
+	j.finish(res, err)
+}
+
+// submit enqueues a job: onto the pinned board when pin is non-nil,
+// otherwise onto the board with the most free queue capacity (ties to
+// the lowest id). A full queue — or all full queues — is backpressure,
+// not an error of the job. The whole decision runs under the pool lock
+// so it cannot interleave with drain closing the queues.
+func (p *pool) submit(j *job, pin *int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return 0, ErrDraining
+	}
+	candidates := p.boards
+	if pin != nil {
+		if *pin < 0 || *pin >= len(p.boards) {
+			return 0, fmt.Errorf("%w: %d", ErrNoSuchBoard, *pin)
+		}
+		candidates = p.boards[*pin : *pin+1]
+	}
+	// Sort candidates by load — queued jobs plus the one in flight, since
+	// a running job no longer occupies the queue — stable, so ties keep
+	// board order. Take the first board that accepts the send.
+	ordered := append([]*board(nil), candidates...)
+	load := func(b *board) int {
+		n := len(b.queue)
+		b.mu.Lock()
+		if b.current != "" {
+			n++
+		}
+		b.mu.Unlock()
+		return n
+	}
+	loads := make(map[*board]int, len(ordered))
+	for _, b := range ordered {
+		loads[b] = load(b)
+	}
+	sort.SliceStable(ordered, func(a, b int) bool { return loads[ordered[a]] < loads[ordered[b]] })
+	// All job fields are written before the channel send: the send
+	// happens-before the worker's receive, so the worker may read them
+	// without holding j.mu.
+	j.id = fmt.Sprintf("j%06d", p.seq+1)
+	for _, target := range ordered {
+		j.mu.Lock()
+		j.board = target.id
+		j.mu.Unlock()
+		select {
+		case target.queue <- j:
+			p.seq++
+			p.jobs[j.id] = j
+			return target.id, nil
+		default: // full; try the next board
+		}
+	}
+	return 0, ErrQueueFull
+}
+
+// get returns the job by id.
+func (p *pool) get(id string) (*job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// drain stops intake, lets every queued job finish, and waits for the
+// workers to exit. Safe to call more than once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		// Closing under the lock excludes in-flight submit sends.
+		for _, b := range p.boards {
+			close(b.queue)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *pool) isDraining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/lint"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Managers lists the hostos.FPGA implementations a board can run.
+var Managers = []string{"dynamic", "partition", "overlay", "paged", "multi", "exclusive", "software", "merged"}
+
+// BoardConfig describes one simulated board of the pool. The simulated
+// hardware is rebuilt from this config for every job — the moral
+// equivalent of fully reprogramming the physical FPGA between tenants —
+// so per-job results are exactly what a direct hostos run of the same
+// workload produces, independent of queue order and of whatever ran on
+// the board before.
+type BoardConfig struct {
+	// Manager is one of Managers.
+	Manager string
+	// Cols and Rows shape the device.
+	Cols, Rows int
+	// SubBoards is the device count for the multi manager (ignored
+	// otherwise; minimum 1).
+	SubBoards int
+	// Sched and Slice configure the host OS scheduler.
+	Sched string
+	Slice sim.Time
+	// Seed is the board's compilation seed (the engine's Options.Seed).
+	Seed uint64
+	// QueueDepth bounds the board's job queue; submissions beyond it get
+	// 429 backpressure.
+	QueueDepth int
+}
+
+// DefaultBoardConfig returns a dynamic-loader board on the default
+// 32x16 device.
+func DefaultBoardConfig() BoardConfig {
+	return BoardConfig{
+		Manager: "dynamic", Cols: 32, Rows: 16, SubBoards: 2,
+		Sched: "rr", Slice: 10 * sim.Millisecond, Seed: 1, QueueDepth: 16,
+	}
+}
+
+// Validate rejects configs the runner cannot build.
+func (bc *BoardConfig) Validate() error {
+	found := false
+	for _, m := range Managers {
+		if bc.Manager == m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("serve: unknown manager %q (have %v)", bc.Manager, Managers)
+	}
+	switch bc.Sched {
+	case "fifo", "rr", "priority":
+	default:
+		return fmt.Errorf("serve: unknown scheduler %q", bc.Sched)
+	}
+	if bc.Cols <= 0 || bc.Rows <= 0 {
+		return fmt.Errorf("serve: bad geometry %dx%d", bc.Cols, bc.Rows)
+	}
+	if bc.QueueDepth <= 0 {
+		return fmt.Errorf("serve: queue depth must be positive")
+	}
+	return nil
+}
+
+// runJob executes one workload spec on a freshly built board and
+// returns the wire-form result. It is called from the board's goroutine
+// only: everything it builds (kernel, engine, managers, OS) is
+// single-goroutine state confined to that stack.
+func runJob(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec, withTrace bool) (res *JobResult, err error) {
+	// A panicking job must fail, not take the daemon down with it: every
+	// piece of simulation state is confined to this call (the board is
+	// rebuilt per job), so recovery cannot leave shared state corrupted.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	set, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	opt := core.DefaultOptions()
+	opt.Geometry.Cols, opt.Geometry.Rows = bc.Cols, bc.Rows
+	opt.Seed = bc.Seed
+	k := sim.New()
+
+	newEngine := func() (*core.Engine, error) {
+		e := core.NewEngine(opt)
+		for i, nl := range set.Circuits {
+			tm := opt.Timing
+			c, err := cache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+				compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
+			if err != nil {
+				return nil, fmt.Errorf("serve: compile %s: %w", nl.Name, err)
+			}
+			e.Lib[nl.Name] = c
+		}
+		return e, nil
+	}
+
+	e, err := newEngine()
+	if err != nil {
+		return nil, err
+	}
+	engines := []*core.Engine{e}
+
+	var mgr hostos.FPGA
+	switch bc.Manager {
+	case "dynamic":
+		mgr = core.NewDynamicLoader(k, e)
+	case "partition":
+		pm, err := core.NewPartitionManager(k, e, core.PartitionConfig{
+			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mgr = pm
+	case "overlay":
+		om, _, err := core.NewOverlayManager(k, e, set.CircuitNames()[:1])
+		if err != nil {
+			return nil, err
+		}
+		mgr = om
+	case "paged":
+		pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 16, Policy: core.LRU, Seed: bc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mgr = pl
+	case "multi":
+		n := bc.SubBoards
+		if n < 1 {
+			n = 1
+		}
+		for i := 1; i < n; i++ {
+			be, err := newEngine()
+			if err != nil {
+				return nil, err
+			}
+			engines = append(engines, be)
+		}
+		mm, err := core.NewMultiManager(k, engines, core.PartitionConfig{
+			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mgr = mm
+	case "exclusive":
+		mgr = baseline.NewExclusive(k, e)
+	case "software":
+		mgr = baseline.NewSoftware(e, 20)
+	case "merged":
+		m, _, err := baseline.NewMerged(k, e, set.CircuitNames())
+		if err != nil {
+			return nil, err
+		}
+		mgr = m
+	default:
+		return nil, fmt.Errorf("serve: unknown manager %q", bc.Manager)
+	}
+
+	osCfg := hostos.Config{TimeSlice: bc.Slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
+	switch bc.Sched {
+	case "fifo":
+		osCfg.Policy = hostos.FIFO
+	case "rr":
+		osCfg.Policy = hostos.RR
+	case "priority":
+		osCfg.Policy = hostos.Priority
+	default:
+		return nil, fmt.Errorf("serve: unknown scheduler %q", bc.Sched)
+	}
+	osim := hostos.New(k, osCfg, mgr)
+	if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
+		att.AttachOS(osim)
+	}
+
+	var tlog *hostos.EventLog
+	var devLogs []*core.DeviceLog
+	if withTrace {
+		tlog = hostos.NewEventLog(0)
+		osim.AttachTrace(tlog)
+		for _, eng := range engines {
+			dl := core.NewDeviceLog(0)
+			eng.Ledger().AttachLog(dl)
+			devLogs = append(devLogs, dl)
+		}
+	}
+
+	set.Spawn(osim)
+	k.Run()
+	if !osim.AllDone() {
+		return nil, fmt.Errorf("serve: simulation ended with unfinished tasks")
+	}
+
+	res = &JobResult{
+		Makespan:    osim.Makespan(),
+		CtxSwitches: osim.CtxSwitches,
+		LintClean:   true,
+	}
+	for _, t := range osim.Tasks() {
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:        t.Name,
+			Turnaround:  t.Turnaround(),
+			CPUTime:     t.CPUTime,
+			HWTime:      t.HWTime,
+			Overhead:    t.Overhead,
+			ReadyWait:   t.ReadyWait,
+			BlockWait:   t.BlockWait,
+			Preemptions: t.Preemptions,
+			Acquires:    t.Acquires,
+		})
+	}
+	for _, eng := range engines {
+		res.Metrics = append(res.Metrics, eng.M.Snapshot(k.Now()))
+	}
+	if lt, ok := mgr.(core.LintTargeter); ok {
+		diags, err := lint.Run(lt.LintTargets(), lint.Options{MinSeverity: lint.Warning})
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pass < diags[j].Pass })
+		for _, d := range diags {
+			res.LintDiags = append(res.LintDiags, d.String())
+		}
+		res.LintClean = !lint.HasErrors(diags)
+	}
+	if withTrace {
+		res.Timeline = core.MergeTimeline(tlog, devLogs...).Events
+	}
+	return res, nil
+}

@@ -1,0 +1,530 @@
+package serve
+
+// Server-level tests. They exercise the HTTP surface through the real
+// handler (no network) and reach into the pool for the deterministic
+// hooks: the worker gate holds queues full without sleeps, and the
+// injected admission clock makes throttling decisions reproducible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// newTestServer builds a Server over one default dynamic board.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Boards == nil {
+		cfg.Boards = []BoardConfig{DefaultBoardConfig()}
+	}
+	if cfg.Version == "" {
+		cfg.Version = "test"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// do runs one request through the handler.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func submitBody(t *testing.T, tenant, scenario string) string {
+	t.Helper()
+	spec, err := workload.BuiltinSpec(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(SubmitRequest{Tenant: tenant, Workload: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// submitOK submits and returns the accepted job.
+func submitOK(t *testing.T, s *Server, tenant, scenario string) *job {
+	t.Helper()
+	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, tenant, scenario))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202 (body %s)", rec.Code, rec.Body)
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.pool.get(resp.ID)
+	if !ok {
+		t.Fatalf("job %s not registered", resp.ID)
+	}
+	return j
+}
+
+func waitDone(t *testing.T, j *job) {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(time.Minute):
+		t.Fatalf("job %s did not finish", j.id)
+	}
+}
+
+// directRun reproduces the same workload on a hand-built hostos stack,
+// bypassing the serve layer entirely: fresh kernel, engine compiled
+// without the strip cache, dynamic loader. Per-job results from the
+// daemon must be byte-identical to this.
+func directRun(t *testing.T, spec *workload.Spec, bc BoardConfig) *JobResult {
+	t.Helper()
+	set, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Geometry.Cols, opt.Geometry.Rows = bc.Cols, bc.Rows
+	opt.Seed = bc.Seed
+	k := sim.New()
+	e := core.NewEngine(opt)
+	for i, nl := range set.Circuits {
+		tm := opt.Timing
+		c, err := compile.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
+			compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Lib[nl.Name] = c
+	}
+	mgr := core.NewDynamicLoader(k, e)
+	osim := hostos.New(k, hostos.Config{
+		Policy: hostos.RR, TimeSlice: bc.Slice,
+		CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond,
+	}, mgr)
+	if att, ok := any(mgr).(interface{ AttachOS(*hostos.OS) }); ok {
+		att.AttachOS(osim)
+	}
+	set.Spawn(osim)
+	k.Run()
+	if !osim.AllDone() {
+		t.Fatal("direct run did not complete")
+	}
+	res := &JobResult{Makespan: osim.Makespan(), CtxSwitches: osim.CtxSwitches}
+	for _, task := range osim.Tasks() {
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name: task.Name, Turnaround: task.Turnaround(), CPUTime: task.CPUTime,
+			HWTime: task.HWTime, Overhead: task.Overhead, ReadyWait: task.ReadyWait,
+			BlockWait: task.BlockWait, Preemptions: task.Preemptions, Acquires: task.Acquires,
+		})
+	}
+	res.Metrics = append(res.Metrics, e.M.Snapshot(k.Now()))
+	return res
+}
+
+// comparable strips a JobResult down to the fields a direct run also
+// produces and renders them as JSON.
+func comparableJSON(t *testing.T, r *JobResult) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Tasks       []TaskResult           `json:"tasks"`
+		Makespan    sim.Time               `json:"makespan_ns"`
+		CtxSwitches int64                  `json:"ctx_switches"`
+		Metrics     []core.MetricsSnapshot `json:"metrics"`
+	}{r.Tasks, r.Makespan, r.CtxSwitches, r.Metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestJobResultMatchesDirectRun is the determinism contract: a job run
+// through the daemon — queues, workers, shared compile cache and all —
+// returns byte-identical task metrics and device counters to the same
+// workload run by hand on a fresh hostos stack.
+func TestJobResultMatchesDirectRun(t *testing.T) {
+	for _, scenario := range []string{"multimedia", "telecom", "synthetic"} {
+		t.Run(scenario, func(t *testing.T) {
+			s := newTestServer(t, Config{})
+			s.Start()
+			defer s.Drain()
+
+			// Two submissions of the same spec: exercises both the cold and
+			// warm compile-cache paths.
+			first := submitOK(t, s, "acme", scenario)
+			waitDone(t, first)
+			second := submitOK(t, s, "acme", scenario)
+			waitDone(t, second)
+			if first.status().State != StateDone || second.status().State != StateDone {
+				t.Fatalf("jobs did not complete: %+v %+v", first.status(), second.status())
+			}
+
+			spec, err := workload.BuiltinSpec(scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := comparableJSON(t, directRun(t, &spec, DefaultBoardConfig()))
+			if got := comparableJSON(t, first.status().Result); got != want {
+				t.Errorf("first job diverged from direct run:\n got %s\nwant %s", got, want)
+			}
+			if got := comparableJSON(t, second.status().Result); got != want {
+				t.Errorf("second job (cached compile) diverged from direct run:\n got %s\nwant %s", got, want)
+			}
+			if !first.status().Result.LintClean {
+				t.Errorf("job left lint-dirty device state: %v", first.status().Result.LintDiags)
+			}
+		})
+	}
+}
+
+// TestBackpressure fills the only board's queue before the workers
+// start: exactly QueueDepth submissions are accepted, and every one
+// after that is a 429 with a Retry-After hint.
+func TestBackpressure(t *testing.T) {
+	bc := DefaultBoardConfig()
+	bc.QueueDepth = 3
+	s := newTestServer(t, Config{Boards: []BoardConfig{bc}, Tenant: TenantLimits{Rate: 0}})
+
+	var accepted []*job
+	for i := 0; i < bc.QueueDepth; i++ {
+		accepted = append(accepted, submitOK(t, s, "acme", "multimedia"))
+	}
+	for i := 0; i < 2; i++ {
+		rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "acme", "multimedia"))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("over-capacity submit %d: got %d, want 429", i, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	}
+	snaps := s.adm.snapshot()
+	if len(snaps) != 1 || snaps[0].QueueFull != 2 {
+		t.Errorf("queue-full accounting: %+v", snaps)
+	}
+
+	// Backpressure is not failure: once the workers start, everything
+	// accepted completes.
+	s.Start()
+	for _, j := range accepted {
+		waitDone(t, j)
+		if st := j.status(); st.State != StateDone {
+			t.Errorf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	s.Drain()
+}
+
+// TestTenantThrottle drives the token bucket with a hand-cranked clock.
+func TestTenantThrottle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := newTestServer(t, Config{
+		Tenant: TenantLimits{Rate: 1, Burst: 2},
+		Now:    func() time.Time { return now },
+	})
+	// Workers intentionally not started: admission decisions are
+	// independent of execution.
+
+	for i := 0; i < 2; i++ { // burst
+		if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "a", "multimedia")); rec.Code != http.StatusAccepted {
+			t.Fatalf("burst submit %d: got %d", i, rec.Code)
+		}
+	}
+	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "a", "multimedia"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst submit: got %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\" (empty bucket, 1 token/s)", ra)
+	}
+	// Tenants are isolated: b still has its full burst.
+	if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "b", "multimedia")); rec.Code != http.StatusAccepted {
+		t.Fatalf("tenant b: got %d, want 202", rec.Code)
+	}
+	// One second later a regrows exactly one token.
+	now = now.Add(time.Second)
+	if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "a", "multimedia")); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-refill submit: got %d, want 202", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "a", "multimedia")); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second post-refill submit: got %d, want 429", rec.Code)
+	}
+}
+
+// TestDrain checks the shutdown contract: drain finishes every accepted
+// job, then the API answers 503 and /healthz reports draining.
+func TestDrain(t *testing.T) {
+	bc := DefaultBoardConfig()
+	s := newTestServer(t, Config{Boards: []BoardConfig{bc}, Tenant: TenantLimits{Rate: 0}})
+	s.pool.gate = make(chan struct{}, 8)
+	s.Start()
+
+	jobs := []*job{
+		submitOK(t, s, "acme", "multimedia"),
+		submitOK(t, s, "acme", "multimedia"),
+		submitOK(t, s, "acme", "multimedia"),
+	}
+	if rec := do(t, s, "GET", "/healthz", ""); !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz before drain: %s", rec.Body)
+	}
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	for range jobs {
+		s.pool.gate <- struct{}{}
+	}
+	select {
+	case <-drained:
+	case <-time.After(time.Minute):
+		t.Fatal("drain did not complete")
+	}
+	for _, j := range jobs {
+		if st := j.status(); st.State != StateDone {
+			t.Errorf("job %s after drain: state %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	if rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "acme", "multimedia")); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: got %d, want 503", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/healthz", ""); !strings.Contains(rec.Body.String(), `"draining"`) {
+		t.Errorf("healthz after drain: %s", rec.Body)
+	}
+	// Drain is idempotent.
+	s.Drain()
+}
+
+// TestCancelQueued cancels a job while it waits in the queue; the
+// worker must fail it without running it.
+func TestCancelQueued(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	s.pool.gate = make(chan struct{}, 8)
+	s.Start()
+	defer func() {
+		go s.Drain()
+		s.pool.gate <- struct{}{}
+		s.pool.gate <- struct{}{}
+	}()
+
+	first := submitOK(t, s, "acme", "multimedia")
+	second := submitOK(t, s, "acme", "multimedia")
+	if rec := do(t, s, "DELETE", "/v1/jobs/"+second.id, ""); rec.Code != http.StatusOK {
+		t.Fatalf("cancel: got %d", rec.Code)
+	}
+	s.pool.gate <- struct{}{}
+	s.pool.gate <- struct{}{}
+	waitDone(t, first)
+	waitDone(t, second)
+	if st := first.status(); st.State != StateDone {
+		t.Errorf("uncancelled job: state %s (%s)", st.State, st.Error)
+	}
+	st := second.status()
+	if st.State != StateFailed || !strings.Contains(st.Error, "context canceled") {
+		t.Errorf("cancelled job: state %s error %q, want failed/context canceled", st.State, st.Error)
+	}
+}
+
+// TestBadRequests covers the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty tenant", `{"workload":{"scenario":"multimedia"}}`, http.StatusBadRequest},
+		{"unknown scenario", `{"tenant":"a","workload":{"scenario":"nope"}}`, http.StatusBadRequest},
+		{"unknown field", `{"tenant":"a","workload":{"scenario":"multimedia"},"bogus":1}`, http.StatusBadRequest},
+		{"mismatched block", `{"tenant":"a","workload":{"scenario":"multimedia","telecom":{}}}`, http.StatusBadRequest},
+		{"bad board pin", `{"tenant":"a","workload":{"scenario":"multimedia"},"board":7}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := do(t, s, "POST", "/v1/jobs", c.body)
+			if rec.Code != c.want {
+				t.Errorf("got %d, want %d (body %s)", rec.Code, c.want, rec.Body)
+			}
+		})
+	}
+	if rec := do(t, s, "GET", "/v1/jobs/j999999", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job: got %d, want 404", rec.Code)
+	}
+}
+
+// TestBoardPin runs every manager as a pinned single-job board, proving
+// the whole manager matrix works behind the service.
+func TestBoardPin(t *testing.T) {
+	var cfgs []BoardConfig
+	for _, m := range Managers {
+		bc := DefaultBoardConfig()
+		bc.Manager = m
+		cfgs = append(cfgs, bc)
+	}
+	s := newTestServer(t, Config{Boards: cfgs, Tenant: TenantLimits{Rate: 0}})
+	s.Start()
+	defer s.Drain()
+
+	spec, err := workload.BuiltinSpec("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range Managers {
+		body, err := json.Marshal(SubmitRequest{Tenant: "acme", Workload: spec, Board: &i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := do(t, s, "POST", "/v1/jobs", string(body))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("manager %s: submit got %d (%s)", m, rec.Code, rec.Body)
+		}
+		var resp SubmitResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Board != i {
+			t.Errorf("manager %s: ran on board %d, pinned to %d", m, resp.Board, i)
+		}
+		j, _ := s.pool.get(resp.ID)
+		waitDone(t, j)
+		if st := j.status(); st.State != StateDone {
+			t.Errorf("manager %s: state %s (%s)", m, st.State, st.Error)
+		}
+	}
+	rec := do(t, s, "GET", "/v1/boards", "")
+	var infos []BoardInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(Managers) {
+		t.Fatalf("boards: got %d, want %d", len(infos), len(Managers))
+	}
+	for i, bi := range infos {
+		if bi.JobsDone != 1 {
+			t.Errorf("board %d (%s): %d jobs done, want 1", i, bi.Manager, bi.JobsDone)
+		}
+	}
+}
+
+// TestJobTimeoutWhileQueued: a deadline that expires in the queue fails
+// the job without running it.
+func TestJobTimeoutWhileQueued(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	s.pool.gate = make(chan struct{}, 8)
+	s.Start()
+
+	spec, err := workload.BuiltinSpec("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(SubmitRequest{Tenant: "acme", Workload: spec, TimeoutMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, "POST", "/v1/jobs", string(body))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d", rec.Code)
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.pool.get(resp.ID)
+	<-j.ctx.Done() // deadline fires while the gated worker holds the job queued
+	s.pool.gate <- struct{}{}
+	waitDone(t, j)
+	if st := j.status(); st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Errorf("timed-out job: state %s error %q", st.State, st.Error)
+	}
+	go s.Drain()
+	s.pool.gate <- struct{}{}
+}
+
+// TestSubmitSequenceIDs pins the job id format the load generator and
+// the docs rely on.
+func TestSubmitSequenceIDs(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	j1 := submitOK(t, s, "a", "multimedia")
+	j2 := submitOK(t, s, "a", "multimedia")
+	if j1.id != "j000001" || j2.id != "j000002" {
+		t.Errorf("ids %q %q, want j000001 j000002", j1.id, j2.id)
+	}
+	if fmt.Sprintf("j%06d", 3) != "j000003" {
+		t.Error("id format drifted")
+	}
+}
+
+// TestJobPanicDoesNotKillDaemon: a workload whose tasks have empty
+// programs makes hostos panic at spawn; the worker must convert that
+// into a failed job and keep serving.
+func TestJobPanicDoesNotKillDaemon(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	s.Start()
+	defer s.Drain()
+
+	// Explicit zeros defeat the defaults merge: one session, zero
+	// packets, zero compute → an empty task program.
+	body := `{"tenant":"acme","workload":{"scenario":"telecom","telecom":{"sessions":1,"packets_per":0,"cycles_per_pkt":0}}}`
+	rec := do(t, s, "POST", "/v1/jobs", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d (%s)", rec.Code, rec.Body)
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.pool.get(resp.ID)
+	waitDone(t, j)
+	if st := j.status(); st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Errorf("bad job: state %s error %q, want failed/panicked", st.State, st.Error)
+	}
+
+	// The board survives and runs the next job normally.
+	good := submitOK(t, s, "acme", "multimedia")
+	waitDone(t, good)
+	if st := good.status(); st.State != StateDone {
+		t.Errorf("follow-up job: state %s (%s)", st.State, st.Error)
+	}
+}
+
+// TestPartialParamBlock: omitted block fields take scenario defaults
+// end to end through the API.
+func TestPartialParamBlock(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	s.Start()
+	defer s.Drain()
+
+	body := `{"tenant":"acme","workload":{"scenario":"telecom","telecom":{"sessions":4}}}`
+	rec := do(t, s, "POST", "/v1/jobs", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d (%s)", rec.Code, rec.Body)
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.pool.get(resp.ID)
+	waitDone(t, j)
+	st := j.status()
+	if st.State != StateDone {
+		t.Fatalf("partial-block job: state %s (%s)", st.State, st.Error)
+	}
+	if n := len(st.Result.Tasks); n != 4 {
+		t.Errorf("got %d tasks, want 4 sessions", n)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Boards describes the pool; at least one is required.
+	Boards []BoardConfig
+	// Tenant is the per-tenant admission limit.
+	Tenant TenantLimits
+	// Version is reported by /healthz and /metrics (build info).
+	Version string
+	// Now is the admission clock; nil means time.Now. Injectable for
+	// deterministic tests.
+	Now func() time.Time
+}
+
+// Server is the vfpgad service: board pool + admission + HTTP handlers.
+type Server struct {
+	pool    *pool
+	adm     *admission
+	version string
+	mux     *http.ServeMux
+}
+
+// New builds a Server. Call Start before serving traffic; until then
+// submissions queue but nothing runs (tests use that window to fill
+// queues deterministically).
+func New(cfg Config) (*Server, error) {
+	adm := newAdmission(cfg.Tenant, cfg.Now)
+	p, err := newPool(cfg.Boards, adm)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pool: p, adm: adm, version: cfg.Version}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/boards", s.handleBoards)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the board workers.
+func (s *Server) Start() { s.pool.start() }
+
+// Drain stops intake and blocks until every accepted job has finished.
+func (s *Server) Drain() { s.pool.drain() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "tenant is required")
+		return
+	}
+	if err := req.Workload.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad workload: %v", err)
+		return
+	}
+
+	if ok, retry := s.adm.allow(req.Tenant); !ok {
+		secs := int(retry / time.Second)
+		if retry%time.Second != 0 || secs == 0 {
+			secs++ // round up: retrying earlier than the hint just throttles again
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over admission rate", req.Tenant)
+		return
+	}
+
+	// The job's context outlives the HTTP request: it governs the job's
+	// whole lifetime, so a deadline set here still fires while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	spec := req.Workload
+	j := &job{
+		tenant: req.Tenant, spec: &spec, trace: req.Trace,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued, done: make(chan struct{}),
+	}
+	boardID, err := s.pool.submit(j, req.Board)
+	switch {
+	case errors.Is(err, ErrDraining):
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	case errors.Is(err, ErrNoSuchBoard):
+		cancel()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		cancel()
+		s.adm.noteQueueFull(req.Tenant)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "all board queues full")
+		return
+	case err != nil:
+		cancel()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Board: boardID})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pool.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pool.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	// Cancellation is advisory: a queued job fails when its worker picks
+	// it up; a running or finished job is unaffected (the simulation is
+	// not preemptible mid-run).
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleBoards(w http.ResponseWriter, r *http.Request) {
+	infos := make([]BoardInfo, 0, len(s.pool.boards))
+	for _, b := range s.pool.boards {
+		infos = append(infos, b.info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.pool.isDraining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, Health{Status: status, Version: s.version, Boards: len(s.pool.boards)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.writeMetrics(w)
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TenantLimits parameterizes the per-tenant token bucket: a tenant may
+// hold up to Burst tokens and regains Rate tokens per second; one token
+// admits one job. Rate <= 0 disables throttling (every submission is
+// admitted as far as the bucket is concerned — queues still push back).
+type TenantLimits struct {
+	Rate  float64
+	Burst float64
+}
+
+// DefaultTenantLimits allows short bursts over a sustained 20 jobs/s.
+func DefaultTenantLimits() TenantLimits { return TenantLimits{Rate: 20, Burst: 40} }
+
+// tenantState is one tenant's bucket plus admission/outcome accounting.
+type tenantState struct {
+	tokens float64
+	last   time.Time
+
+	admitted  int64 // passed the bucket (may still bounce off a full queue)
+	throttled int64 // rejected by the bucket
+	queueFull int64 // admitted by the bucket, rejected by queue backpressure
+	completed int64
+	failed    int64
+}
+
+// admission is the long-term scheduler of the service: it decides, per
+// tenant, whether a submission may enter the system at all. The clock is
+// injectable so tests (and the metrics golden file) are deterministic.
+type admission struct {
+	mu      sync.Mutex
+	limits  TenantLimits
+	now     func() time.Time
+	tenants map[string]*tenantState
+}
+
+func newAdmission(limits TenantLimits, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{limits: limits, now: now, tenants: map[string]*tenantState{}}
+}
+
+func (a *admission) state(tenant string) *tenantState {
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{tokens: a.limits.Burst, last: a.now()}
+		a.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// allow spends one token for tenant. When the bucket is empty it returns
+// false and how long until a token accrues (the Retry-After hint).
+func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.state(tenant)
+	if a.limits.Rate <= 0 {
+		ts.admitted++
+		return true, 0
+	}
+	now := a.now()
+	ts.tokens = math.Min(a.limits.Burst, ts.tokens+a.limits.Rate*now.Sub(ts.last).Seconds())
+	ts.last = now
+	if ts.tokens >= 1 {
+		ts.tokens--
+		ts.admitted++
+		return true, 0
+	}
+	ts.throttled++
+	return false, time.Duration((1 - ts.tokens) / a.limits.Rate * float64(time.Second))
+}
+
+// note* record submission outcomes after the bucket decision.
+func (a *admission) noteQueueFull(tenant string) {
+	a.bump(tenant, func(ts *tenantState) { ts.queueFull++ })
+}
+func (a *admission) noteCompleted(tenant string) {
+	a.bump(tenant, func(ts *tenantState) { ts.completed++ })
+}
+func (a *admission) noteFailed(tenant string) { a.bump(tenant, func(ts *tenantState) { ts.failed++ }) }
+
+func (a *admission) bump(tenant string, f func(*tenantState)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f(a.state(tenant))
+}
+
+// tenantCounters is a consistent snapshot of one tenant's accounting.
+type tenantCounters struct {
+	Tenant    string
+	Admitted  int64
+	Throttled int64
+	QueueFull int64
+	Completed int64
+	Failed    int64
+}
+
+// snapshot returns every tenant's counters, sorted by tenant name for
+// deterministic exposition.
+func (a *admission) snapshot() []tenantCounters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]tenantCounters, 0, len(a.tenants))
+	for name, ts := range a.tenants {
+		out = append(out, tenantCounters{
+			Tenant: name, Admitted: ts.admitted, Throttled: ts.throttled,
+			QueueFull: ts.queueFull, Completed: ts.completed, Failed: ts.failed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

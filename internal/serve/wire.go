@@ -1,0 +1,125 @@
+// Package serve turns the simulation stack into a long-running
+// multi-tenant service: vfpgad. A Server owns a pool of simulated
+// boards; each board runs on its own goroutine behind a bounded
+// channel-based job queue, because the engines, ledgers and kernels
+// under it are single-goroutine by design (see core.Engine). On top of
+// the pool the serve layer adds per-tenant token-bucket admission
+// control, explicit 429/Retry-After backpressure once queues fill,
+// request deadlines and cancellation via context, graceful drain on
+// SIGTERM, and operational telemetry in Prometheus text exposition
+// format.
+//
+// The HTTP/JSON API:
+//
+//	POST   /v1/jobs       submit a workload.Spec for a tenant → job id
+//	GET    /v1/jobs/{id}  job status, per-task results, core metrics
+//	DELETE /v1/jobs/{id}  cancel a queued job
+//	GET    /v1/boards     board occupancy and queue depths
+//	GET    /healthz       liveness + version
+//	GET    /metrics       Prometheus text exposition
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Tenant is the submitting tenant (required; admission control and
+	// accounting are per tenant).
+	Tenant string `json:"tenant"`
+	// Workload is the workload to run.
+	Workload workload.Spec `json:"workload"`
+	// Board pins the job to one board; nil lets the pool pick the least
+	// loaded one.
+	Board *int `json:"board,omitempty"`
+	// TimeoutMS bounds the job's total wall-clock lifetime (queue wait
+	// included); 0 means no deadline. An expired job fails instead of
+	// running.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace includes the merged scheduler+device timeline in the result.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SubmitResponse is the body of a 202 from POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Board int    `json:"board"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string     `json:"id"`
+	Tenant string     `json:"tenant"`
+	State  string     `json:"state"`
+	Board  int        `json:"board"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// TaskResult is one simulated task's metrics, in virtual nanoseconds.
+type TaskResult struct {
+	Name        string   `json:"name"`
+	Turnaround  sim.Time `json:"turnaround_ns"`
+	CPUTime     sim.Time `json:"cpu_ns"`
+	HWTime      sim.Time `json:"hw_ns"`
+	Overhead    sim.Time `json:"overhead_ns"`
+	ReadyWait   sim.Time `json:"ready_wait_ns"`
+	BlockWait   sim.Time `json:"block_wait_ns"`
+	Preemptions int64    `json:"preemptions"`
+	Acquires    int64    `json:"acquires"`
+}
+
+// JobResult is a completed job's payload: exactly what the same workload
+// run directly through hostos produces, plus the device-side metrics of
+// every engine the board's manager drove (one for most managers, several
+// for multi).
+type JobResult struct {
+	Tasks       []TaskResult           `json:"tasks"`
+	Makespan    sim.Time               `json:"makespan_ns"`
+	CtxSwitches int64                  `json:"ctx_switches"`
+	Metrics     []core.MetricsSnapshot `json:"metrics"`
+	// LintClean reports that the post-run device-state audit (the same
+	// passes as vfpgasim -lint) found no errors; diagnostics, when any,
+	// are in LintDiags.
+	LintClean bool                  `json:"lint_clean"`
+	LintDiags []string              `json:"lint_diags,omitempty"`
+	Timeline  []trace.TimelineEvent `json:"timeline,omitempty"`
+}
+
+// BoardInfo is one entry of GET /v1/boards.
+type BoardInfo struct {
+	ID         int    `json:"id"`
+	Manager    string `json:"manager"`
+	Cols       int    `json:"cols"`
+	Rows       int    `json:"rows"`
+	State      string `json:"state"` // "idle" | "busy"
+	CurrentJob string `json:"current_job,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	JobsDone   int64  `json:"jobs_done"`
+	JobsFailed int64  `json:"jobs_failed"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status  string `json:"status"` // "ok" | "draining"
+	Version string `json:"version"`
+	Boards  int    `json:"boards"`
+}
+
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

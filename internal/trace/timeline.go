@@ -20,13 +20,15 @@ const (
 // TimelineEvent is one entry of a merged scheduler+device timeline. Both
 // layers flatten into the same shape: who (Task), when (At), where it
 // came from (Source), what happened (Kind) and any detail the source
-// provides ("adder8 @x=0 w=3 cost=1.2ms").
+// provides ("adder8 @x=0 w=3 cost=1.2ms"). Events serialize to JSON
+// (the vfpgad job API returns merged timelines); At is virtual
+// nanoseconds.
 type TimelineEvent struct {
-	At     sim.Time
-	Source string // SourceSched or SourceDevice
-	Task   string // "" for system operations
-	Kind   string // event kind within the source ("run", "load", ...)
-	Detail string
+	At     sim.Time `json:"at_ns"`
+	Source string   `json:"source"`         // SourceSched or SourceDevice
+	Task   string   `json:"task,omitempty"` // "" for system operations
+	Kind   string   `json:"kind"`           // event kind within the source ("run", "load", ...)
+	Detail string   `json:"detail,omitempty"`
 }
 
 // Timeline is a merged, time-ordered event sequence from several sources.

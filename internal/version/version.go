@@ -1,0 +1,49 @@
+// Package version derives one identification string for every binary in
+// this module from the build metadata the Go toolchain embeds: module
+// version (for tagged builds), VCS revision and dirty marker. Deployed
+// binaries report it via -version; vfpgad additionally serves it in
+// /healthz and as a build-info metric label.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String returns the module version string, e.g.
+//
+//	(devel) rev 1a2b3c4d5e6f (modified), go1.24.0
+//
+// It degrades gracefully when build info is unavailable (go run of a
+// single file, stripped test binaries).
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev string
+	modified := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	out := v
+	if rev != "" {
+		out += " rev " + rev
+		if modified {
+			out += " (modified)"
+		}
+	}
+	return fmt.Sprintf("%s, %s", out, bi.GoVersion)
+}

@@ -1,0 +1,277 @@
+// Workload specs: the wire form of a workload. A Spec names one of the
+// built-in scenario generators plus its full parameter set, serializes
+// to/from JSON (the vfpgad job API submits Specs over the network), and
+// builds the concrete Set on demand. Every duration is expressed in
+// virtual nanoseconds (sim.Time), every circuit by its registry name, so
+// a Spec is a pure value: equal Specs build equal Sets.
+
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// SyntheticSpec is the wire form of SyntheticConfig: the circuit pool is
+// named (netlist registry names) instead of holding netlist pointers.
+// An empty Pool means DefaultPool.
+type SyntheticSpec struct {
+	Tasks        int      `json:"tasks"`
+	OpsPerTask   int      `json:"ops_per_task"`
+	EvalsPerOp   int64    `json:"evals_per_op"`
+	ComputeTime  sim.Time `json:"compute_time_ns"`
+	MeanInterval sim.Time `json:"mean_interval_ns"`
+	Pool         []string `json:"pool,omitempty"`
+	SwitchProb   float64  `json:"switch_prob"`
+	Seed         uint64   `json:"seed"`
+}
+
+// Config resolves the named pool against the netlist registry and
+// returns the equivalent SyntheticConfig.
+func (s *SyntheticSpec) Config() (SyntheticConfig, error) {
+	cfg := SyntheticConfig{
+		Tasks: s.Tasks, OpsPerTask: s.OpsPerTask, EvalsPerOp: s.EvalsPerOp,
+		ComputeTime: s.ComputeTime, MeanInterval: s.MeanInterval,
+		SwitchProb: s.SwitchProb, Seed: s.Seed,
+	}
+	reg := netlist.Registry()
+	for _, name := range s.Pool {
+		gen, ok := reg[name]
+		if !ok {
+			return cfg, fmt.Errorf("workload: circuit %q not in registry", name)
+		}
+		cfg.CircuitPool = append(cfg.CircuitPool, gen())
+	}
+	return cfg, nil
+}
+
+// Spec is a named, self-contained, JSON-serializable workload: one
+// scenario plus its parameters. Exactly the parameter block matching
+// Scenario must be set; a Spec with all blocks nil builds the scenario's
+// default configuration.
+type Spec struct {
+	Scenario   string            `json:"scenario"`
+	Multimedia *MultimediaConfig `json:"multimedia,omitempty"`
+	Telecom    *TelecomConfig    `json:"telecom,omitempty"`
+	Diagnosis  *DiagnosisConfig  `json:"diagnosis,omitempty"`
+	Storage    *StorageConfig    `json:"storage,omitempty"`
+	Synthetic  *SyntheticSpec    `json:"synthetic,omitempty"`
+}
+
+// Scenario names understood by Spec.
+var scenarios = []string{"diagnosis", "multimedia", "storage", "synthetic", "telecom"}
+
+// Scenarios returns the known scenario names, sorted.
+func Scenarios() []string { return append([]string(nil), scenarios...) }
+
+// DefaultSynthetic returns the synthetic mix used by default specs:
+// a moderate load over the default circuit pool.
+func DefaultSynthetic() SyntheticSpec {
+	return SyntheticSpec{
+		Tasks: 6, OpsPerTask: 6, EvalsPerOp: 30_000,
+		ComputeTime: 300 * sim.Microsecond, SwitchProb: 0.3, Seed: 1,
+	}
+}
+
+// BuiltinSpec returns the named scenario with its default parameters
+// fully spelled out (no nil blocks), so the wire form documents every
+// knob.
+func BuiltinSpec(name string) (Spec, error) {
+	switch name {
+	case "multimedia":
+		c := DefaultMultimedia()
+		return Spec{Scenario: name, Multimedia: &c}, nil
+	case "telecom":
+		c := DefaultTelecom()
+		return Spec{Scenario: name, Telecom: &c}, nil
+	case "diagnosis":
+		c := DefaultDiagnosis()
+		return Spec{Scenario: name, Diagnosis: &c}, nil
+	case "storage":
+		c := DefaultStorage()
+		return Spec{Scenario: name, Storage: &c}, nil
+	case "synthetic":
+		c := DefaultSynthetic()
+		return Spec{Scenario: name, Synthetic: &c}, nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown scenario %q (have %v)", name, scenarios)
+}
+
+// BuiltinSpecs returns every scenario's default Spec, sorted by name.
+func BuiltinSpecs() []Spec {
+	names := Scenarios()
+	sort.Strings(names)
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, err := BuiltinSpec(n)
+		if err != nil {
+			panic(err) // scenarios and BuiltinSpec are maintained together
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Validate checks that the scenario is known and that no parameter block
+// for a different scenario is set (a typo'd submission should fail at
+// admission, not build a surprise default).
+func (s *Spec) Validate() error {
+	known := false
+	for _, n := range scenarios {
+		if s.Scenario == n {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("workload: unknown scenario %q (have %v)", s.Scenario, scenarios)
+	}
+	type block struct {
+		name string
+		set  bool
+	}
+	blocks := []block{
+		{"multimedia", s.Multimedia != nil},
+		{"telecom", s.Telecom != nil},
+		{"diagnosis", s.Diagnosis != nil},
+		{"storage", s.Storage != nil},
+		{"synthetic", s.Synthetic != nil},
+	}
+	for _, b := range blocks {
+		if b.set && b.name != s.Scenario {
+			return fmt.Errorf("workload: scenario %q with %s parameters set", s.Scenario, b.name)
+		}
+	}
+	if s.Scenario == "synthetic" && s.Synthetic != nil {
+		if _, err := s.Synthetic.Config(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build validates the spec and generates its Set.
+func (s *Spec) Build() (*Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Scenario {
+	case "multimedia":
+		cfg := DefaultMultimedia()
+		if s.Multimedia != nil {
+			cfg = *s.Multimedia
+		}
+		return Multimedia(cfg), nil
+	case "telecom":
+		cfg := DefaultTelecom()
+		if s.Telecom != nil {
+			cfg = *s.Telecom
+		}
+		return Telecom(cfg), nil
+	case "diagnosis":
+		cfg := DefaultDiagnosis()
+		if s.Diagnosis != nil {
+			cfg = *s.Diagnosis
+		}
+		return Diagnosis(cfg), nil
+	case "storage":
+		cfg := DefaultStorage()
+		if s.Storage != nil {
+			cfg = *s.Storage
+		}
+		return Storage(cfg), nil
+	case "synthetic":
+		spec := DefaultSynthetic()
+		if s.Synthetic != nil {
+			spec = *s.Synthetic
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			return nil, err
+		}
+		return Synthetic(cfg), nil
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q", s.Scenario)
+}
+
+// EncodeJSON renders the spec in its canonical wire form.
+func (s *Spec) EncodeJSON() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalJSON decodes a spec with partial-block semantics: each
+// parameter block that is present starts from its scenario's defaults,
+// so `{"scenario":"telecom","telecom":{"sessions":4}}` overrides only
+// the session count. Unknown fields are rejected here (not left to the
+// caller's decoder — custom unmarshalers don't inherit
+// DisallowUnknownFields), so misspelled parameters fail loudly.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Scenario   string          `json:"scenario"`
+		Multimedia json.RawMessage `json:"multimedia"`
+		Telecom    json.RawMessage `json:"telecom"`
+		Diagnosis  json.RawMessage `json:"diagnosis"`
+		Storage    json.RawMessage `json:"storage"`
+		Synthetic  json.RawMessage `json:"synthetic"`
+	}
+	if err := strictUnmarshal(data, &raw); err != nil {
+		return err
+	}
+	*s = Spec{Scenario: raw.Scenario}
+	present := func(m json.RawMessage) bool { return m != nil && string(m) != "null" }
+	if present(raw.Multimedia) {
+		cfg := DefaultMultimedia()
+		if err := strictUnmarshal(raw.Multimedia, &cfg); err != nil {
+			return err
+		}
+		s.Multimedia = &cfg
+	}
+	if present(raw.Telecom) {
+		cfg := DefaultTelecom()
+		if err := strictUnmarshal(raw.Telecom, &cfg); err != nil {
+			return err
+		}
+		s.Telecom = &cfg
+	}
+	if present(raw.Diagnosis) {
+		cfg := DefaultDiagnosis()
+		if err := strictUnmarshal(raw.Diagnosis, &cfg); err != nil {
+			return err
+		}
+		s.Diagnosis = &cfg
+	}
+	if present(raw.Storage) {
+		cfg := DefaultStorage()
+		if err := strictUnmarshal(raw.Storage, &cfg); err != nil {
+			return err
+		}
+		s.Storage = &cfg
+	}
+	if present(raw.Synthetic) {
+		cfg := DefaultSynthetic()
+		if err := strictUnmarshal(raw.Synthetic, &cfg); err != nil {
+			return err
+		}
+		s.Synthetic = &cfg
+	}
+	return nil
+}
+
+// DecodeJSON parses a spec from its wire form, rejecting unknown fields
+// so misspelled parameters fail loudly instead of silently defaulting.
+func DecodeJSON(data []byte) (*Spec, error) {
+	var s Spec
+	if err := strictUnmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: decode spec: %w", err)
+	}
+	return &s, nil
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -61,12 +61,12 @@ func seq(circuit string, cycles int64) hostos.Op {
 // and image compression/decompression algorithms in order to accommodate
 // different standards efficiently on a limited-size FPGA".
 type MultimediaConfig struct {
-	Streams     int   // concurrent media streams (tasks)
-	Frames      int   // frames per stream
-	EvalsPerOp  int64 // hardware work per frame
-	SwitchEvery int   // frames between codec standard switches
-	ComputeTime sim.Time
-	Seed        uint64
+	Streams     int      `json:"streams"`      // concurrent media streams (tasks)
+	Frames      int      `json:"frames"`       // frames per stream
+	EvalsPerOp  int64    `json:"evals_per_op"` // hardware work per frame
+	SwitchEvery int      `json:"switch_every"` // frames between codec standard switches
+	ComputeTime sim.Time `json:"compute_time_ns"`
+	Seed        uint64   `json:"seed"`
 }
 
 // DefaultMultimedia returns a moderate codec workload.
@@ -117,12 +117,12 @@ func Multimedia(cfg MultimediaConfig) *Set {
 // switching systems ... can adapt their operating mode changing the
 // compression and encoding algorithms according to the partners involved".
 type TelecomConfig struct {
-	Sessions     int
-	MeanInterval sim.Time // Poisson session inter-arrival
-	PacketsPer   int      // hardware bursts per session
-	CyclesPerPkt int64
-	ProtocolSkew float64 // Zipf exponent over protocols
-	Seed         uint64
+	Sessions     int      `json:"sessions"`
+	MeanInterval sim.Time `json:"mean_interval_ns"` // Poisson session inter-arrival
+	PacketsPer   int      `json:"packets_per"`      // hardware bursts per session
+	CyclesPerPkt int64    `json:"cycles_per_pkt"`
+	ProtocolSkew float64  `json:"protocol_skew"` // Zipf exponent over protocols
+	Seed         uint64   `json:"seed"`
 }
 
 // DefaultTelecom returns a moderate protocol-mix workload.
@@ -173,12 +173,12 @@ func Telecom(cfg TelecomConfig) *Set {
 // of different non-frequent functions (e.g., periodic system testing and
 // diagnosis as well as tuning of the operating parameters)".
 type DiagnosisConfig struct {
-	ControlOps   int   // main-loop iterations
-	ControlEvals int64 // hardware work per control iteration
-	DiagEvery    int   // control iterations between diagnostic runs
-	DiagEvals    int64
-	ComputeTime  sim.Time
-	Seed         uint64
+	ControlOps   int      `json:"control_ops"`   // main-loop iterations
+	ControlEvals int64    `json:"control_evals"` // hardware work per control iteration
+	DiagEvery    int      `json:"diag_every"`    // control iterations between diagnostic runs
+	DiagEvals    int64    `json:"diag_evals"`
+	ComputeTime  sim.Time `json:"compute_time_ns"`
+	Seed         uint64   `json:"seed"`
 }
 
 // DefaultDiagnosis returns a control loop with periodic diagnosis.
@@ -234,13 +234,13 @@ func Diagnosis(cfg DiagnosisConfig) *Set {
 // different protocols and standards activated according to the task
 // running on the processor" (§5).
 type StorageConfig struct {
-	Requests     int
-	MeanInterval sim.Time
+	Requests     int      `json:"requests"`
+	MeanInterval sim.Time `json:"mean_interval_ns"`
 	// WriteRatio is the fraction of requests that are writes (parity
 	// generation); reads only verify (CRC check).
-	WriteRatio  float64
-	BlockCycles int64 // hardware cycles per block processed
-	Seed        uint64
+	WriteRatio  float64 `json:"write_ratio"`
+	BlockCycles int64   `json:"block_cycles"` // hardware cycles per block processed
+	Seed        uint64  `json:"seed"`
 }
 
 // DefaultStorage returns a moderate fault-tolerant storage workload.
