@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race conformance lint bench-quick trace-demo serve-smoke
+.PHONY: check fmt vet build test race conformance lint cover fuzz-smoke bench-quick trace-demo serve-smoke serve-smoke-faults
 
-check: fmt vet build race conformance test lint bench-quick serve-smoke
+check: fmt vet build race conformance test lint cover fuzz-smoke bench-quick serve-smoke serve-smoke-faults
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -37,6 +37,26 @@ lint:
 conformance:
 	$(GO) test -race -run 'TestConformance|TestGoldenTimeline' ./internal/core/
 
+# Coverage: per-package summary, then a combined core+serve profile
+# gated against the committed baseline — new subsystems must arrive with
+# tests, or the gate trips.
+cover:
+	$(GO) test -cover ./internal/...
+	@$(GO) test -coverprofile=.cover.out ./internal/core/ ./internal/serve/ > /dev/null
+	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	base=$$(cat COVERAGE_BASELINE); \
+	echo "combined core+serve coverage: $$total% (baseline $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { exit (t + 0 < b + 0) ? 1 : 0 }' \
+		|| { echo "coverage dropped below the committed baseline"; rm -f .cover.out; exit 1; }
+	@rm -f .cover.out
+
+# Ten seconds of native fuzzing per target: enough to shake out crashes
+# in the strict decoders without stalling CI. Corpora live under each
+# package's testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzSpecDecode -fuzztime 10s
+	$(GO) test ./internal/bitstream/ -run '^$$' -fuzz FuzzBitstreamParse -fuzztime 10s
+
 # Quick end-to-end harness run; leaves a machine-readable perf record.
 bench-quick:
 	$(GO) run ./cmd/vfpgabench -quick -json BENCH_quick.json
@@ -63,4 +83,27 @@ serve-smoke:
 	if ./.smoke/vfpgaload -target "http://$$addr" -requests 200 -concurrency 8 -workload synthetic -check-lint; then ok=1; else ok=0; fi; \
 	kill -TERM $$pid; \
 	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke: ok"; else echo "serve-smoke: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
+	@rm -rf .smoke
+
+# The same smoke under a pinned fault campaign: with this plan and three
+# boards, exactly one board's derived stream escalates (injectors are
+# rebuilt per job, so board outcomes are deterministic), its jobs rerun
+# on the healthy boards, and the quarantine must be visible. vfpgaload
+# exits nonzero on any untyped failure, any 5xx, or zero quarantined
+# boards; vfpgad exits nonzero if the drain does not complete.
+serve-smoke-faults:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(GO) build -o .smoke/vfpgad ./cmd/vfpgad
+	$(GO) build -o .smoke/vfpgaload ./cmd/vfpgaload
+	@set -e; \
+	./.smoke/vfpgad -addr 127.0.0.1:0 -addr-file .smoke/addr -boards 3 -managers dynamic -rate 0 \
+		-faults "seed=1,retries=1,backoff=20us,config-error=0.13" > .smoke/vfpgad.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .smoke/addr ] || { echo "vfpgad did not come up"; cat .smoke/vfpgad.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .smoke/addr); \
+	if ./.smoke/vfpgaload -target "http://$$addr" -requests 200 -concurrency 8 -workload synthetic \
+		-check-lint -allow-faults -expect-quarantine; then ok=1; else ok=0; fi; \
+	kill -TERM $$pid; \
+	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-faults: ok"; else echo "serve-smoke-faults: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
 	@rm -rf .smoke

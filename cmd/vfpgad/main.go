@@ -9,6 +9,7 @@
 //	vfpgad -addr :8080
 //	vfpgad -boards 4 -managers dynamic,partition -queue 32
 //	vfpgad -addr 127.0.0.1:0 -addr-file /tmp/vfpgad.addr
+//	vfpgad -boards 3 -faults seed=7,retries=2,config-error=0.1
 //
 // SIGINT/SIGTERM stop intake, drain every accepted job, and exit 0.
 package main
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/version"
@@ -45,6 +47,7 @@ func main() {
 	rate := flag.Float64("rate", 20, "per-tenant admitted jobs per second (<= 0 disables)")
 	burst := flag.Float64("burst", 40, "per-tenant admission burst")
 	seed := flag.Uint64("seed", 1, "compilation seed")
+	faults := flag.String("faults", "", "fault-injection plan applied to every board (board i derives its own stream)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -52,16 +55,24 @@ func main() {
 		return
 	}
 	if err := run(*addr, *addrFile, *boards, *managers, *cols, *rows, *subBoards,
-		*sched, *slice, *queue, *rate, *burst, *seed); err != nil {
+		*sched, *slice, *queue, *rate, *burst, *seed, *faults); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, boards int, managers string, cols, rows, subBoards int,
-	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64) error {
+	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64, faults string) error {
 	if boards < 1 {
 		return fmt.Errorf("need at least one board")
+	}
+	var plan *fault.Plan
+	if faults != "" {
+		p, err := fault.ParseSpec(faults)
+		if err != nil {
+			return err
+		}
+		plan = &p
 	}
 	mgrs := strings.Split(managers, ",")
 	cfgs := make([]serve.BoardConfig, boards)
@@ -81,9 +92,13 @@ func run(addr, addrFile string, boards int, managers string, cols, rows, subBoar
 		Boards:  cfgs,
 		Tenant:  serve.TenantLimits{Rate: rate, Burst: burst},
 		Version: "vfpgad " + version.String(),
+		Faults:  plan,
 	})
 	if err != nil {
 		return err
+	}
+	if plan != nil {
+		fmt.Printf("vfpgad: fault injection armed: %s\n", plan)
 	}
 
 	ln, err := net.Listen("tcp", addr)

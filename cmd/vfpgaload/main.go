@@ -10,9 +10,17 @@
 //
 // Closed-loop: each of -concurrency workers submits, polls the job to
 // completion, then submits again until -requests jobs are accounted
-// for. 429s are retried after the server's Retry-After hint and do not
-// count against -requests. Exits nonzero on any 5xx, any transport
-// error, any failed job, or (with -check-lint) any lint-dirty result.
+// for. 429s are retried after the server's Retry-After hint — on the
+// submit and the poll path alike — and do not count against -requests;
+// transport errors (a daemon still binding its socket refuses
+// connections briefly) are retried a bounded number of times. Exits
+// nonzero on any 5xx, any persistent transport error, any failed job,
+// or (with -check-lint) any lint-dirty result.
+//
+// Against a daemon running a fault campaign (vfpgad -faults),
+// -allow-faults accepts job failures that carry a typed fault kind —
+// they are counted separately, not as failures — and -expect-quarantine
+// requires at least one board to end up quarantined.
 package main
 
 import (
@@ -39,6 +47,7 @@ type stats struct {
 	submitted int
 	completed int
 	failed    int
+	faulted   int // failed with a typed injected-fault reason
 	lintDirty int
 	transport int
 	retries   int
@@ -57,6 +66,8 @@ func main() {
 	tenants := flag.Int("tenants", 2, "number of distinct tenants to submit as")
 	scenario := flag.String("workload", "synthetic", "workload scenario to submit")
 	checkLint := flag.Bool("check-lint", false, "fail if any job result is not lint-clean")
+	allowFaults := flag.Bool("allow-faults", false, "count job failures with a typed fault kind separately, not as failures")
+	expectQuarantine := flag.Bool("expect-quarantine", false, "fail unless at least one board ends up quarantined")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -97,16 +108,21 @@ func main() {
 					return
 				}
 				tenant := "tenant-" + strconv.Itoa(n%*tenants)
-				runOne(client, *target, tenant, &spec, *checkLint, deadline, st)
+				runOne(client, *target, tenant, &spec, *checkLint, *allowFaults, deadline, st)
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	quarantined := -1
+	if *expectQuarantine {
+		quarantined = countQuarantined(*target, deadline, st)
+	}
+
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	fmt.Printf("vfpgaload: %d submitted, %d completed, %d failed, %d transport errors, %d retries after 429\n",
-		st.submitted, st.completed, st.failed, st.transport, st.retries)
+	fmt.Printf("vfpgaload: %d submitted, %d completed, %d failed, %d faulted, %d transport errors, %d retries after 429\n",
+		st.submitted, st.completed, st.failed, st.faulted, st.transport, st.retries)
 	codes := make([]int, 0, len(st.codes))
 	for c := range st.codes {
 		codes = append(codes, c)
@@ -125,14 +141,90 @@ func main() {
 		fmt.Printf("  lint-dirty results: %d\n", st.lintDirty)
 		bad = true
 	}
+	if *expectQuarantine {
+		fmt.Printf("  quarantined boards: %d\n", quarantined)
+		if quarantined < 1 {
+			bad = true
+		}
+	}
 	if bad {
 		os.Exit(1)
 	}
 }
 
-// runOne submits one job (retrying 429 backpressure) and polls it to a
-// terminal state.
-func runOne(client *http.Client, target, tenant string, spec *workload.Spec, checkLint bool, deadline time.Time, st *stats) {
+// transportRetries bounds how often a refused or dropped connection is
+// retried before it counts as a transport error.
+const transportRetries = 5
+
+// doReq issues one request, retrying transport-level failures with a
+// linear backoff. HTTP-level errors are the caller's business.
+func doReq(client *http.Client, method, url string, body []byte, deadline time.Time) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= transportRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		var resp *http.Response
+		var err error
+		if method == http.MethodPost {
+			resp, err = client.Post(url, "application/json", bytes.NewReader(body))
+		} else {
+			resp, err = client.Get(url)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("deadline exceeded before %s %s", method, url)
+	}
+	return nil, lastErr
+}
+
+// retryAfterWait drains a 429 response and returns how long the server
+// asked us to back off.
+func retryAfterWait(resp *http.Response) time.Duration {
+	wait := time.Second
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		wait = time.Duration(ra) * time.Second
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return wait
+}
+
+// countQuarantined asks /v1/boards how many boards ended the campaign
+// out of service; -1 means the query itself failed.
+func countQuarantined(target string, deadline time.Time, st *stats) int {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := doReq(client, http.MethodGet, target+"/v1/boards", nil, deadline)
+	if err != nil {
+		st.mu.Lock()
+		st.transport++
+		st.mu.Unlock()
+		return -1
+	}
+	defer resp.Body.Close()
+	var infos []serve.BoardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return -1
+	}
+	n := 0
+	for _, bi := range infos {
+		if bi.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// runOne submits one job (retrying 429 backpressure and transient
+// transport errors) and polls it to a terminal state.
+func runOne(client *http.Client, target, tenant string, spec *workload.Spec, checkLint, allowFaults bool, deadline time.Time, st *stats) {
 	body, err := json.Marshal(serve.SubmitRequest{Tenant: tenant, Workload: *spec})
 	if err != nil {
 		panic(err) // specs come from BuiltinSpec; marshal cannot fail
@@ -142,7 +234,7 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 		if time.Now().After(deadline) {
 			return
 		}
-		resp, err := client.Post(target+"/v1/jobs", "application/json", bytes.NewReader(body))
+		resp, err := doReq(client, http.MethodPost, target+"/v1/jobs", body, deadline)
 		if err != nil {
 			st.mu.Lock()
 			st.transport++
@@ -152,12 +244,7 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 		code := resp.StatusCode
 		st.code(code)
 		if code == http.StatusTooManyRequests {
-			wait := time.Second
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				wait = time.Duration(ra) * time.Second
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			wait := retryAfterWait(resp)
 			st.mu.Lock()
 			st.retries++
 			st.mu.Unlock()
@@ -185,7 +272,7 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 			st.mu.Unlock()
 			return
 		}
-		resp, err := client.Get(target + "/v1/jobs/" + sub.ID)
+		resp, err := doReq(client, http.MethodGet, target+"/v1/jobs/"+sub.ID, nil, deadline)
 		if err != nil {
 			st.mu.Lock()
 			st.transport++
@@ -193,6 +280,14 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 			return
 		}
 		st.code(resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := retryAfterWait(resp)
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
 		var js serve.JobStatus
 		err = json.NewDecoder(resp.Body).Decode(&js)
 		resp.Body.Close()
@@ -213,7 +308,12 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 			return
 		case serve.StateFailed:
 			st.mu.Lock()
-			st.failed++
+			if allowFaults && js.FaultKind != "" {
+				// A typed casualty of the fault campaign, not a bug.
+				st.faulted++
+			} else {
+				st.failed++
+			}
 			st.mu.Unlock()
 			return
 		}

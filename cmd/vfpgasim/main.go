@@ -9,6 +9,7 @@
 //	vfpgasim -scenario synthetic -manager exclusive -tasks 8
 //	vfpgasim -scenario multimedia -manager dynamic -trace
 //	vfpgasim -scenario telecom -manager multi -boards 2
+//	vfpgasim -scenario multimedia -faults seed=7,retries=2,config-error=0.05 -trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hostos"
 	"repro/internal/lint"
 	"repro/internal/sim"
@@ -40,6 +42,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII scheduling timeline")
 	traceFlag := flag.Bool("trace", false, "print the merged scheduler+device event timeline")
 	lintFlag := flag.Bool("lint", false, "run the static verifier on the circuits before and on the device state after simulating; abort on errors")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,retries=2,config-error=0.05,readback-flip@3")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -52,6 +55,14 @@ func main() {
 		slice: sim.Time(slice.Nanoseconds()), tasks: *tasks, seed: *seed,
 		cols: *cols, rows: *rows, boards: *boards,
 		gantt: *gantt, trace: *traceFlag, lint: *lintFlag,
+	}
+	if *faults != "" {
+		plan, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.faults = &plan
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
@@ -66,6 +77,7 @@ type runConfig struct {
 	seed                     uint64
 	cols, rows, boards       int
 	gantt, trace, lint       bool
+	faults                   *fault.Plan
 }
 
 // lintCircuits runs the netlist- and bitstream-domain passes over every
@@ -143,7 +155,18 @@ func buildSet(cfg runConfig) (*workload.Set, error) {
 	}
 }
 
-func run(cfg runConfig) error {
+func run(cfg runConfig) (err error) {
+	// Ledger operations that cannot return errors report an exhausted
+	// fault-retry budget as a typed panic; surface it as a normal error.
+	defer func() {
+		if r := recover(); r != nil {
+			if esc, ok := fault.AsEscalation(r); ok {
+				err = fmt.Errorf("injected fault escalated: %v", esc)
+				return
+			}
+			panic(r)
+		}
+	}()
 	set, err := buildSet(cfg)
 	if err != nil {
 		return err
@@ -232,6 +255,15 @@ func run(cfg runConfig) error {
 		return fmt.Errorf("unknown manager %q", cfg.manager)
 	}
 
+	if cfg.faults != nil {
+		// Board i draws from its own derived stream, so adding boards
+		// never perturbs the faults earlier boards see.
+		for i, eng := range engines {
+			eng.Ledger().InjectFaults(fault.NewInjector(cfg.faults.Derive(uint64(i))))
+		}
+		fmt.Printf("fault injection armed: %s\n", cfg.faults)
+	}
+
 	osCfg := hostos.Config{TimeSlice: cfg.slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
 	switch cfg.sched {
 	case "fifo":
@@ -298,6 +330,14 @@ func run(cfg runConfig) error {
 			m.PageFaults.Value(), m.GCRuns.Value(), m.Relocations.Value(), m.Blocks.Value(), m.MuxedOps.Value())
 		fmt.Printf("         config time=%v readback time=%v restore time=%v\n",
 			m.ConfigTime, m.ReadbackTime, m.RestoreTime)
+		if cfg.faults != nil {
+			fmt.Printf("faults:  injected=%d retries=%d recoveries=%d escalations=%d fault time=%v\n",
+				m.FaultsInjected.Value(), m.FaultRetries.Value(),
+				m.FaultRecoveries.Value(), m.FaultEscalations.Value(), m.FaultTime)
+			if inj := eng.Ledger().Injector(); inj != nil {
+				fmt.Printf("         %s\n", inj.Summary())
+			}
+		}
 		fmt.Printf("device:  %d/%d CLBs configured at end, mean occupancy %.1f CLBs\n",
 			eng.Dev.UsedCells(), opt.Geometry.NumCLBs(), m.Util.Average(int64(k.Now())))
 	}

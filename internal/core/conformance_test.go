@@ -4,8 +4,10 @@ package core_test
 // managers and the three baselines — runs the same spawn/preempt/resume/
 // complete script and must satisfy the shared contract:
 //
-//   - Preempt returns overhead ≥ 0 and 0 ≤ preserved ≤ done, with
-//     overhead+preserved ≤ total (progress is never invented);
+//   - Preempt returns overhead ≥ 0 and 0 ≤ preserved ≤ done ≤ total
+//     (progress is never invented; overhead is extra time charged on
+//     top, not bounded by the op — a readback just before completion
+//     legitimately costs more than the work left);
 //   - every Metrics counter and time equals what the residency ledger's
 //     event log says happened (the accounting is auditable);
 //   - no time metric is negative;
@@ -147,8 +149,12 @@ func (c *checkedFPGA) Preempt(t *hostos.Task, done, total sim.Time) (sim.Time, s
 	if preserved < 0 || preserved > done {
 		c.t.Errorf("Preempt(%s, done=%v, total=%v): preserved %v outside [0, done]", t.Name, done, total, preserved)
 	}
-	if overhead+preserved > total {
-		c.t.Errorf("Preempt(%s, done=%v, total=%v): overhead %v + preserved %v exceeds total", t.Name, done, total, overhead, preserved)
+	// Note: overhead+preserved may legitimately exceed total. The OS
+	// charges overhead on top of the op (readback near completion costs
+	// more than the work left); the random-op conformance sweep reaches
+	// such preemptions. Progress itself is bounded by done <= total.
+	if done > total {
+		c.t.Errorf("Preempt(%s, done=%v, total=%v): done exceeds total", t.Name, done, total)
 	}
 	return overhead, preserved
 }
@@ -183,7 +189,8 @@ func confScript(t testing.TB, os *hostos.OS) {
 func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
 	t.Helper()
 	var loads, pageLoads, evictions, readbacks, restores, rollbacks, relocations, blocks, gcruns int64
-	var configTime, readbackTime, restoreTime sim.Time
+	var faults, retries int64
+	var configTime, readbackTime, restoreTime, faultTime sim.Time
 	for _, ev := range log.Events() {
 		if ev.Cost < 0 {
 			t.Errorf("event %v has negative cost", ev)
@@ -217,6 +224,15 @@ func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
 			blocks++
 		case core.OpGC:
 			gcruns++
+		case core.OpFault:
+			faults++
+			faultTime += ev.Cost
+			if ev.Note == "" {
+				t.Errorf("fault event %v carries no kind note", ev)
+			}
+		case core.OpRetry:
+			retries++
+			faultTime += ev.Cost
 		}
 	}
 	m := &e.M
@@ -235,6 +251,8 @@ func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
 		{"Relocations", m.Relocations.Value(), relocations},
 		{"Blocks", m.Blocks.Value(), blocks},
 		{"GCRuns", m.GCRuns.Value(), gcruns},
+		{"FaultsInjected", m.FaultsInjected.Value(), faults},
+		{"FaultRetries", m.FaultRetries.Value(), retries},
 	} {
 		if c.got != c.want {
 			t.Errorf("Metrics.%s = %d, ledger events say %d", c.name, c.got, c.want)
@@ -248,6 +266,7 @@ func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
 		{"ConfigTime", m.ConfigTime, configTime},
 		{"ReadbackTime", m.ReadbackTime, readbackTime},
 		{"RestoreTime", m.RestoreTime, restoreTime},
+		{"FaultTime", m.FaultTime, faultTime},
 	} {
 		if c.got < 0 {
 			t.Errorf("Metrics.%s = %v is negative", c.name, c.got)
@@ -255,6 +274,17 @@ func auditLedger(t *testing.T, e *core.Engine, log *core.DeviceLog) {
 		if c.got != c.want {
 			t.Errorf("Metrics.%s = %v, ledger events say %v", c.name, c.got, c.want)
 		}
+	}
+	// Every injected fault is resolved exactly once: by a retry or by an
+	// escalation. Recoveries are ops that survived at least one fault, so
+	// they can never outnumber the retries that saved them.
+	if got := m.FaultRetries.Value() + m.FaultEscalations.Value(); got != m.FaultsInjected.Value() {
+		t.Errorf("FaultRetries(%d) + FaultEscalations(%d) = %d, want FaultsInjected = %d",
+			m.FaultRetries.Value(), m.FaultEscalations.Value(), got, m.FaultsInjected.Value())
+	}
+	if m.FaultRecoveries.Value() > m.FaultRetries.Value() {
+		t.Errorf("FaultRecoveries = %d exceeds FaultRetries = %d",
+			m.FaultRecoveries.Value(), m.FaultRetries.Value())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/compile"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/lint"
 	"repro/internal/sim"
 )
@@ -32,6 +33,8 @@ const (
 	OpRelocate                 // circuit moved by garbage collection
 	OpBlock                    // task suspended waiting for device space
 	OpGC                       // compaction run started
+	OpFault                    // injected fault detected (download CRC, readback CRC, verify)
+	OpRetry                    // recovery retry scheduled after an injected fault
 )
 
 func (k LedgerOp) String() string {
@@ -54,6 +57,10 @@ func (k LedgerOp) String() string {
 		return "block"
 	case OpGC:
 		return "gc"
+	case OpFault:
+		return "fault"
+	case OpRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -75,6 +82,9 @@ type DeviceEvent struct {
 	// exit (or hand-back) rather than displacing it for someone else;
 	// only involuntary evictions count in Metrics.Evictions.
 	Voluntary bool
+	// Note annotates fault and retry events (which kind fired, which bit
+	// flipped, which attempt follows); empty on ordinary operations.
+	Note string
 }
 
 // Detail renders everything but the operation kind: circuit, placement,
@@ -94,6 +104,9 @@ func (e DeviceEvent) Detail() string {
 	}
 	if e.Voluntary {
 		b.WriteString(" (released)")
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " [%s]", e.Note)
 	}
 	return strings.TrimSpace(b.String())
 }
@@ -178,6 +191,7 @@ type Ledger struct {
 	e         *Engine
 	k         *sim.Kernel
 	log       *DeviceLog
+	inj       *fault.Injector   // nil = no injection (the common case)
 	residents map[int]*Resident // keyed by strip origin column
 
 	// guard backs the single-goroutine assertion: TryLock fails only if
@@ -213,6 +227,52 @@ func (l *Ledger) AttachLog(log *DeviceLog) { l.log = log }
 // Log returns the attached device log (nil when tracing is off).
 func (l *Ledger) Log() *DeviceLog { return l.log }
 
+// InjectFaults arms the ledger with a fault injector. A nil injector
+// (the default) costs one pointer check per operation and changes no
+// behaviour, which is what keeps every fault-free output byte-identical.
+func (l *Ledger) InjectFaults(inj *fault.Injector) { l.inj = inj }
+
+// Injector returns the armed fault injector (nil when injection is off).
+func (l *Ledger) Injector() *fault.Injector { return l.inj }
+
+// nextFault asks the injector (if any) about the next attempt at point p.
+func (l *Ledger) nextFault(p fault.Point) (fault.Kind, uint64) {
+	if l.inj == nil {
+		return fault.None, 0
+	}
+	return l.inj.Next(p)
+}
+
+// maxAttempts returns the per-operation attempt budget of the armed plan.
+func (l *Ledger) maxAttempts() int {
+	if l.inj == nil {
+		return 1
+	}
+	plan := l.inj.Plan()
+	return plan.MaxAttempts()
+}
+
+// noteFault accounts one injected fault: the wasted simulated time goes
+// to Metrics.FaultTime (not the op's own time bucket, so fault-free
+// accounting stays exact) and the detection shows up on the timeline.
+func (l *Ledger) noteFault(owner, circuit string, region fabric.Region, page int, charge sim.Time, note string) {
+	l.e.M.FaultsInjected.Inc()
+	l.e.M.FaultTime += charge
+	l.emitNote(OpFault, owner, circuit, region, page, charge, false, note)
+}
+
+// noteRetry accounts the backoff before retry attempt next (1-based
+// retry ordinal) and returns the backoff charged.
+func (l *Ledger) noteRetry(owner, circuit string, region fabric.Region, page, next int, kind fault.Kind) sim.Time {
+	plan := l.inj.Plan()
+	backoff := plan.RetryBackoff(next)
+	l.e.M.FaultRetries.Inc()
+	l.e.M.FaultTime += backoff
+	l.emitNote(OpRetry, owner, circuit, region, page, backoff, false,
+		fmt.Sprintf("%s attempt %d/%d", kind, next+1, plan.MaxAttempts()))
+	return backoff
+}
+
 func (l *Ledger) now() sim.Time {
 	if l.k == nil {
 		return 0
@@ -221,12 +281,16 @@ func (l *Ledger) now() sim.Time {
 }
 
 func (l *Ledger) emit(op LedgerOp, task, circuit string, region fabric.Region, page int, cost sim.Time, voluntary bool) {
+	l.emitNote(op, task, circuit, region, page, cost, voluntary, "")
+}
+
+func (l *Ledger) emitNote(op LedgerOp, task, circuit string, region fabric.Region, page int, cost sim.Time, voluntary bool, note string) {
 	if l.log == nil {
 		return
 	}
 	l.log.Emit(DeviceEvent{
 		At: l.now(), Op: op, Task: task, Circuit: circuit,
-		Region: region, Page: page, Cost: cost, Voluntary: voluntary,
+		Region: region, Page: page, Cost: cost, Voluntary: voluntary, Note: note,
 	})
 }
 
@@ -268,26 +332,79 @@ func (l *Ledger) TryLoad(owner string, c *compile.Circuit, x int, wholeDevice bo
 		return 0, 0, err
 	}
 	in, out := binding(c, pins)
-	if _, _, err := c.BS.Apply(l.e.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-		l.e.FreePins(pins)
-		return 0, 0, fmt.Errorf("core: apply %s at column %d: %w", c.Name, x, err)
-	}
 	tm := l.e.Opt.Timing
+	var base sim.Time
 	if wholeDevice && !tm.PartialReconfig {
-		cost = tm.FullConfigTime(l.e.Opt.Geometry)
+		base = tm.FullConfigTime(l.e.Opt.Geometry)
 	} else {
-		cost = c.BS.ConfigCost(tm)
+		base = c.BS.ConfigCost(tm)
 	}
+	region := c.BS.Region(x, 0)
+	extra, err := l.applyConfig("load", owner, c, x, in, out, region, base)
+	if err != nil {
+		l.e.FreePins(pins)
+		return 0, 0, err
+	}
+	cost = base + extra
 	l.e.M.Loads.Inc()
-	l.e.M.ConfigTime += cost
+	l.e.M.ConfigTime += base
 	if mux > 1 {
 		l.e.M.MuxedOps.Inc()
 	}
-	region := c.BS.Region(x, 0)
 	l.residents[x] = &Resident{Circuit: c.Name, C: c, Owner: owner, Region: region, Pins: pins, Mux: mux}
-	l.emit(OpLoad, owner, c.Name, region, -1, cost, false)
+	l.emit(OpLoad, owner, c.Name, region, -1, base, false)
 	l.e.noteUtil(l.now())
 	return mux, cost, nil
+}
+
+// configFaultCharge maps a config-point fault to the simulated time it
+// wastes, as a function of the download's nominal cost: a CRC error is
+// detected partway through the frame stream, a timeout only after the
+// full window has elapsed (plus the discarded download), and a pin
+// glitch by the boundary scan after a complete download.
+func configFaultCharge(kind fault.Kind, base sim.Time) sim.Time {
+	switch kind {
+	case fault.ConfigError:
+		return base / 2
+	case fault.ConfigTimeout:
+		return 2 * base
+	default: // pin glitch
+		return base
+	}
+}
+
+// applyConfig writes c's bitstream at column x under the fault plan:
+// each injected config fault wipes the partial strip, charges wasted
+// time into Metrics.FaultTime, and either retries (with doubling
+// backoff) or — once the attempt budget is gone — escalates with a
+// typed *fault.EscalationError. It returns the fault/backoff time
+// charged on top of the caller's nominal cost; on success the device
+// holds the applied configuration.
+func (l *Ledger) applyConfig(op, owner string, c *compile.Circuit, x int, in, out []int, region fabric.Region, base sim.Time) (sim.Time, error) {
+	var extra sim.Time
+	attempts := l.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		if _, _, err := c.BS.Apply(l.e.Dev, x, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
+			return extra, fmt.Errorf("core: apply %s at column %d: %w", c.Name, x, err)
+		}
+		kind, _ := l.nextFault(fault.PointConfig)
+		if kind == fault.None {
+			if attempt > 1 {
+				l.e.M.FaultRecoveries.Inc()
+			}
+			return extra, nil
+		}
+		l.e.Dev.ClearRegion(region)
+		charge := configFaultCharge(kind, base)
+		extra += charge
+		if attempt >= attempts {
+			l.noteFault(owner, c.Name, region, -1, charge, kind.String()+" escalated")
+			l.e.M.FaultEscalations.Inc()
+			return extra, &fault.EscalationError{Kind: kind, Op: op, Circuit: c.Name, Attempts: attempt}
+		}
+		l.noteFault(owner, c.Name, region, -1, charge, kind.String())
+		extra += l.noteRetry(owner, c.Name, region, -1, attempt, kind)
+	}
 }
 
 // Load is TryLoad for contexts where failure is a program bug (managers
@@ -340,13 +457,41 @@ func (l *Ledger) Readback(owner string, c *compile.Circuit, region fabric.Region
 	return l.readback(owner, c, region)
 }
 
+// readback escalates by panicking with a *fault.EscalationError: its
+// callers (preemption paths deep inside managers) have no error return,
+// and a failed state save is not a placement condition policy can route
+// around. The serve layer maps the panic to a typed job failure.
 func (l *Ledger) readback(owner string, c *compile.Circuit, region fabric.Region) ([]bool, sim.Time) {
-	st := l.e.Dev.ReadRegionState(region)
 	cost := l.e.Opt.Timing.ReadbackTime(c.BS.FFCells)
-	l.e.M.Readbacks.Inc()
-	l.e.M.ReadbackTime += cost
-	l.emit(OpReadback, owner, c.Name, region, -1, cost, false)
-	return st, cost
+	var extra sim.Time
+	attempts := l.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		st := l.e.Dev.ReadRegionState(region)
+		kind, aux := l.nextFault(fault.PointReadback)
+		if kind == fault.None {
+			l.e.M.Readbacks.Inc()
+			l.e.M.ReadbackTime += cost
+			if attempt > 1 {
+				l.e.M.FaultRecoveries.Inc()
+			}
+			l.emit(OpReadback, owner, c.Name, region, -1, cost, false)
+			return st, cost + extra
+		}
+		// The shadow CRC catches the flipped bit; the whole read is
+		// discarded and its time wasted.
+		note := kind.String()
+		if len(st) > 0 {
+			note = fmt.Sprintf("%s bit %d", kind, int(aux%uint64(len(st))))
+		}
+		extra += cost
+		if attempt >= attempts {
+			l.noteFault(owner, c.Name, region, -1, cost, note+" escalated")
+			l.e.M.FaultEscalations.Inc()
+			panic(&fault.EscalationError{Kind: kind, Op: "readback", Circuit: c.Name, Attempts: attempt})
+		}
+		l.noteFault(owner, c.Name, region, -1, cost, note)
+		extra += l.noteRetry(owner, c.Name, region, -1, attempt, kind)
+	}
 }
 
 // Restore writes previously saved flip-flop state back into c's
@@ -356,13 +501,44 @@ func (l *Ledger) Restore(owner string, c *compile.Circuit, region fabric.Region,
 	return l.restore(owner, c, region, state)
 }
 
+// restore escalates by panic for the same reason readback does.
 func (l *Ledger) restore(owner string, c *compile.Circuit, region fabric.Region, state []bool) sim.Time {
-	l.e.Dev.WriteRegionState(region, state)
 	cost := l.e.Opt.Timing.RestoreTime(c.BS.FFCells)
-	l.e.M.Restores.Inc()
-	l.e.M.RestoreTime += cost
-	l.emit(OpRestore, owner, c.Name, region, -1, cost, false)
-	return cost
+	var extra sim.Time
+	attempts := l.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		kind, aux := l.nextFault(fault.PointRestore)
+		if kind == fault.None {
+			l.e.Dev.WriteRegionState(region, state)
+			l.e.M.Restores.Inc()
+			l.e.M.RestoreTime += cost
+			if attempt > 1 {
+				l.e.M.FaultRecoveries.Inc()
+			}
+			l.emit(OpRestore, owner, c.Name, region, -1, cost, false)
+			return cost + extra
+		}
+		// The write-back lands with one bit wrong; the verifying readback
+		// disagrees and the attempt is rolled back. The corrupted state
+		// really reaches the device so an escalated board is observably
+		// wrong, not just slow.
+		note := kind.String()
+		if len(state) > 0 {
+			bit := int(aux % uint64(len(state)))
+			corrupt := append([]bool(nil), state...)
+			corrupt[bit] = !corrupt[bit]
+			l.e.Dev.WriteRegionState(region, corrupt)
+			note = fmt.Sprintf("%s bit %d", kind, bit)
+		}
+		extra += cost
+		if attempt >= attempts {
+			l.noteFault(owner, c.Name, region, -1, cost, note+" escalated")
+			l.e.M.FaultEscalations.Inc()
+			panic(&fault.EscalationError{Kind: kind, Op: "restore", Circuit: c.Name, Attempts: attempt})
+		}
+		l.noteFault(owner, c.Name, region, -1, cost, note)
+		extra += l.noteRetry(owner, c.Name, region, -1, attempt, kind)
+	}
 }
 
 // Reset forces every flip-flop in c's footprint back to its configured
@@ -421,13 +597,19 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 	}
 	l.e.Dev.ClearRegion(r.Region)
 	in, out := binding(r.C, r.Pins)
-	if _, _, err := r.C.BS.Apply(l.e.Dev, newX, 0, &bitstream.PinBinding{In: in, Out: out}); err != nil {
-		panic(fmt.Sprintf("core: relocate %s to column %d: %v", r.Circuit, newX, err))
-	}
 	newRegion := r.C.BS.Region(newX, 0)
 	ccost := r.C.BS.ConfigCost(l.e.Opt.Timing)
+	extra, err := l.applyConfig("relocate", r.Owner, r.C, newX, in, out, newRegion, ccost)
+	if err != nil {
+		if esc, ok := fault.AsEscalation(err); ok {
+			// The strip is gone from both columns: relocation cannot be
+			// unwound by policy, so escalate like readback does.
+			panic(esc)
+		}
+		panic(fmt.Sprintf("core: relocate %s to column %d: %v", r.Circuit, newX, err))
+	}
 	l.e.M.ConfigTime += ccost
-	cost += ccost
+	cost += ccost + extra
 	delete(l.residents, oldX)
 	r.Region = newRegion
 	l.residents[newX] = r
@@ -447,12 +629,35 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 // are still accounted here, in the same ledger as every other download.
 func (l *Ledger) LoadPage(owner, circuit string, page, cells int) sim.Time {
 	defer l.enter()()
-	cost := l.e.Opt.Timing.PartialConfigTime(cells, 0)
+	base := l.e.Opt.Timing.PartialConfigTime(cells, 0)
+	// Page downloads share the configuration port, so they share the
+	// config injection point. There is no fabric region to wipe (frames
+	// are a residency view); a faulted download is simply re-sent.
+	var extra sim.Time
+	attempts := l.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		kind, _ := l.nextFault(fault.PointConfig)
+		if kind == fault.None {
+			if attempt > 1 {
+				l.e.M.FaultRecoveries.Inc()
+			}
+			break
+		}
+		charge := configFaultCharge(kind, base)
+		extra += charge
+		if attempt >= attempts {
+			l.noteFault(owner, circuit, fabric.Region{}, page, charge, kind.String()+" escalated")
+			l.e.M.FaultEscalations.Inc()
+			panic(&fault.EscalationError{Kind: kind, Op: "page", Circuit: circuit, Attempts: attempt})
+		}
+		l.noteFault(owner, circuit, fabric.Region{}, page, charge, kind.String())
+		extra += l.noteRetry(owner, circuit, fabric.Region{}, page, attempt, kind)
+	}
 	l.e.M.PageFaults.Inc()
 	l.e.M.PageLoads.Inc()
-	l.e.M.ConfigTime += cost
-	l.emit(OpLoad, owner, circuit, fabric.Region{}, page, cost, false)
-	return cost
+	l.e.M.ConfigTime += base
+	l.emit(OpLoad, owner, circuit, fabric.Region{}, page, base, false)
+	return base + extra
 }
 
 // EvictPage records the displacement of a resident page by the

@@ -19,9 +19,15 @@ type MetricsSnapshot struct {
 	Blocks      int64 `json:"blocks"`
 	MuxedOps    int64 `json:"muxed_ops"`
 
+	FaultsInjected   int64 `json:"faults_injected"`
+	FaultRetries     int64 `json:"fault_retries"`
+	FaultRecoveries  int64 `json:"fault_recoveries"`
+	FaultEscalations int64 `json:"fault_escalations"`
+
 	ConfigTime   sim.Time `json:"config_time_ns"`
 	ReadbackTime sim.Time `json:"readback_time_ns"`
 	RestoreTime  sim.Time `json:"restore_time_ns"`
+	FaultTime    sim.Time `json:"fault_time_ns"`
 
 	// UtilMean is the time-weighted mean of configured CLBs over [0, the
 	// snapshot time]; UtilMax is the peak. Both describe one run and are
@@ -46,9 +52,15 @@ func (m *Metrics) Snapshot(now sim.Time) MetricsSnapshot {
 		Blocks:      m.Blocks.Value(),
 		MuxedOps:    m.MuxedOps.Value(),
 
+		FaultsInjected:   m.FaultsInjected.Value(),
+		FaultRetries:     m.FaultRetries.Value(),
+		FaultRecoveries:  m.FaultRecoveries.Value(),
+		FaultEscalations: m.FaultEscalations.Value(),
+
 		ConfigTime:   m.ConfigTime,
 		ReadbackTime: m.ReadbackTime,
 		RestoreTime:  m.RestoreTime,
+		FaultTime:    m.FaultTime,
 
 		UtilMean: m.Util.Average(int64(now)),
 		UtilMax:  m.Util.Max(),
@@ -69,8 +81,13 @@ func (s *MetricsSnapshot) Accumulate(o MetricsSnapshot) {
 	s.Relocations += o.Relocations
 	s.Blocks += o.Blocks
 	s.MuxedOps += o.MuxedOps
+	s.FaultsInjected += o.FaultsInjected
+	s.FaultRetries += o.FaultRetries
+	s.FaultRecoveries += o.FaultRecoveries
+	s.FaultEscalations += o.FaultEscalations
 	s.ConfigTime += o.ConfigTime
 	s.ReadbackTime += o.ReadbackTime
 	s.RestoreTime += o.RestoreTime
+	s.FaultTime += o.FaultTime
 	s.UtilMean, s.UtilMax = 0, 0
 }

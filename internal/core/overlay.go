@@ -153,7 +153,9 @@ func (om *OverlayManager) ensure(t *hostos.Task) sim.Time {
 		}
 		loadCost, err := om.loadSlot(s, t.Name, c)
 		if err != nil {
-			panic(fmt.Sprintf("core: overlay load %s: %v", c.Name, err))
+			// Wrap instead of stringifying: a *fault.EscalationError in the
+			// chain must stay typed for the serve layer's recover handler.
+			panic(fmt.Errorf("core: overlay load %s: %w", c.Name, err))
 		}
 		cost += loadCost
 	}

@@ -82,6 +82,10 @@ func ledgerOpCounts(s core.MetricsSnapshot) []struct {
 		{"relocate", s.Relocations},
 		{"block", s.Blocks},
 		{"muxed", s.MuxedOps},
+		{"fault", s.FaultsInjected},
+		{"fault_retry", s.FaultRetries},
+		{"fault_recovery", s.FaultRecoveries},
+		{"fault_escalation", s.FaultEscalations},
 	}
 }
 
@@ -146,6 +150,20 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		m.int("vfpgad_board_jobs_total", bi.JobsDone, "board", strconv.Itoa(bi.ID), "outcome", "completed")
 		m.int("vfpgad_board_jobs_total", bi.JobsFailed, "board", strconv.Itoa(bi.ID), "outcome", "failed")
 	}
+	m.family("vfpgad_board_quarantined", "1 while the board is quarantined after a fault escalation.", "gauge")
+	for _, bi := range infos {
+		quarantined := int64(0)
+		if bi.Quarantined {
+			quarantined = 1
+		}
+		m.int("vfpgad_board_quarantined", quarantined, "board", strconv.Itoa(bi.ID), "manager", bi.Manager)
+	}
+	m.family("vfpgad_board_escalations_total", "Fault escalations the board saw.", "counter")
+	for _, bi := range infos {
+		m.int("vfpgad_board_escalations_total", bi.Escalations, "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_job_requeues_total", "Jobs rerun on another board after a quarantine.", "counter")
+	m.int("vfpgad_job_requeues_total", s.pool.requeueCount())
 
 	// Device-side ledger counters accumulated across jobs, per board.
 	m.family("vfpgad_ledger_ops_total", "Residency-ledger operations across all jobs.", "counter")
@@ -159,6 +177,7 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		m.int("vfpgad_device_time_ns_total", int64(agg.ConfigTime), "board", strconv.Itoa(i), "kind", "config")
 		m.int("vfpgad_device_time_ns_total", int64(agg.ReadbackTime), "board", strconv.Itoa(i), "kind", "readback")
 		m.int("vfpgad_device_time_ns_total", int64(agg.RestoreTime), "board", strconv.Itoa(i), "kind", "restore")
+		m.int("vfpgad_device_time_ns_total", int64(agg.FaultTime), "board", strconv.Itoa(i), "kind", "fault")
 	}
 
 	// Compile-cache effectiveness (shared across boards).

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -21,6 +22,11 @@ var (
 	ErrDraining = errors.New("serve: draining")
 	// ErrNoSuchBoard rejects a pin to a board id outside the pool (400).
 	ErrNoSuchBoard = errors.New("serve: no such board")
+	// ErrBoardQuarantined rejects a pin to a board taken out of service
+	// by a fault escalation (409).
+	ErrBoardQuarantined = errors.New("serve: board quarantined")
+	// ErrNoHealthyBoard means every board is quarantined (503).
+	ErrNoHealthyBoard = errors.New("serve: no healthy board")
 )
 
 // job is one unit of work moving through the pool.
@@ -32,12 +38,19 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	state  string
-	board  int
-	errMsg string
-	result *JobResult
-	done   chan struct{}
+	// pinned jobs asked for one specific board; they are never rerun
+	// elsewhere when that board is quarantined. Written once before the
+	// first channel send, read by workers after the receive.
+	pinned bool
+
+	mu        sync.Mutex
+	state     string
+	board     int
+	errMsg    string
+	faultKind string
+	requeues  int
+	result    *JobResult
+	done      chan struct{}
 }
 
 func (j *job) setRunning() {
@@ -51,6 +64,9 @@ func (j *job) finish(res *JobResult, err error) {
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		if esc, ok := fault.AsEscalation(err); ok {
+			j.faultKind = esc.Kind.String()
+		}
 	} else {
 		j.state = StateDone
 		j.result = res
@@ -66,7 +82,16 @@ func (j *job) status() JobStatus {
 	return JobStatus{
 		ID: j.id, Tenant: j.tenant, State: j.state, Board: j.board,
 		Error: j.errMsg, Result: j.result,
+		FaultKind: j.faultKind, Requeues: j.requeues,
 	}
+}
+
+// noteFault records the typed fault reason on a job that never ran
+// because its board was already quarantined.
+func (j *job) noteFault(kind string) {
+	j.mu.Lock()
+	j.faultKind = kind
+	j.mu.Unlock()
 }
 
 // board is one execution slot: a config, a bounded queue and the
@@ -81,6 +106,36 @@ type board struct {
 	done    int64
 	failed  int64
 	agg     core.MetricsSnapshot // summed device metrics across jobs
+	// quarantined boards accept nothing and run nothing: a fault
+	// escalation exhausted the ledger's retry budget here. quarKind is
+	// the first escalated kind; escalations counts escalated jobs.
+	quarantined bool
+	quarKind    string
+	escalations int64
+}
+
+// quarantine takes the board out of service (idempotent; the first
+// escalated kind sticks as the reason).
+func (b *board) quarantine(kind string) {
+	b.mu.Lock()
+	b.current = ""
+	b.escalations++
+	if !b.quarantined {
+		b.quarantined = true
+		b.quarKind = kind
+	}
+	b.mu.Unlock()
+}
+
+func (b *board) quarantineState() (kind string, quarantined bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quarKind, b.quarantined
+}
+
+func (b *board) isQuarantined() bool {
+	_, q := b.quarantineState()
+	return q
 }
 
 func (b *board) info() BoardInfo {
@@ -90,11 +145,15 @@ func (b *board) info() BoardInfo {
 	if b.current != "" {
 		state = "busy"
 	}
+	if b.quarantined {
+		state = "quarantined"
+	}
 	return BoardInfo{
 		ID: b.id, Manager: b.cfg.Manager, Cols: b.cfg.Cols, Rows: b.cfg.Rows,
 		State: state, CurrentJob: b.current,
 		QueueDepth: len(b.queue), QueueCap: cap(b.queue),
 		JobsDone: b.done, JobsFailed: b.failed,
+		Quarantined: b.quarantined, FaultKind: b.quarKind, Escalations: b.escalations,
 	}
 }
 
@@ -109,6 +168,7 @@ type pool struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	seq      int64
+	requeues int64 // jobs handed to another board after a quarantine
 	draining bool
 
 	wg sync.WaitGroup
@@ -164,12 +224,43 @@ func (p *pool) runOne(b *board, j *job) {
 		p.adm.noteFailed(j.tenant)
 		return
 	}
+	if kind, quarantined := b.quarantineState(); quarantined {
+		// The board was quarantined with this job still in its queue:
+		// hand the job to a healthy board, or fail it with the typed
+		// fault reason so the caller can tell casualty from bug.
+		if p.requeue(j) {
+			return
+		}
+		j.noteFault(kind)
+		j.finish(nil, fmt.Errorf("serve: board %d quarantined (%s); no healthy board for job %s", b.id, kind, j.id))
+		b.mu.Lock()
+		b.failed++
+		b.mu.Unlock()
+		p.adm.noteFailed(j.tenant)
+		return
+	}
 	b.mu.Lock()
 	b.current = j.id
 	b.mu.Unlock()
 	j.setRunning()
 
 	res, err := runJob(p.cache, b.cfg, j.spec, j.trace)
+
+	if esc, ok := fault.AsEscalation(err); ok {
+		// Retry budget exhausted on this board: take it out of service
+		// and rerun the job on a healthy one when possible. Pinned jobs
+		// fail in place — the client asked for exactly this board.
+		b.quarantine(esc.Kind.String())
+		if p.requeue(j) {
+			return
+		}
+		j.finish(nil, err)
+		b.mu.Lock()
+		b.failed++
+		b.mu.Unlock()
+		p.adm.noteFailed(j.tenant)
+		return
+	}
 
 	b.mu.Lock()
 	b.current = ""
@@ -201,31 +292,28 @@ func (p *pool) submit(j *job, pin *int) (int, error) {
 	if p.draining {
 		return 0, ErrDraining
 	}
-	candidates := p.boards
+	var candidates []*board
 	if pin != nil {
 		if *pin < 0 || *pin >= len(p.boards) {
 			return 0, fmt.Errorf("%w: %d", ErrNoSuchBoard, *pin)
 		}
-		candidates = p.boards[*pin : *pin+1]
-	}
-	// Sort candidates by load — queued jobs plus the one in flight, since
-	// a running job no longer occupies the queue — stable, so ties keep
-	// board order. Take the first board that accepts the send.
-	ordered := append([]*board(nil), candidates...)
-	load := func(b *board) int {
-		n := len(b.queue)
-		b.mu.Lock()
-		if b.current != "" {
-			n++
+		b := p.boards[*pin]
+		if b.isQuarantined() {
+			return 0, fmt.Errorf("%w: board %d", ErrBoardQuarantined, *pin)
 		}
-		b.mu.Unlock()
-		return n
+		candidates = []*board{b}
+		j.pinned = true
+	} else {
+		for _, b := range p.boards {
+			if !b.isQuarantined() {
+				candidates = append(candidates, b)
+			}
+		}
+		if len(candidates) == 0 {
+			return 0, ErrNoHealthyBoard
+		}
 	}
-	loads := make(map[*board]int, len(ordered))
-	for _, b := range ordered {
-		loads[b] = load(b)
-	}
-	sort.SliceStable(ordered, func(a, b int) bool { return loads[ordered[a]] < loads[ordered[b]] })
+	ordered := orderByLoad(candidates)
 	// All job fields are written before the channel send: the send
 	// happens-before the worker's receive, so the worker may read them
 	// without holding j.mu.
@@ -243,6 +331,72 @@ func (p *pool) submit(j *job, pin *int) (int, error) {
 		}
 	}
 	return 0, ErrQueueFull
+}
+
+// orderByLoad returns the boards sorted by load — queued jobs plus the
+// one in flight, since a running job no longer occupies the queue —
+// stable, so ties keep board order.
+func orderByLoad(candidates []*board) []*board {
+	ordered := append([]*board(nil), candidates...)
+	loads := make(map[*board]int, len(ordered))
+	for _, b := range ordered {
+		n := len(b.queue)
+		b.mu.Lock()
+		if b.current != "" {
+			n++
+		}
+		b.mu.Unlock()
+		loads[b] = n
+	}
+	sort.SliceStable(ordered, func(a, b int) bool { return loads[ordered[a]] < loads[ordered[b]] })
+	return ordered
+}
+
+// requeue hands a job displaced by a quarantine to a healthy board.
+// Bounded: each job moves at most len(boards)-1 times, so a campaign
+// that quarantines every board still terminates. Runs under the pool
+// lock so it cannot interleave with drain closing the queues.
+func (p *pool) requeue(j *job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining || j.pinned {
+		return false
+	}
+	j.mu.Lock()
+	exhausted := j.requeues >= len(p.boards)-1
+	j.mu.Unlock()
+	if exhausted {
+		return false
+	}
+	var healthy []*board
+	for _, b := range p.boards {
+		if !b.isQuarantined() {
+			healthy = append(healthy, b)
+		}
+	}
+	for _, target := range orderByLoad(healthy) {
+		j.mu.Lock()
+		j.board = target.id
+		j.state = StateQueued
+		j.requeues++
+		j.mu.Unlock()
+		select {
+		case target.queue <- j:
+			p.requeues++
+			return true
+		default: // full; try the next board
+		}
+		j.mu.Lock()
+		j.requeues--
+		j.mu.Unlock()
+	}
+	return false
+}
+
+func (p *pool) requeueCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requeues
 }
 
 // get returns the job by id.

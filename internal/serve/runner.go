@@ -7,6 +7,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hostos"
 	"repro/internal/lint"
 	"repro/internal/sim"
@@ -38,6 +39,12 @@ type BoardConfig struct {
 	// QueueDepth bounds the board's job queue; submissions beyond it get
 	// 429 backpressure.
 	QueueDepth int
+	// Faults, when non-nil, arms this board's engines with the fault
+	// plan (each engine derives its own stream from it). A fresh
+	// injector is built per job, like the board itself, so which faults
+	// a job sees depends only on the plan and the job's own op sequence,
+	// never on queue order.
+	Faults *fault.Plan
 }
 
 // DefaultBoardConfig returns a dynamic-loader board on the default
@@ -83,8 +90,14 @@ func runJob(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec, with
 	// A panicking job must fail, not take the daemon down with it: every
 	// piece of simulation state is confined to this call (the board is
 	// rebuilt per job), so recovery cannot leave shared state corrupted.
+	// A fault escalation stays typed through the recover so the pool can
+	// quarantine the board and requeue the job.
 	defer func() {
 		if r := recover(); r != nil {
+			if esc, ok := fault.AsEscalation(r); ok {
+				res, err = nil, esc
+				return
+			}
 			res, err = nil, fmt.Errorf("serve: job panicked: %v", r)
 		}
 	}()
@@ -98,8 +111,14 @@ func runJob(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec, with
 	opt.Seed = bc.Seed
 	k := sim.New()
 
+	engIdx := 0
 	newEngine := func() (*core.Engine, error) {
 		e := core.NewEngine(opt)
+		if bc.Faults != nil {
+			plan := bc.Faults.Derive(uint64(engIdx))
+			e.Ledger().InjectFaults(fault.NewInjector(plan))
+		}
+		engIdx++
 		for i, nl := range set.Circuits {
 			tm := opt.Timing
 			c, err := cache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Config parameterizes a Server.
@@ -21,6 +23,11 @@ type Config struct {
 	// Now is the admission clock; nil means time.Now. Injectable for
 	// deterministic tests.
 	Now func() time.Time
+	// Faults arms every board with a fault-injection campaign derived
+	// from this plan (board i gets Derive(i), so boards fail
+	// independently but reproducibly). Boards with their own Faults plan
+	// keep it. Nil means no injection anywhere.
+	Faults *fault.Plan
 }
 
 // Server is the vfpgad service: board pool + admission + HTTP handlers.
@@ -36,7 +43,16 @@ type Server struct {
 // queues deterministically).
 func New(cfg Config) (*Server, error) {
 	adm := newAdmission(cfg.Tenant, cfg.Now)
-	p, err := newPool(cfg.Boards, adm)
+	boards := append([]BoardConfig(nil), cfg.Boards...)
+	if cfg.Faults != nil {
+		for i := range boards {
+			if boards[i].Faults == nil {
+				plan := cfg.Faults.Derive(uint64(i))
+				boards[i].Faults = &plan
+			}
+		}
+	}
+	p, err := newPool(boards, adm)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +137,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrNoSuchBoard):
 		cancel()
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrBoardQuarantined):
+		cancel()
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrNoHealthyBoard):
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		cancel()

@@ -66,6 +66,13 @@ type JobStatus struct {
 	Board  int        `json:"board"`
 	Error  string     `json:"error,omitempty"`
 	Result *JobResult `json:"result,omitempty"`
+	// FaultKind types a failure caused by injected-fault escalation
+	// ("config-error", "readback-flip", ...); empty otherwise. Clients
+	// distinguish chaos-campaign casualties from real bugs by this field.
+	FaultKind string `json:"fault_kind,omitempty"`
+	// Requeues counts how many times the job was handed to another board
+	// after its original board was quarantined.
+	Requeues int `json:"requeues,omitempty"`
 }
 
 // TaskResult is one simulated task's metrics, in virtual nanoseconds.
@@ -104,12 +111,18 @@ type BoardInfo struct {
 	Manager    string `json:"manager"`
 	Cols       int    `json:"cols"`
 	Rows       int    `json:"rows"`
-	State      string `json:"state"` // "idle" | "busy"
+	State      string `json:"state"` // "idle" | "busy" | "quarantined"
 	CurrentJob string `json:"current_job,omitempty"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	JobsDone   int64  `json:"jobs_done"`
 	JobsFailed int64  `json:"jobs_failed"`
+	// Quarantined boards run nothing: an injected fault exhausted the
+	// ledger's retry budget there. FaultKind is the escalated kind and
+	// Escalations the number of escalated jobs the board saw.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	FaultKind   string `json:"fault_kind,omitempty"`
+	Escalations int64  `json:"escalations,omitempty"`
 }
 
 // Health is the body of GET /healthz.

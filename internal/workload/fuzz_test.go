@@ -1,0 +1,56 @@
+package workload_test
+
+// Fuzz target for the spec wire format: DecodeJSON on arbitrary bytes
+// must never panic, must reject what it cannot represent, and for every
+// input it accepts the canonical re-encoding must round-trip to a
+// byte-identical canonical form (decode → encode is a fixpoint). The
+// partial-block defaults merge makes this non-trivial: a sparse block
+// decodes into a fully populated one, and that full form has to decode
+// back to itself.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func FuzzSpecDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{"scenario":"multimedia"}`,
+		`{"scenario":"telecom","telecom":{"sessions":4}}`,
+		`{"scenario":"diagnosis","diagnosis":{}}`,
+		`{"scenario":"storage","storage":{"streams":2}}`,
+		`{"scenario":"synthetic","synthetic":{"tasks":3,"ops_per_task":2}}`,
+		`{"scenario":"telecom","telecom":null}`,
+		`{"scenario":""}`,
+		`{}`,
+		`{"scenario":"multimedia","bogus":1}`,
+		`{"scenario":"multimedia","telecom":{"sessions":-1}}`,
+		`not json at all`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := workload.DecodeJSON(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		_ = spec.Validate() // must not panic on anything decode accepted
+		canonical, err := spec.EncodeJSON()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		again, err := workload.DecodeJSON(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-decode: %v\n%s", err, canonical)
+		}
+		stable, err := again.EncodeJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(canonical, stable) {
+			t.Fatalf("canonical form is not a fixpoint:\n first %s\nsecond %s", canonical, stable)
+		}
+	})
+}
