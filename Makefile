@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race conformance lint cover fuzz-smoke bench-quick trace-demo serve-smoke serve-smoke-faults
+.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick trace-demo serve-smoke serve-smoke-faults
 
-check: fmt vet build race conformance test lint cover fuzz-smoke bench-quick serve-smoke serve-smoke-faults
+check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick serve-smoke serve-smoke-faults
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -13,6 +13,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzers (cmd/vfpgavet): ledger-only metrics writes,
+# wall-clock use in deterministic packages, error-string matching,
+# exposition hygiene, map-iteration leaks, lock protocol. Suppress a
+# finding with `//vfpgavet:ignore <analyzers> -- reason`.
+vet-analyzers:
+	$(GO) run ./cmd/vfpgavet ./...
 
 build:
 	$(GO) build ./...

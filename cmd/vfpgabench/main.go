@@ -43,7 +43,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick, Jobs: *jobs}
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Jobs: *jobs, Now: time.Now}
 
 	var selected []bench.Experiment
 	if *run == "all" {

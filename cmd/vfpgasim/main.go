@@ -62,6 +62,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vfpgasim: %v\n", err)
 			os.Exit(1)
 		}
+		// ParseSpec only checks syntax; the fault-plan lint pass checks
+		// semantics (probability mass per injection point, script
+		// ordering, retry policy) so a bad campaign aborts here instead
+		// of silently injecting the wrong thing.
+		diags := lint.RunTarget(&lint.Target{Name: "faults", FaultPlan: &plan},
+			lint.Options{Passes: []string{"fault-plan"}, MinSeverity: lint.Warning})
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "vfpgasim: %s\n", d)
+		}
+		if lint.HasErrors(diags) {
+			fmt.Fprintf(os.Stderr, "vfpgasim: refusing to run a malformed fault plan\n")
+			os.Exit(1)
+		}
 		cfg.faults = &plan
 	}
 	if err := run(cfg); err != nil {
@@ -161,7 +174,7 @@ func run(cfg runConfig) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if esc, ok := fault.AsEscalation(r); ok {
-				err = fmt.Errorf("injected fault escalated: %v", esc)
+				err = fmt.Errorf("injected fault escalated: %w", esc)
 				return
 			}
 			panic(r)

@@ -1,0 +1,16 @@
+// Package cleanpkg violates nothing; the CLI test asserts a clean run
+// exits 0 with no output.
+//
+//vfpgavet:deterministic
+package cleanpkg
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,152 @@
+// Package astq holds the small AST and type-query helpers shared by the
+// vfpgavet analyzers. Everything here compares types by package path and
+// name, never by object identity: the loader type-checks each analyzed
+// package from source while importing its dependencies from export
+// data, so the "same" named type can be represented by distinct
+// *types.Named values across passes.
+package astq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function a call expression invokes, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// Named returns the named type under t, unwrapping one level of pointer,
+// or nil.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// IsNamed reports whether t (or *t) is the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := Named(t)
+	return n != nil && n.Obj() != nil && n.Obj().Name() == name &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkgPath
+}
+
+// RootIdent returns the identifier at the root of a selector/index/call
+// chain: RootIdent(`l.e.M.Loads`) = l, RootIdent(`p.jobs[id]`) = p.
+// It returns nil when the chain does not bottom out in an identifier.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// BaseString renders the receiver chain of a selector without its final
+// field: BaseString(`s.pool.jobs`) = "s.pool". Non-ident chains
+// (function calls, index expressions) render with a placeholder so they
+// never collide with a plain chain.
+func BaseString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return BaseString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return BaseString(x.X)
+	case *ast.IndexExpr:
+		return BaseString(x.X) + "[]"
+	default:
+		return "?"
+	}
+}
+
+// HasDirective reports whether any comment in files is exactly the given
+// directive (e.g. "//vfpgavet:deterministic").
+func HasDirective(files []*ast.File, directive string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == directive {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFuncs pairs each function declaration or literal in f with a
+// visitor: walk calls fn(decl, body) for every *ast.FuncDecl with a body
+// and every *ast.FuncLit. The name is "" for literals.
+func EnclosingFuncs(f *ast.File, fn func(name string, recv *ast.FieldList, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				fn(x.Name.Name, x.Recv, x.Body)
+			}
+		case *ast.FuncLit:
+			fn("", nil, x.Body)
+		}
+		return true
+	})
+}
+
+// Mentions reports whether the identifier name occurs anywhere under n.
+func Mentions(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// PosInside reports whether pos lies within [node.Pos(), node.End()].
+func PosInside(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}

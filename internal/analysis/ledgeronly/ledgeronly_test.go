@@ -1,0 +1,16 @@
+package ledgeronly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ledgeronly"
+)
+
+func TestOutsideCore(t *testing.T) {
+	analysistest.Run(t, ledgeronly.Analyzer, "testdata/src/outside", "")
+}
+
+func TestInsideCore(t *testing.T) {
+	analysistest.Run(t, ledgeronly.Analyzer, "testdata/src/corepkg", "repro/internal/core")
+}

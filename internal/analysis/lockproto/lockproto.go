@@ -1,0 +1,351 @@
+// Package lockproto checks the two locking conventions the stack relies
+// on:
+//
+//  1. Single-goroutine guard. A type with an enter() method built on
+//     Mutex.TryLock (core.Ledger) asserts single-goroutine ownership at
+//     every mutating entry point. Every exported method that mutates
+//     receiver state — directly, through a counter mutator, or
+//     transitively through unexported same-type methods — must open with
+//     exactly `defer recv.enter()()`. Calls to other exported methods
+//     are not traversed: delegation (Load calling TryLoad) relies on the
+//     callee's own guard, and adding a second would self-deadlock.
+//
+//  2. Mutex-after-mu layout. In a struct with a field `mu sync.Mutex`
+//     (or RWMutex), every field declared after mu is guarded by it. Any
+//     access to a guarded field must be preceded, textually within an
+//     enclosing function, by `<base>.mu.Lock()` (or RLock/TryLock) on
+//     the same base expression — unless the enclosing function's name
+//     ends in "Locked" (caller holds the lock) or starts with new/New
+//     (value under construction, not yet shared). Fields that need no
+//     lock (write-once config, self-synchronized atomics and WaitGroups)
+//     belong above mu.
+package lockproto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the lockproto analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockproto",
+	Doc:  "guarded types assert the single-goroutine guard; fields below a mu are accessed with it held",
+	Run:  run,
+}
+
+// counterMutators are methods that mutate state through a field chain.
+var counterMutators = map[string]bool{
+	"Inc": true, "Add": true, "Dec": true, "Set": true, "Emit": true,
+}
+
+// lockCalls acquire a mutex.
+var lockCalls = map[string]bool{"Lock": true, "RLock": true, "TryLock": true}
+
+func run(pass *analysis.Pass) error {
+	methods := collectMethods(pass)
+	checkGuardProtocol(pass, methods)
+	checkMutexFields(pass)
+	return nil
+}
+
+// --- rule 1: single-goroutine guard ---
+
+// collectMethods indexes every method declaration by receiver type name.
+func collectMethods(pass *analysis.Pass) map[string]map[string]*ast.FuncDecl {
+	methods := map[string]map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tn := recvTypeName(fd)
+			if tn == "" {
+				continue
+			}
+			if methods[tn] == nil {
+				methods[tn] = map[string]*ast.FuncDecl{}
+			}
+			methods[tn][fd.Name.Name] = fd
+		}
+	}
+	return methods
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func recvVarName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func checkGuardProtocol(pass *analysis.Pass, methods map[string]map[string]*ast.FuncDecl) {
+	for typeName, byName := range methods {
+		enter, ok := byName["enter"]
+		if !ok || enter.Body == nil || !astq.Mentions(enter.Body, "TryLock") {
+			continue
+		}
+		for name, fd := range byName {
+			if !ast.IsExported(name) || fd.Body == nil {
+				continue
+			}
+			recv := recvVarName(fd)
+			if recv == "" || recv == "_" {
+				continue
+			}
+			if !mutates(pass, fd, byName, map[string]bool{name: true}) {
+				continue
+			}
+			if startsWithGuard(fd.Body, recv) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported (*%s).%s mutates guarded state without the single-goroutine assertion; its first statement must be `defer %s.enter()()`",
+				typeName, name, recv)
+		}
+	}
+}
+
+// startsWithGuard reports whether body begins with `defer recv.enter()()`.
+func startsWithGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	def, ok := body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	inner, ok := ast.Unparen(def.Call.Fun).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "enter" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == recv
+}
+
+// mutates reports whether fd writes receiver state: a receiver-rooted
+// assignment, IncDec or delete, a counter-mutator call on a
+// receiver-rooted chain, or transitively an unexported same-type method
+// doing any of those.
+func mutates(pass *analysis.Pass, fd *ast.FuncDecl, byName map[string]*ast.FuncDecl, visited map[string]bool) bool {
+	recv := recvVarName(fd)
+	if recv == "" {
+		return false
+	}
+	rootedInRecv := func(e ast.Expr) bool {
+		id := astq.RootIdent(e)
+		return id != nil && id.Name == recv
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if rootedInRecv(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedInRecv(x.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin && rootedInRecv(x.Args[0]) {
+					found = true
+				}
+				return true
+			}
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok || !rootedInRecv(sel.X) {
+				return true
+			}
+			if counterMutators[sel.Sel.Name] {
+				found = true
+				return true
+			}
+			// Transit into unexported same-type methods only.
+			callee := astq.Callee(pass.Info, x)
+			if callee == nil || ast.IsExported(callee.Name()) || visited[callee.Name()] {
+				return true
+			}
+			target, ok := byName[callee.Name()]
+			if !ok || target.Body == nil {
+				return true
+			}
+			visited[callee.Name()] = true
+			if mutates(pass, target, byName, visited) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// --- rule 2: fields below mu ---
+
+type guardedStruct struct {
+	name   string
+	fields map[string]bool
+}
+
+func collectGuardedStructs(pass *analysis.Pass) map[string]guardedStruct {
+	out := map[string]guardedStruct{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			guarded := map[string]bool{}
+			seenMu := false
+			for _, field := range st.Fields.List {
+				isMu := false
+				for _, name := range field.Names {
+					if name.Name == "mu" {
+						isMu = true
+					}
+				}
+				if isMu {
+					t := pass.Info.TypeOf(field.Type)
+					if astq.IsNamed(t, "sync", "Mutex") || astq.IsNamed(t, "sync", "RWMutex") {
+						seenMu = true
+						continue
+					}
+				}
+				if seenMu {
+					for _, name := range field.Names {
+						guarded[name.Name] = true
+					}
+				}
+			}
+			if seenMu && len(guarded) > 0 {
+				out[ts.Name.Name] = guardedStruct{name: ts.Name.Name, fields: guarded}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkMutexFields(pass *analysis.Pass) {
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		type fnScope struct {
+			name string
+			body *ast.BlockStmt
+		}
+		var scopes []fnScope
+		astq.EnclosingFuncs(f, func(name string, _ *ast.FieldList, body *ast.BlockStmt) {
+			scopes = append(scopes, fnScope{name: name, body: body})
+		})
+		enclosing := func(pos token.Pos) []fnScope {
+			var out []fnScope
+			for _, s := range scopes {
+				if astq.PosInside(pos, s.body) {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			named := astq.Named(pass.Info.TypeOf(sel.X))
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != pass.Pkg.Path() {
+				return true
+			}
+			gs, ok := structs[named.Obj().Name()]
+			if !ok || !gs.fields[sel.Sel.Name] {
+				return true
+			}
+			base := astq.BaseString(sel.X)
+			encl := enclosing(sel.Pos())
+			if len(encl) == 0 {
+				return true // package-level expression
+			}
+			for _, s := range encl {
+				if exemptName(s.name) || lockHeldBefore(pass, s.body, base, sel.Pos()) {
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s accessed without %s.mu held (no preceding %s.mu.Lock in the enclosing function); lock first, or give the helper a Locked suffix",
+				base, sel.Sel.Name, base, base)
+			return true
+		})
+	}
+}
+
+// exemptName reports whether the enclosing function's name waives the
+// lock requirement: helpers called with the lock held by convention end
+// in "Locked"; constructors build values nothing else can see yet.
+func exemptName(name string) bool {
+	return strings.HasSuffix(name, "Locked") || strings.HasSuffix(name, "locked") ||
+		strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New")
+}
+
+// lockHeldBefore reports whether body contains `<base>.mu.Lock()` (or
+// RLock/TryLock) textually before pos.
+func lockHeldBefore(pass *analysis.Pass, body *ast.BlockStmt, base string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || held {
+			return !held
+		}
+		if call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockCalls[sel.Sel.Name] {
+			return true
+		}
+		mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || mu.Sel.Name != "mu" {
+			return true
+		}
+		if astq.BaseString(mu.X) == base {
+			held = true
+		}
+		return !held
+	})
+	return held
+}

@@ -1,0 +1,16 @@
+package lockproto_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockproto"
+)
+
+func TestGuardProtocol(t *testing.T) {
+	analysistest.Run(t, lockproto.Analyzer, "testdata/src/guard", "")
+}
+
+func TestMutexFields(t *testing.T) {
+	analysistest.Run(t, lockproto.Analyzer, "testdata/src/mufields", "")
+}

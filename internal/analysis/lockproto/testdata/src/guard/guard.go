@@ -1,0 +1,55 @@
+// Package guard is a lockproto fixture for the single-goroutine guard:
+// a type with an enter()/TryLock assertion must open every exported
+// mutating method with `defer recv.enter()()`.
+package guard
+
+import "sync"
+
+type counter struct{ n int64 }
+
+func (c *counter) Inc() { c.n++ }
+
+type Ledger struct {
+	k         int
+	total     counter
+	residents map[int]int
+	guard     sync.Mutex
+}
+
+func (l *Ledger) enter() func() {
+	if !l.guard.TryLock() {
+		panic("concurrent use")
+	}
+	return l.guard.Unlock
+}
+
+// Guarded correctly.
+func (l *Ledger) Load(x int) {
+	defer l.enter()()
+	l.residents[x] = x
+	l.total.Inc()
+}
+
+func (l *Ledger) Evict(x int) { // want `exported \(\*Ledger\)\.Evict mutates guarded state without the single-goroutine assertion`
+	delete(l.residents, x)
+}
+
+func (l *Ledger) Bind(k int) { // want `exported \(\*Ledger\)\.Bind mutates guarded state`
+	if k != 0 {
+		l.k = k
+	}
+}
+
+// Transitive: Note mutates through an unexported helper.
+func (l *Ledger) Note() { // want `exported \(\*Ledger\)\.Note mutates guarded state`
+	l.bump()
+}
+
+func (l *Ledger) bump() { l.total.Inc() }
+
+// Reads need no guard.
+func (l *Ledger) Count() int { return len(l.residents) }
+
+// Delegation to an exported method relies on the callee's own guard;
+// adding a second enter() here would self-deadlock.
+func (l *Ledger) MustLoad(x int) { l.Load(x) }

@@ -1,0 +1,53 @@
+// Package mufields is a lockproto fixture for the mu-layout rule:
+// fields declared after a `mu sync.Mutex` are accessed only with the
+// lock held, from a *Locked helper, or inside a constructor.
+package mufields
+
+import "sync"
+
+type pool struct {
+	boards []int // above mu: not guarded
+
+	mu   sync.Mutex
+	jobs map[string]int
+	seq  int
+}
+
+func (p *pool) submit(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	p.jobs[id] = p.seq
+}
+
+func (p *pool) leak(id string) int {
+	return p.jobs[id] // want `p\.jobs accessed without p\.mu held`
+}
+
+func peek(p *pool) int {
+	return p.seq // want `p\.seq accessed without p\.mu held`
+}
+
+// The Locked suffix marks helpers whose callers hold the lock.
+func (p *pool) sizeLocked() int { return len(p.jobs) }
+
+// Constructors mutate a value nothing else can see yet.
+func newPool() *pool {
+	p := &pool{jobs: map[string]int{}}
+	p.seq = 1
+	return p
+}
+
+// A closure under the outer function's lock is covered.
+func (p *pool) bump(f func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	func() { p.seq++ }()
+}
+
+// Unguarded fields above mu need no lock.
+func (p *pool) boardCount() int { return len(p.boards) }
+
+func (p *pool) audit() int {
+	return p.seq //vfpgavet:ignore lockproto -- racy read is tolerated here
+}

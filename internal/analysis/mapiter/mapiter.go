@@ -1,0 +1,182 @@
+// Package mapiter chases the PR 2 netlist.Segment bug class: iterating a
+// Go map in a package whose outputs must be deterministic, and letting
+// the random iteration order leak into a result. A range over a map is
+// flagged when its body
+//
+//   - appends to a slice that the enclosing function never sorts
+//     (sort.* / slices.* call mentioning the slice rescues it),
+//   - writes output directly (fmt print family, or a Write/WriteString/
+//     WriteByte/WriteRune method — which also covers hashing, since
+//     hash.Hash is written to), or
+//   - sends on a channel.
+//
+// Order-independent bodies — counting, summing, building another map —
+// are untouched. Scope: the deterministic simulation packages plus every
+// package whose artifacts are golden-tested or hashed (netlist, place,
+// trace, hostos, bitstream, sim, stats, workload, lint, techmap, serve,
+// baseline, rng), and any package carrying the
+// //vfpgavet:deterministic directive.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+	"repro/internal/analysis/simclock"
+)
+
+// Analyzer is the mapiter analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "no map iteration order leaking into appends, output or hashes in deterministic packages",
+	Run:  run,
+}
+
+// extraPackages widens the simclock scope to every package with
+// golden-tested or hashed artifacts.
+var extraPackages = []string{
+	"repro/internal/netlist",
+	"repro/internal/place",
+	"repro/internal/trace",
+	"repro/internal/hostos",
+	"repro/internal/bitstream",
+	"repro/internal/sim",
+	"repro/internal/stats",
+	"repro/internal/workload",
+	"repro/internal/lint",
+	"repro/internal/techmap",
+	"repro/internal/serve",
+	"repro/internal/baseline",
+	"repro/internal/rng",
+}
+
+func inScope(pass *analysis.Pass) bool {
+	if simclock.InScope(pass) {
+		return true
+	}
+	for _, p := range extraPackages {
+		if pass.Pkg.Path() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// printFuncs are the fmt functions that emit output.
+var printFuncs = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// writeMethods emit bytes into a writer or hash.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Collect every function body so a range statement can be paired
+		// with its innermost enclosing function for the sort rescue.
+		var bodies []*ast.BlockStmt
+		astq.EnclosingFuncs(f, func(_ string, _ *ast.FieldList, body *ast.BlockStmt) {
+			bodies = append(bodies, body)
+		})
+		innermost := func(n ast.Node) *ast.BlockStmt {
+			var best *ast.BlockStmt
+			for _, b := range bodies {
+				if astq.PosInside(n.Pos(), b) && (best == nil || b.Pos() > best.Pos()) {
+					best = b
+				}
+			}
+			return best
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rs, innermost(rs))
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+				if isBuiltinAppend(pass.Info, id) {
+					checkAppend(pass, x, encl)
+				}
+				return true
+			}
+			if fn := astq.Callee(pass.Info, x); fn != nil {
+				sig, _ := fn.Type().(*types.Signature)
+				switch {
+				case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()]:
+					pass.Reportf(x.Pos(), "fmt.%s inside range over map; iteration order is random — iterate a sorted key slice", fn.Name())
+				case sig != nil && sig.Recv() != nil && writeMethods[fn.Name()]:
+					pass.Reportf(x.Pos(), "%s call inside range over map feeds a writer or hash; iteration order is random — iterate a sorted key slice", fn.Name())
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside range over map; iteration order is random — iterate a sorted key slice")
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// checkAppend flags v = append(v, ...) under a map range unless the
+// enclosing function contains a sort/slices call mentioning v.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, encl *ast.BlockStmt) {
+	root := astq.RootIdent(call.Args[0])
+	if root == nil {
+		return
+	}
+	if encl != nil && hasSortOf(pass, encl, root.Name) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s inside range over map with no sort of %s in the enclosing function; iteration order is random", root.Name, root.Name)
+}
+
+func hasSortOf(pass *analysis.Pass, body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := astq.Callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if astq.Mentions(call, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mapiter"
+)
+
+func TestDirectiveScoped(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/src/detmap", "")
+}
+
+func TestUnscoped(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/src/unscoped", "")
+}
+
+func TestPathScoped(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/src/pathscoped", "repro/internal/netlist")
+}

@@ -1,0 +1,67 @@
+// Package detmap is a mapiter fixture: map ranges that leak iteration
+// order into appends, output, hashes or channels are flagged; sorted
+// key collection and order-independent folds are not.
+//
+//vfpgavet:deterministic
+package detmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The canonical rescued pattern: collect keys, sort, use.
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func leak(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append to ks inside range over map with no sort of ks`
+	}
+	return ks
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+func digest(h io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		h.Write(v) // want `Write call inside range over map feeds a writer or hash`
+	}
+}
+
+func feed(ch chan<- string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Counting and map-to-map transforms are order independent.
+func count(m map[string]int) int {
+	total := 0
+	inverse := map[int]string{}
+	for k, v := range m {
+		total += v
+		inverse[v] = k
+	}
+	return total
+}
+
+func primed(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v) //vfpgavet:ignore mapiter -- order asserted by the caller
+	}
+	return vs
+}

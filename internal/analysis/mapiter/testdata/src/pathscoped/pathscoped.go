@@ -1,0 +1,12 @@
+// Package pathscoped is the mapiter fixture type-checked under the
+// import path repro/internal/netlist — the package whose Segment bug
+// motivated this analyzer — so path scoping applies with no directive.
+package pathscoped
+
+func segments(m map[int]string) []string {
+	var segs []string
+	for _, s := range m {
+		segs = append(segs, s) // want `append to segs inside range over map with no sort of segs`
+	}
+	return segs
+}

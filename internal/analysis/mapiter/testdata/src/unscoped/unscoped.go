@@ -1,0 +1,11 @@
+// Package unscoped has no directive and an import path outside the
+// deterministic set: map ranges here are not mapiter's business.
+package unscoped
+
+func values(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	return vs
+}

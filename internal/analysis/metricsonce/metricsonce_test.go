@@ -1,0 +1,16 @@
+package metricsonce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricsonce"
+)
+
+func TestExposition(t *testing.T) {
+	analysistest.Run(t, metricsonce.Analyzer, "testdata/src/expo", "")
+}
+
+func TestFieldSplit(t *testing.T) {
+	analysistest.Run(t, metricsonce.Analyzer, "testdata/src/fieldsplit", "repro/internal/core")
+}

@@ -1,0 +1,27 @@
+// Package expo is a metricsonce fixture for the exposition half: family
+// names, help strings, types, duplicate registration and orphan series.
+package expo
+
+type metricsWriter struct{}
+
+func (m *metricsWriter) family(name, help, typ string) {}
+
+func (m *metricsWriter) series(name string, value string, kv ...string) {}
+
+func (m *metricsWriter) int(name string, v int64, kv ...string) {
+	m.series(name, "0", kv...) // non-constant name: skipped, not flagged
+}
+
+func write(m *metricsWriter) {
+	m.family("vfpgad_jobs_total", "Finished jobs by outcome.", "counter")
+	m.int("vfpgad_jobs_total", 1, "outcome", "completed")
+	m.family("vfpga_util_clbs", "Configured CLBs.", "gauge")
+	m.series("vfpga_util_clbs", "0.5")
+
+	m.family("Bad-Name", "Case and dashes.", "counter")     // want `metric family "Bad-Name" does not match`
+	m.family("vfpgad_helpless", "", "gauge")                // want `empty help string`
+	m.family("vfpgad_typo_total", "Typo'd type.", "counts") // want `invalid type "counts"`
+	m.family("vfpgad_jobs_total", "Again.", "counter")      // want `metric family "vfpgad_jobs_total" declared more than once`
+
+	m.int("vfpgad_orphan_total", 3) // want `metric series "vfpgad_orphan_total" has no registered family`
+}

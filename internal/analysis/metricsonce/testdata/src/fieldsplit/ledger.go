@@ -1,0 +1,24 @@
+// Package fieldsplit is a metricsonce fixture type-checked as
+// repro/internal/core: the Loads counter is accounted in ledger.go (two
+// sites) and also bumped from manager.go, which splits its accounting
+// across files and gets flagged there.
+package fieldsplit
+
+type counter struct{ n int64 }
+
+func (c *counter) Inc() { c.n++ }
+
+// Metrics stands in for the real core.Metrics under the fixture path.
+type Metrics struct {
+	Loads  counter
+	Blocks counter
+}
+
+type Ledger struct{ m *Metrics }
+
+func (l *Ledger) load() { l.m.Loads.Inc() }
+
+func (l *Ledger) loadPage() {
+	l.m.Loads.Inc()
+	l.m.Blocks.Inc()
+}

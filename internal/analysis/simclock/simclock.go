@@ -1,0 +1,97 @@
+// Package simclock forbids wall-clock and global-rand use in the
+// deterministic packages of the stack. Every byte-identical golden —
+// merged timelines, /metrics expositions, fault campaigns — rests on the
+// rule that simulated components advance only sim.Time and draw only
+// from seeded internal/rng streams. A single time.Now or math/rand call
+// smuggled into core or the router breaks reproducibility in ways tests
+// catch late or never; this analyzer rejects the reference at vet time.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// DeterministicPackages lists the packages under the determinism
+// contract: simulated time only, seeded rng streams only. The serve and
+// cmd layers sit at the wall-clock boundary on purpose (admission
+// buckets, load generators) and are deliberately absent.
+var DeterministicPackages = []string{
+	"repro/internal/core",
+	"repro/internal/fabric",
+	"repro/internal/fault",
+	"repro/internal/compile",
+	"repro/internal/route",
+	"repro/internal/bench",
+}
+
+// Directive opts any other package into the deterministic scope.
+const Directive = "//vfpgavet:deterministic"
+
+// InScope reports whether the pass's package is under the determinism
+// contract, either by membership in DeterministicPackages or by carrying
+// the opt-in directive comment.
+func InScope(pass *analysis.Pass) bool {
+	for _, p := range DeterministicPackages {
+		if pass.Pkg.Path() == p {
+			return true
+		}
+	}
+	return astq.HasDirective(pass.Files, Directive)
+}
+
+// forbiddenTime are the time package functions that read or wait on the
+// wall clock.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRand are the math/rand package-level functions that do not
+// touch the shared global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the simclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock (time.Now/Sleep/...) and global math/rand in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !InScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall clock in deterministic package: time.%s; use sim.Time, the kernel clock, or an injected clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global rand in deterministic package: %s.%s; draw from a seeded internal/rng stream", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

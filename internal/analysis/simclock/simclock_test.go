@@ -1,0 +1,23 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simclock"
+)
+
+// The det fixture opts in via the //vfpgavet:deterministic directive and
+// must report every wall-clock and global-rand reference; the clean
+// fixture makes the same calls outside the deterministic scope and must
+// stay silent.
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, simclock.Analyzer, "testdata/src/det", "")
+	analysistest.Run(t, simclock.Analyzer, "testdata/src/clean", "")
+}
+
+// A fixture type-checked under a listed deterministic import path is in
+// scope without any directive.
+func TestSimclockPathScope(t *testing.T) {
+	analysistest.Run(t, simclock.Analyzer, "testdata/src/pathscoped", "repro/internal/route")
+}

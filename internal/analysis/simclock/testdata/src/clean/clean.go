@@ -1,0 +1,20 @@
+// Package clean is a simclock fixture: the same wall-clock and global
+// rand calls as the det fixture, but in a package that is neither listed
+// in DeterministicPackages nor opted in by directive — nothing may be
+// reported.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+func globalRand() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,46 @@
+// Package det is a simclock fixture: a package opted into the
+// determinism contract via the directive below.
+//
+//vfpgavet:deterministic
+package det
+
+import (
+	"math/rand"
+	rand2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall clock in deterministic package: time.Now`
+	return time.Since(start) // want `wall clock in deterministic package: time.Since`
+}
+
+func sleeps() {
+	time.Sleep(1)   // want `wall clock in deterministic package: time.Sleep`
+	<-time.After(1) // want `wall clock in deterministic package: time.After`
+	_ = time.Tick   // want `wall clock in deterministic package: time.Tick`
+}
+
+func globalRand() int {
+	n := rand.Intn(10)   // want `global rand in deterministic package: rand.Intn`
+	f := rand2.Float64() // want `global rand in deterministic package: rand.Float64`
+	_ = rand.Perm(3)     // want `global rand in deterministic package: rand.Perm`
+	return n + int(f*10)
+}
+
+// Seeded sources and pure constructors are fine.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// Values and types from the time package that do not read the clock are
+// fine.
+func pure(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+func suppressed() time.Time {
+	//vfpgavet:ignore simclock -- boundary code, documented
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Package pathscoped is a simclock fixture type-checked under the
+// import path repro/internal/route, one of the listed deterministic
+// packages, so the scope applies with no directive.
+package pathscoped
+
+import "time"
+
+func deadline() time.Time {
+	return time.Now() // want `wall clock in deterministic package: time.Now`
+}

@@ -1,0 +1,64 @@
+// Package errs is a typederr fixture: string matching on error text and
+// unwrapped fmt.Errorf chains are flagged; typed inspection and proper
+// %w wrapping are not.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type opError struct{ Op string }
+
+func (e *opError) Error() string { return "op " + e.Op + " failed" }
+
+func matches(err error) bool {
+	if strings.Contains(err.Error(), "failed") { // want `matching on an error string with strings.Contains`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "op ") { // want `matching on an error string with strings.HasPrefix`
+		return true
+	}
+	return false
+}
+
+func compares(err error) bool {
+	if err.Error() == "sentinel" { // want `comparing an error string against "sentinel"`
+		return true
+	}
+	return err.Error()[:3] != "op " // want `comparing an error string against "op "`
+}
+
+func wrapsBadly(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func wrapsConcrete(e *opError) error {
+	return fmt.Errorf("escalated: %v", e) // want `fmt.Errorf formats an error without %w`
+}
+
+// Typed inspection, %w wrapping, and non-error formatting are all fine.
+func good(err error) error {
+	if errors.Is(err, errSentinel) {
+		return nil
+	}
+	var oe *opError
+	if errors.As(err, &oe) {
+		return fmt.Errorf("op %s: %w", oe.Op, err)
+	}
+	if r := recover(); r != nil {
+		return fmt.Errorf("panicked: %v", r)
+	}
+	return fmt.Errorf("count %d of %s", 3, "x")
+}
+
+// Comparing two error strings to each other (no constant side) is not
+// the pattern this analyzer chases.
+func equalMessages(a, b error) bool { return a.Error() == b.Error() }
+
+func suppressed(err error) bool {
+	return strings.Contains(err.Error(), "x") //vfpgavet:ignore typederr -- asserting rendered text
+}

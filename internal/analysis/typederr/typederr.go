@@ -1,0 +1,137 @@
+// Package typederr forbids stringly-typed error handling. PR 5
+// introduced typed fault escalation (*fault.EscalationError,
+// fault.AsEscalation) precisely so the serve layer can tell a casualty
+// from a bug without parsing messages; matching on err.Error() text
+// resurrects the fragility. The analyzer flags error-string matching
+// (strings.Contains/HasPrefix/... and ==/!= against constants) and
+// fmt.Errorf calls that format an error argument without wrapping it
+// via %w, which silently severs errors.Is/errors.As chains.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the typederr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "typederr",
+	Doc:          "forbid matching on error strings and fmt.Errorf wrapping without %w",
+	IncludeTests: true,
+	Run:          run,
+}
+
+// stringMatchers are the strings-package functions whose use on an error
+// string indicates matching by text.
+var stringMatchers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"Index": true, "EqualFold": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkStringMatch(pass, x)
+				checkErrorf(pass, x)
+			case *ast.BinaryExpr:
+				checkComparison(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorString reports whether e contains a call to the Error() method
+// of a value implementing error (walking through slices, indexes, ...).
+func isErrorString(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t != nil && implementsError(t) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func implementsError(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := astq.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchers[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorString(pass.Info, arg) {
+			pass.Reportf(call.Pos(),
+				"matching on an error string with strings.%s; use errors.Is/errors.As (or fault.AsEscalation) against a typed error", fn.Name())
+			return
+		}
+	}
+}
+
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		errSide, constSide := pair[0], pair[1]
+		tv, ok := pass.Info.Types[constSide]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if isErrorString(pass.Info, errSide) {
+			pass.Reportf(b.Pos(),
+				"comparing an error string against %s; use errors.Is/errors.As (or fault.AsEscalation) against a typed error", types.ExprString(constSide))
+			return
+		}
+	}
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := astq.Callee(pass.Info, call)
+	if !astq.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		// Only concrete error types and the error interface itself count;
+		// an any-typed argument (e.g. a recover() result) may not be an
+		// error at all.
+		if implementsError(t) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w; wrap it so errors.Is/errors.As keep working")
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	analysistest.Run(t, typederr.Analyzer, "testdata/src/errs", "")
+}

@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -30,6 +31,11 @@ type Config struct {
 	// byte-identical tables: every sweep point builds its own sim.Kernel
 	// and seeded RNGs, and results are reassembled in presentation order.
 	Jobs int
+	// Now supplies the wall clock used only for Outcome.Wall timing.
+	// The bench package itself never reads the real clock (its tables
+	// must be deterministic), so callers that want wall times inject one
+	// (cmd/vfpgabench passes time.Now); nil leaves Wall zero.
+	Now func() time.Time
 }
 
 // Experiment couples an id with its runner.

@@ -29,9 +29,19 @@ type Outcome struct {
 // its output.
 func Run(cfg Config, exps []Experiment) []Outcome {
 	out, _ := parMap(cfg.Jobs, len(exps), func(i int) (Outcome, error) {
-		start := time.Now()
+		// Wall timing comes only from the injected clock: the harness
+		// itself stays off the wall clock so its tables are a pure
+		// function of Config (the simclock analyzer pins this).
+		var start time.Time
+		if cfg.Now != nil {
+			start = cfg.Now()
+		}
 		tbl, err := exps[i].Run(cfg)
-		return Outcome{Exp: exps[i], Table: tbl, Err: err, Wall: time.Since(start)}, nil
+		o := Outcome{Exp: exps[i], Table: tbl, Err: err}
+		if cfg.Now != nil {
+			o.Wall = cfg.Now().Sub(start)
+		}
+		return o, nil
 	})
 	return out
 }

@@ -2,9 +2,9 @@ package bench
 
 import (
 	"errors"
-	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -47,12 +47,13 @@ func TestParallelHarnessByteIdentical(t *testing.T) {
 }
 
 func TestRunPreservesOrderAndErrors(t *testing.T) {
+	errBoom := errors.New("boom")
 	exps := []Experiment{
 		{ID: "ok1", Title: "ok", Run: func(Config) (*trace.Table, error) {
 			return &trace.Table{ID: "ok1"}, nil
 		}},
 		{ID: "bad", Title: "bad", Run: func(Config) (*trace.Table, error) {
-			return nil, errors.New("boom")
+			return nil, errBoom
 		}},
 		{ID: "ok2", Title: "ok", Run: func(Config) (*trace.Table, error) {
 			return &trace.Table{ID: "ok2"}, nil
@@ -71,7 +72,7 @@ func TestRunPreservesOrderAndErrors(t *testing.T) {
 		if outs[0].Err != nil || outs[2].Err != nil {
 			t.Fatalf("jobs=%d: unexpected errors %v %v", jobs, outs[0].Err, outs[2].Err)
 		}
-		if outs[1].Err == nil || outs[1].Err.Error() != "boom" {
+		if !errors.Is(outs[1].Err, errBoom) {
 			t.Fatalf("jobs=%d: want boom, got %v", jobs, outs[1].Err)
 		}
 	}
@@ -89,13 +90,18 @@ func TestParMapOrderAndFirstIndexError(t *testing.T) {
 	}
 	// The reported error must be the lowest-index one regardless of
 	// completion order.
+	err13 := errors.New("err@13")
+	err70 := errors.New("err@70")
 	_, err = parMap(8, 100, func(i int) (int, error) {
-		if i == 70 || i == 13 {
-			return 0, fmt.Errorf("err@%d", i)
+		switch i {
+		case 13:
+			return 0, err13
+		case 70:
+			return 0, err70
 		}
 		return i, nil
 	})
-	if err == nil || err.Error() != "err@13" {
+	if !errors.Is(err, err13) {
 		t.Fatalf("want err@13, got %v", err)
 	}
 }
@@ -127,5 +133,24 @@ func TestPerfRecordShape(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Fatalf("JSON missing %s:\n%s", want, b.String())
 		}
+	}
+}
+
+// Wall timing comes only from the injected clock: without one the
+// harness never reads the wall clock and Wall stays zero; with one it
+// measures. (The simclock analyzer keeps time.Now out of this package.)
+func TestRunWallUsesInjectedClock(t *testing.T) {
+	exps := []Experiment{{ID: "ok", Title: "ok", Run: func(Config) (*trace.Table, error) {
+		return &trace.Table{ID: "ok"}, nil
+	}}}
+	outs := Run(Config{Jobs: 1}, exps)
+	if outs[0].Wall != 0 {
+		t.Fatalf("Wall without a clock = %v, want 0", outs[0].Wall)
+	}
+	var ticks int64
+	fake := func() time.Time { ticks++; return time.Unix(0, ticks*int64(time.Millisecond)) }
+	outs = Run(Config{Jobs: 1, Now: fake}, exps)
+	if outs[0].Wall != time.Millisecond {
+		t.Fatalf("Wall with a fake clock = %v, want 1ms", outs[0].Wall)
 	}
 }

@@ -77,14 +77,17 @@ type flight struct {
 // StripCache is a concurrent, bounded, deduplicating cache over
 // CompileStrip. The zero value is not usable; use NewStripCache.
 type StripCache struct {
+	// The counters are self-synchronized atomics, and capacity is fixed
+	// at construction; both sit above mu, which guards only the LRU
+	// structures below it.
+	hits, misses, dedups, evictions stats.AtomicCounter
+	inFlight                        stats.AtomicCounter
+	capacity                        int
+
 	mu       sync.Mutex
-	capacity int
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	entries  map[CacheKey]*list.Element
 	inflight map[CacheKey]*flight
-
-	hits, misses, dedups, evictions stats.AtomicCounter
-	inFlight                        stats.AtomicCounter
 }
 
 // DefaultCacheCapacity bounds a StripCache when NewStripCache is given a

@@ -216,13 +216,17 @@ func (l *Ledger) enter() func() {
 // probed by several short-lived managers (tests do) as long as the ones
 // actually running share a kernel.
 func (l *Ledger) Bind(k *sim.Kernel) {
+	defer l.enter()()
 	if k != nil {
 		l.k = k
 	}
 }
 
 // AttachLog starts recording device events into log.
-func (l *Ledger) AttachLog(log *DeviceLog) { l.log = log }
+func (l *Ledger) AttachLog(log *DeviceLog) {
+	defer l.enter()()
+	l.log = log
+}
 
 // Log returns the attached device log (nil when tracing is off).
 func (l *Ledger) Log() *DeviceLog { return l.log }
@@ -230,7 +234,10 @@ func (l *Ledger) Log() *DeviceLog { return l.log }
 // InjectFaults arms the ledger with a fault injector. A nil injector
 // (the default) costs one pointer check per operation and changes no
 // behaviour, which is what keeps every fault-free output byte-identical.
-func (l *Ledger) InjectFaults(inj *fault.Injector) { l.inj = inj }
+func (l *Ledger) InjectFaults(inj *fault.Injector) {
+	defer l.enter()()
+	l.inj = inj
+}
 
 // Injector returns the armed fault injector (nil when injection is off).
 func (l *Ledger) Injector() *fault.Injector { return l.inj }

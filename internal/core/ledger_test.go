@@ -221,3 +221,27 @@ func TestLedgerLintTarget(t *testing.T) {
 		t.Fatalf("target = %+v", tgt)
 	}
 }
+
+// The attach/bind setters share the single-goroutine guard with the
+// transaction methods, so wiring an engine from a second goroutine
+// mid-operation trips the same assertion as any other concurrent use.
+func TestLedgerSettersHoldGuard(t *testing.T) {
+	_, led, _ := ledgerFixture(t)
+	exit := led.enter() // simulate an operation in flight
+	for name, call := range map[string]func(){
+		"Bind":         func() { led.Bind(sim.New()) },
+		"AttachLog":    func() { led.AttachLog(NewDeviceLog(0)) },
+		"InjectFaults": func() { led.InjectFaults(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with an operation in flight did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+	exit()
+	led.Bind(sim.New()) // uncontended: must not panic
+}

@@ -162,6 +162,7 @@ func TestAsEscalation(t *testing.T) {
 	if _, ok := AsEscalation("panic string"); ok {
 		t.Fatal("string recognized")
 	}
+	//vfpgavet:ignore typederr -- this test asserts the rendered text itself
 	if esc.Error() == "" || esc.Error()[:6] != "fault:" {
 		t.Fatalf("error text %q lacks the typed prefix", esc.Error())
 	}

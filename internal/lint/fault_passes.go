@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// passFaultPlan validates a fault-injection campaign before it is armed:
+// a malformed plan otherwise fails silently (an out-of-range probability
+// clamps, an unordered script misfires) and the run it drives looks
+// plausible while injecting the wrong campaign.
+//
+//   - every probability lies in [0, 1], and the kinds sharing an
+//     injection point sum to at most 1 (the injector walks their
+//     cumulative distribution in one draw);
+//   - script occurrence lists are 1-based and strictly increasing — a
+//     duplicate or out-of-order entry means an attempt was listed twice;
+//   - only known kinds appear (the zero Kind "none" is not injectable);
+//   - the retry policy is representable: Retries within ±MaxRetries and
+//     a non-negative backoff.
+func passFaultPlan(t *Target, r *Reporter) {
+	p := t.FaultPlan
+	if p == nil {
+		return
+	}
+	label := t.label()
+
+	valid := map[fault.Kind]bool{}
+	for _, k := range fault.Kinds() {
+		valid[k] = true
+	}
+
+	pointSums := map[fault.Point]float64{}
+	for _, k := range orderedKinds(p.Prob, valid, r, label, "prob") {
+		pr := p.Prob[k]
+		if pr < 0 || pr > 1 {
+			r.Errorf(pos(label, "prob", k), "probability %g outside [0, 1]", pr)
+			continue
+		}
+		pointSums[k.Point()] += pr
+	}
+	for _, pt := range []fault.Point{fault.PointConfig, fault.PointReadback, fault.PointRestore} {
+		if sum := pointSums[pt]; sum > 1 {
+			r.Errorf(label+":point "+pt.String(),
+				"kind probabilities at this injection point sum to %g > 1; the cumulative draw cannot represent that", sum)
+		}
+	}
+
+	for _, k := range orderedKinds(p.Script, valid, r, label, "script") {
+		occ := p.Script[k]
+		prev := 0
+		for i, n := range occ {
+			switch {
+			case n < 1:
+				r.Errorf(pos(label, "script", k), "occurrence %d is %d; attempts are numbered from 1", i, n)
+			case n == prev:
+				r.Errorf(pos(label, "script", k), "occurrence %d repeats attempt %d; an attempt fires at most once", i, n)
+			case n < prev:
+				r.Errorf(pos(label, "script", k), "occurrences must be strictly increasing; %d follows %d", n, prev)
+			}
+			prev = n
+		}
+	}
+
+	if p.Retries > fault.MaxRetries || p.Retries < -fault.MaxRetries {
+		r.Errorf(label+":retries", "retries %d outside [-%d, %d] (negative means escalate on first fault)",
+			p.Retries, fault.MaxRetries, fault.MaxRetries)
+	}
+	if p.Backoff < 0 {
+		r.Errorf(label+":backoff", "negative backoff %v", p.Backoff)
+	}
+	if len(p.Prob) == 0 && len(p.Script) == 0 {
+		r.Infof(label+":plan", "plan injects nothing: no probabilities and no script")
+	}
+}
+
+// orderedKinds reports unknown kinds in m and returns the valid ones,
+// both in ascending kind order (map iteration order must never reach
+// the diagnostic stream).
+func orderedKinds[V any](m map[fault.Kind]V, valid map[fault.Kind]bool, r *Reporter, label, section string) []fault.Kind {
+	all := make([]fault.Kind, 0, len(m))
+	for k := range m {
+		all = append(all, k)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for _, k := range all {
+		if !valid[k] {
+			r.Errorf(pos(label, section, k), "unknown fault kind")
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func pos(label, section string, k fault.Kind) string {
+	return label + ":" + section + " " + k.String()
+}

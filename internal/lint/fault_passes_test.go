@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func TestFaultPlanSkipsNilPlan(t *testing.T) {
+	diags := only(t, "fault-plan", &Target{Name: "empty"})
+	wantNone(t, diags)
+}
+
+func TestFaultPlanCleanPlan(t *testing.T) {
+	plan := fault.Plan{
+		Seed:    7,
+		Prob:    map[fault.Kind]float64{fault.ConfigError: 0.05, fault.ReadbackFlip: 0.1},
+		Script:  map[fault.Kind][]int{fault.PinGlitch: {1, 3, 8}},
+		Retries: 2,
+		Backoff: sim.Time(100),
+	}
+	diags := only(t, "fault-plan", &Target{Name: "campaign", FaultPlan: &plan})
+	wantNone(t, diags)
+}
+
+func TestFaultPlanProbabilityRange(t *testing.T) {
+	plan := fault.Plan{Prob: map[fault.Kind]float64{
+		fault.ConfigError:   -0.1,
+		fault.ConfigTimeout: 1.5,
+	}}
+	diags := only(t, "fault-plan", &Target{Name: "p", FaultPlan: &plan})
+	wantDiag(t, diags, Error, "probability -0.1 outside [0, 1]")
+	wantDiag(t, diags, Error, "probability 1.5 outside [0, 1]")
+}
+
+func TestFaultPlanPointSumOverflow(t *testing.T) {
+	// Three kinds share PointConfig; individually legal, jointly > 1.
+	plan := fault.Plan{Prob: map[fault.Kind]float64{
+		fault.ConfigError:   0.5,
+		fault.ConfigTimeout: 0.4,
+		fault.PinGlitch:     0.3,
+	}}
+	diags := only(t, "fault-plan", &Target{Name: "p", FaultPlan: &plan})
+	wantDiag(t, diags, Error, "sum to 1.2 > 1")
+	// Kinds at other points are unaffected even at probability 1.
+	plan = fault.Plan{Prob: map[fault.Kind]float64{
+		fault.ConfigError:  1,
+		fault.ReadbackFlip: 1,
+	}}
+	wantNone(t, only(t, "fault-plan", &Target{Name: "p", FaultPlan: &plan}))
+}
+
+func TestFaultPlanScriptOrdering(t *testing.T) {
+	plan := fault.Plan{Script: map[fault.Kind][]int{
+		fault.ConfigError:     {0},
+		fault.ReadbackFlip:    {2, 2},
+		fault.RestoreMismatch: {5, 3},
+	}}
+	diags := only(t, "fault-plan", &Target{Name: "s", FaultPlan: &plan})
+	wantDiag(t, diags, Error, "attempts are numbered from 1")
+	wantDiag(t, diags, Error, "repeats attempt 2")
+	wantDiag(t, diags, Error, "strictly increasing; 3 follows 5")
+}
+
+func TestFaultPlanUnknownKind(t *testing.T) {
+	plan := fault.Plan{
+		Prob:   map[fault.Kind]float64{fault.None: 0.5},
+		Script: map[fault.Kind][]int{fault.Kind(99): {1}},
+	}
+	diags := only(t, "fault-plan", &Target{Name: "k", FaultPlan: &plan})
+	if got := len(Errors(diags)); got != 2 {
+		t.Fatalf("want 2 unknown-kind errors, got %d: %v", got, diags)
+	}
+	wantDiag(t, diags, Error, "unknown fault kind")
+}
+
+func TestFaultPlanRetryPolicy(t *testing.T) {
+	plan := fault.Plan{Retries: fault.MaxRetries + 1}
+	diags := only(t, "fault-plan", &Target{Name: "r", FaultPlan: &plan})
+	wantDiag(t, diags, Error, "retries 17 outside")
+	plan = fault.Plan{Backoff: sim.Time(-1)}
+	diags = only(t, "fault-plan", &Target{Name: "r", FaultPlan: &plan})
+	wantDiag(t, diags, Error, "negative backoff")
+	// Negative retries within range mean escalate-on-first-fault: legal.
+	plan = fault.Plan{Retries: -1, Prob: map[fault.Kind]float64{fault.ConfigError: 0.1}}
+	wantNone(t, only(t, "fault-plan", &Target{Name: "r", FaultPlan: &plan}))
+}
+
+func TestFaultPlanEmptyPlanIsInfo(t *testing.T) {
+	plan := fault.Plan{Seed: 3, Retries: 2}
+	diags := only(t, "fault-plan", &Target{Name: "idle", FaultPlan: &plan})
+	wantDiag(t, diags, Info, "plan injects nothing")
+	if HasErrors(diags) {
+		t.Fatalf("empty plan must not error: %v", diags)
+	}
+}
+
+// TestFaultPlanDiagnosticOrderDeterministic guards the pass against the
+// exact bug class it polices elsewhere: diagnostics sourced from a map
+// must not depend on iteration order.
+func TestFaultPlanDiagnosticOrderDeterministic(t *testing.T) {
+	plan := fault.Plan{Prob: map[fault.Kind]float64{
+		fault.ConfigError:   2,
+		fault.ConfigTimeout: 2,
+		fault.ReadbackFlip:  2,
+		fault.PinGlitch:     2,
+	}}
+	first := only(t, "fault-plan", &Target{Name: "d", FaultPlan: &plan})
+	for i := 0; i < 20; i++ {
+		again := only(t, "fault-plan", &Target{Name: "d", FaultPlan: &plan})
+		if len(again) != len(first) {
+			t.Fatalf("diagnostic count changed across runs: %d vs %d", len(first), len(again))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("diagnostic order unstable at %d: %v vs %v", j, first[j], again[j])
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/netlist"
 )
 
@@ -140,6 +141,10 @@ type Target struct {
 	// Device is a configured fabric to cross-check (dangling sources,
 	// configuration-level combinational loops).
 	Device *fabric.Device
+
+	// FaultPlan is a fault-injection campaign description to validate
+	// (probability ranges, script ordering, retry policy).
+	FaultPlan *fault.Plan
 }
 
 // label returns the diagnostic prefix for netlist-domain findings.
@@ -201,6 +206,7 @@ var builtin = []Pass{
 	{"page-coverage", "pages partition the bitstream's cells exactly once", passPageCoverage},
 	{"partition-state", "disjoint, merged, non-leaking partition tables", passPartitionState},
 	{"fabric-config", "configured devices: dangling sources, config-level loops", passFabricConfig},
+	{"fault-plan", "fault campaign sanity: probability ranges, script ordering, retry policy", passFaultPlan},
 }
 
 // extra holds passes added by RegisterPass, run after the builtins.

@@ -165,16 +165,18 @@ type pool struct {
 	cache  *compile.StripCache
 	adm    *admission
 
+	// wg and gate are self-synchronized and sit above mu: fields below
+	// mu are the ones mu guards. gate, when non-nil, makes every worker
+	// consume one token before running each job — a test hook to hold
+	// queues full deterministically. Both are written before start().
+	wg   sync.WaitGroup
+	gate chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	seq      int64
 	requeues int64 // jobs handed to another board after a quarantine
 	draining bool
-
-	wg sync.WaitGroup
-	// gate, when non-nil, makes every worker consume one token before
-	// running each job — a test hook to hold queues full deterministically.
-	gate chan struct{}
 }
 
 func newPool(cfgs []BoardConfig, adm *admission) (*pool, error) {

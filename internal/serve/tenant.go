@@ -35,9 +35,12 @@ type tenantState struct {
 // tenant, whether a submission may enter the system at all. The clock is
 // injectable so tests (and the metrics golden file) are deterministic.
 type admission struct {
+	// limits and now are set once at construction and never reassigned;
+	// they sit above mu, which guards only the tenant table below it.
+	limits TenantLimits
+	now    func() time.Time
+
 	mu      sync.Mutex
-	limits  TenantLimits
-	now     func() time.Time
 	tenants map[string]*tenantState
 }
 
@@ -48,7 +51,7 @@ func newAdmission(limits TenantLimits, now func() time.Time) *admission {
 	return &admission{limits: limits, now: now, tenants: map[string]*tenantState{}}
 }
 
-func (a *admission) state(tenant string) *tenantState {
+func (a *admission) stateLocked(tenant string) *tenantState {
 	ts := a.tenants[tenant]
 	if ts == nil {
 		ts = &tenantState{tokens: a.limits.Burst, last: a.now()}
@@ -62,7 +65,7 @@ func (a *admission) state(tenant string) *tenantState {
 func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	ts := a.state(tenant)
+	ts := a.stateLocked(tenant)
 	if a.limits.Rate <= 0 {
 		ts.admitted++
 		return true, 0
@@ -91,7 +94,7 @@ func (a *admission) noteFailed(tenant string) { a.bump(tenant, func(ts *tenantSt
 func (a *admission) bump(tenant string, f func(*tenantState)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	f(a.state(tenant))
+	f(a.stateLocked(tenant))
 }
 
 // tenantCounters is a consistent snapshot of one tenant's accounting.
