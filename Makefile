@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick trace-demo serve-smoke serve-smoke-faults
+.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick bench-serve trace-demo serve-smoke serve-smoke-faults serve-smoke-warm
 
-check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick serve-smoke serve-smoke-faults
+check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick bench-serve serve-smoke serve-smoke-faults serve-smoke-warm
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -64,9 +64,21 @@ fuzz-smoke:
 	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzSpecDecode -fuzztime 10s
 	$(GO) test ./internal/bitstream/ -run '^$$' -fuzz FuzzBitstreamParse -fuzztime 10s
 
-# Quick end-to-end harness run; leaves a machine-readable perf record.
+# Quick end-to-end harness run; leaves a machine-readable perf record
+# plus the cold-vs-warm serving latency record (BENCH_serve.json).
 bench-quick:
-	$(GO) run ./cmd/vfpgabench -quick -json BENCH_quick.json
+	$(GO) run ./cmd/vfpgabench -quick -json BENCH_quick.json -serve-json BENCH_serve.json
+
+# The warm-board guarantee as a gate: the Go benchmark runs both modes,
+# and the serving record must show warm p50 at least 2x faster than a
+# cold rebuild on the default board config.
+bench-serve:
+	$(GO) test ./internal/serve/ -run '^$$' -bench BenchmarkJobColdVsWarm -benchtime 5x
+	$(GO) run ./cmd/vfpgabench -run none -serve-json BENCH_serve.json | grep "serve bench:"
+	@speedup=$$(sed -n 's/.*"speedup_p50": \([0-9.]*\).*/\1/p' BENCH_serve.json); \
+	echo "warm vs cold p50 speedup: $${speedup}x (gate: >= 2)"; \
+	awk -v s="$$speedup" 'BEGIN { exit (s + 0 >= 2) ? 0 : 1 }' \
+		|| { echo "warm serving is not at least 2x faster than cold"; exit 1; }
 
 # Render a merged scheduler+device timeline from the time-sharing example.
 trace-demo:
@@ -113,4 +125,24 @@ serve-smoke-faults:
 		-check-lint -allow-faults -expect-quarantine; then ok=1; else ok=0; fi; \
 	kill -TERM $$pid; \
 	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-faults: ok"; else echo "serve-smoke-faults: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
+	@rm -rf .smoke
+
+# The warm-board smoke: many jobs through few boards, so every board
+# must serve the bulk of them from warm snapshot-restore resets.
+# vfpgaload exits nonzero on any 5xx, transport error, failed job,
+# lint-dirty result, or any board with zero warm resets; vfpgad exits
+# nonzero if the drain does not complete.
+serve-smoke-warm:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(GO) build -o .smoke/vfpgad ./cmd/vfpgad
+	$(GO) build -o .smoke/vfpgaload ./cmd/vfpgaload
+	@set -e; \
+	./.smoke/vfpgad -addr 127.0.0.1:0 -addr-file .smoke/addr -boards 2 -managers dynamic,partition -rate 0 > .smoke/vfpgad.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .smoke/addr ] || { echo "vfpgad did not come up"; cat .smoke/vfpgad.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .smoke/addr); \
+	if ./.smoke/vfpgaload -target "http://$$addr" -requests 100 -concurrency 8 -workload synthetic -check-lint -expect-warm; then ok=1; else ok=0; fi; \
+	kill -TERM $$pid; \
+	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-warm: ok"; else echo "serve-smoke-warm: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
 	@rm -rf .smoke

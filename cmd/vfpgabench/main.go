@@ -26,16 +26,20 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/serve"
 	"repro/internal/version"
+	"repro/internal/workload"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F8, A1) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F8, A1), 'all', or 'none'")
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent workers (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
 	jsonPath := flag.String("json", "", "file to write a perf record (JSON) to")
+	serveJSONPath := flag.String("serve-json", "", "file to write the cold-vs-warm serving benchmark (JSON) to")
+	serveJobs := flag.Int("serve-jobs", 10, "jobs per mode for the cold-vs-warm serving benchmark")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -46,9 +50,11 @@ func main() {
 	cfg := bench.Config{Seed: *seed, Quick: *quick, Jobs: *jobs, Now: time.Now}
 
 	var selected []bench.Experiment
-	if *run == "all" {
+	switch *run {
+	case "all":
 		selected = bench.All()
-	} else {
+	case "none": // skip experiments (useful with -serve-json alone)
+	default:
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := bench.Find(id)
@@ -121,7 +127,39 @@ func main() {
 		}
 		f.Close()
 	}
+	if *serveJSONPath != "" {
+		if err := writeServeBench(*serveJSONPath, *serveJobs); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgabench: serve bench: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeServeBench runs the cold-vs-warm serving benchmark on the default
+// board and records p50/p95 wall-clock job latency per mode.
+func writeServeBench(path string, jobs int) error {
+	const scenario = "multimedia"
+	spec, err := workload.BuiltinSpec(scenario)
+	if err != nil {
+		return err
+	}
+	rec, err := serve.BenchColdVsWarm(serve.DefaultBoardConfig(), &spec, scenario, jobs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: warm p50 %v vs cold p50 %v (%.1fx); p95 %v vs %v (%.1fx) -> %s\n",
+		time.Duration(rec.WarmP50NS), time.Duration(rec.ColdP50NS), rec.SpeedupP50,
+		time.Duration(rec.WarmP95NS), time.Duration(rec.ColdP95NS), rec.SpeedupP95, path)
+	return nil
 }

@@ -68,6 +68,7 @@ func main() {
 	checkLint := flag.Bool("check-lint", false, "fail if any job result is not lint-clean")
 	allowFaults := flag.Bool("allow-faults", false, "count job failures with a typed fault kind separately, not as failures")
 	expectQuarantine := flag.Bool("expect-quarantine", false, "fail unless at least one board ends up quarantined")
+	expectWarm := flag.Bool("expect-warm", false, "fail unless every board served at least one job via warm reset")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -118,6 +119,10 @@ func main() {
 	if *expectQuarantine {
 		quarantined = countQuarantined(*target, deadline, st)
 	}
+	minWarm := int64(-1)
+	if *expectWarm {
+		minWarm = minWarmResets(*target, deadline, st)
+	}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -144,6 +149,12 @@ func main() {
 	if *expectQuarantine {
 		fmt.Printf("  quarantined boards: %d\n", quarantined)
 		if quarantined < 1 {
+			bad = true
+		}
+	}
+	if *expectWarm {
+		fmt.Printf("  min warm resets per board: %d\n", minWarm)
+		if minWarm < 1 {
 			bad = true
 		}
 	}
@@ -220,6 +231,31 @@ func countQuarantined(target string, deadline time.Time, st *stats) int {
 		}
 	}
 	return n
+}
+
+// minWarmResets asks /v1/boards for the smallest warm-reset count any
+// board served; -1 means the query itself failed or there are no boards.
+func minWarmResets(target string, deadline time.Time, st *stats) int64 {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := doReq(client, http.MethodGet, target+"/v1/boards", nil, deadline)
+	if err != nil {
+		st.mu.Lock()
+		st.transport++
+		st.mu.Unlock()
+		return -1
+	}
+	defer resp.Body.Close()
+	var infos []serve.BoardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil || len(infos) == 0 {
+		return -1
+	}
+	min := infos[0].WarmResets
+	for _, bi := range infos[1:] {
+		if bi.WarmResets < min {
+			min = bi.WarmResets
+		}
+	}
+	return min
 }
 
 // runOne submits one job (retrying 429 backpressure and transient

@@ -48,6 +48,15 @@ func NewExclusive(k *sim.Kernel, e *core.Engine) *Exclusive {
 // AttachOS wires the baseline to the OS for unblocking waiters.
 func (x *Exclusive) AttachOS(os *hostos.OS) { x.OS = os }
 
+// ResetForJob returns the baseline to its post-construction state (no
+// holder, no waiters) for warm-board reuse. The device configuration a
+// past holder left resident is cleared by the engine's pristine-image
+// restore, which runs alongside this.
+func (x *Exclusive) ResetForJob() {
+	x.holder = nil
+	x.waiters = nil
+}
+
 // Register implements hostos.FPGA.
 func (x *Exclusive) Register(t *hostos.Task, circuit string) error {
 	_, err := x.E.Circuit(circuit)
@@ -173,6 +182,13 @@ func NewMerged(k *sim.Kernel, e *core.Engine, order []string) (*Merged, sim.Time
 	return m, cost, nil
 }
 
+// ResetForJob is a no-op: the merged configuration is loaded once at
+// construction and never changes, and the slot table is immutable. Warm
+// reuse is valid only when the engine is reset to the pristine image
+// captured after this baseline's construction, with the same compiled
+// circuits.
+func (m *Merged) ResetForJob() {}
+
 // Register implements hostos.FPGA.
 func (m *Merged) Register(t *hostos.Task, circuit string) error {
 	if _, ok := m.slots[circuit]; !ok {
@@ -250,6 +266,9 @@ func NewSoftware(e *core.Engine, slowdown int64) *Software {
 	}
 	return &Software{E: e, Slowdown: slowdown}
 }
+
+// ResetForJob is a no-op: software execution keeps no cross-job state.
+func (s *Software) ResetForJob() {}
 
 // Register implements hostos.FPGA.
 func (s *Software) Register(t *hostos.Task, circuit string) error {

@@ -55,6 +55,18 @@ func NewDynamicLoader(k *sim.Kernel, e *Engine) *DynamicLoader {
 	}
 }
 
+// ResetForJob returns the manager to its post-construction state (no
+// state owner, empty save/rollback tables) for warm-board reuse. The
+// engine itself is reset separately via Ledger.ResetForJob.
+func (d *DynamicLoader) ResetForJob() {
+	d.stateOwner = 0
+	d.stateOwnerName = ""
+	d.hasStateOwner = false
+	d.saved = map[hostos.TaskID]map[string][]bool{}
+	d.rolledBack = map[hostos.TaskID]bool{}
+	d.rollbackStreak = map[hostos.TaskID]int{}
+}
+
 // Register declares a task's configuration (stored in the engine library;
 // workloads pre-populate the library, so registration validates).
 func (d *DynamicLoader) Register(t *hostos.Task, circuit string) error {

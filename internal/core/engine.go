@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -181,6 +182,54 @@ func NewEngine(opt Options) *Engine {
 // Ledger returns the engine's residency ledger — the single transaction
 // layer through which every manager touches the device.
 func (e *Engine) Ledger() *Ledger { return &e.led }
+
+// PristineImage is an engine's post-construction state, captured once by
+// CapturePristine and restored per job by Ledger.ResetForJob: the fabric
+// snapshot, the metrics, the free-pin pool, the residency table, and the
+// fault injector's stream position. It realizes the paper's §2 outlook —
+// "the whole system operation can be virtualized and downloaded at the
+// beginning of the activities" — as the warm-board reset image: instead
+// of rebuilding the engine stack per job, the serving layer downloads
+// this image back onto the (simulated) hardware.
+//
+// The image is immutable after capture: restores deep-copy everything
+// mutable, so no job can corrupt the image another job restores from.
+type PristineImage struct {
+	snap      *fabric.Snapshot
+	metrics   Metrics
+	pins      []int
+	residents map[int]*Resident
+	inj       *fault.Injector // post-construction position (nil when unarmed)
+}
+
+// copyResidents deep-copies a residency table (entries and pin slices).
+func copyResidents(src map[int]*Resident) map[int]*Resident {
+	out := make(map[int]*Resident, len(src))
+	for x, r := range src {
+		cp := *r
+		cp.Pins = append([]int(nil), r.Pins...)
+		out[x] = &cp
+	}
+	return out
+}
+
+// CapturePristine snapshots the engine immediately after construction
+// (device image, metrics, pin pool, residency table, injector position)
+// so Ledger.ResetForJob can later return the engine to exactly this
+// state. Capture before attaching any per-job device log or spawning
+// work: the image must be the state every job starts from.
+func (e *Engine) CapturePristine() *PristineImage {
+	img := &PristineImage{
+		snap:      e.Dev.Snapshot(),
+		metrics:   e.M,
+		pins:      append([]int(nil), e.pins...),
+		residents: copyResidents(e.led.residents),
+	}
+	if e.led.inj != nil {
+		img.inj = e.led.inj.Clone()
+	}
+	return img
+}
 
 // AddCircuit compiles nl as a full-height strip and registers it under its
 // netlist name.

@@ -323,6 +323,32 @@ func (l *Ledger) LintTarget(name string) *lint.Target {
 	return &lint.Target{Name: name, Device: l.e.Dev}
 }
 
+// ResetForJob restores the engine to the pristine post-construction
+// image: the device fabric is overwritten from the snapshot (charging
+// configuration-write accounting, as a restore is a full-device
+// download), the metrics, free-pin pool and residency table are returned
+// to their captured values, the device log is detached, and the fault
+// injector is replaced by a fresh clone positioned exactly where the
+// captured one was — so a warm job draws the same fault stream a cold
+// rebuild would. The kernel binding is kept; the caller resets the
+// kernel itself (sim.Kernel.Reset) before running the next job.
+func (l *Ledger) ResetForJob(img *PristineImage) error {
+	defer l.enter()()
+	if err := l.e.Dev.Restore(img.snap); err != nil {
+		return err
+	}
+	l.e.M = img.metrics
+	l.e.pins = append([]int(nil), img.pins...)
+	l.residents = copyResidents(img.residents)
+	l.log = nil
+	if img.inj != nil {
+		l.inj = img.inj.Clone()
+	} else {
+		l.inj = nil
+	}
+	return nil
+}
+
 // TryLoad downloads circuit c as a full-height strip at column x for
 // owner: it allocates pins, applies the bitstream, charges the download
 // from the timing model (the full-device serial cost when wholeDevice is

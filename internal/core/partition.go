@@ -130,6 +130,27 @@ func NewPartitionManager(k *sim.Kernel, e *Engine, cfg PartitionConfig) (*Partit
 // AttachOS wires the manager to the OS for unblocking suspended tasks.
 func (pm *PartitionManager) AttachOS(os *hostos.OS) { pm.OS = os }
 
+// ResetForJob re-carves the initial partitions and clears every
+// per-task table, returning the manager to its post-construction state
+// for warm-board reuse. The config was validated at construction, so the
+// re-carve cannot fail.
+func (pm *PartitionManager) ResetForJob() {
+	pm.parts = nil
+	switch pm.Cfg.Mode {
+	case FixedPartitions:
+		x := 0
+		for _, w := range pm.Cfg.FixedWidths {
+			pm.parts = append(pm.parts, &partition{x: x, w: w})
+			x += w
+		}
+	default:
+		pm.parts = []*partition{{x: 0, w: pm.E.Opt.Geometry.Cols}}
+	}
+	pm.byTask = map[hostos.TaskID]*partition{}
+	pm.waiters = nil
+	pm.saved = nil
+}
+
 // Register implements hostos.FPGA.
 func (pm *PartitionManager) Register(t *hostos.Task, circuit string) error {
 	c, err := pm.E.Circuit(circuit)

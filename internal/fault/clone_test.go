@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Clone must position a fresh injector exactly where the original is:
+// identical counts at clone time and byte-identical future draws at
+// every point, regardless of how the original's attempts were
+// interleaved across points.
+func TestInjectorClone(t *testing.T) {
+	plan, err := ParseSpec("seed=7,retries=2,backoff=20us,config-error=0.2,readback-flip=0.15,restore-mismatch=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(plan)
+	// Advance the points unevenly, the way construction does (config
+	// writes dominate, readback/restore trail).
+	for i := 0; i < 11; i++ {
+		in.Next(PointConfig)
+	}
+	for i := 0; i < 4; i++ {
+		in.Next(PointReadback)
+	}
+	in.Next(PointRestore)
+
+	clone := in.Clone()
+	if got, want := clone.Counts(), in.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone counts %v, original %v", got, want)
+	}
+
+	// Future draws must match one-for-one at every point.
+	for p := Point(0); p < numPoints; p++ {
+		for i := 0; i < 32; i++ {
+			wantKind, wantAux := in.Next(p)
+			gotKind, gotAux := clone.Next(p)
+			if gotKind != wantKind || gotAux != wantAux {
+				t.Fatalf("point %v draw %d: clone (%v, %d) diverged from original (%v, %d)",
+					p, i, gotKind, gotAux, wantKind, wantAux)
+			}
+		}
+	}
+}
+
+// A clone is independent: consuming draws on one must not move the
+// other.
+func TestInjectorCloneIndependent(t *testing.T) {
+	plan, err := ParseSpec("seed=3,config-error=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(plan)
+	in.Next(PointConfig)
+	a := in.Clone()
+	b := in.Clone()
+	// Burn draws on a only; b must still replay in's future.
+	for i := 0; i < 10; i++ {
+		a.Next(PointConfig)
+	}
+	for i := 0; i < 10; i++ {
+		wantKind, wantAux := in.Next(PointConfig)
+		gotKind, gotAux := b.Next(PointConfig)
+		if gotKind != wantKind || gotAux != wantAux {
+			t.Fatalf("draw %d: sibling clone diverged after the other clone advanced", i)
+		}
+	}
+}

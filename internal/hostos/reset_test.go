@@ -1,0 +1,78 @@
+package hostos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Reset must clear every piece of per-job scheduler state, so a warm
+// board respawning the same script reproduces the cold run exactly —
+// including task IDs, which restart from zero.
+func TestOSReset(t *testing.T) {
+	m := newMock()
+	o := newOS(Config{Policy: RR, TimeSlice: 300 * sim.Microsecond, CtxSwitch: 10 * sim.Microsecond}, m)
+	script := func() {
+		for _, name := range []string{"a", "b"} {
+			if _, err := o.Spawn(name, 0, []Op{
+				Compute(500 * sim.Microsecond),
+				UseFPGA(FPGARequest{Circuit: "adder8", Evaluations: 100}),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	script()
+	o.K.Run()
+	if !o.AllDone() {
+		t.Fatal("cold run did not finish")
+	}
+	coldSpan, coldCtx := o.Makespan(), o.CtxSwitches
+	coldIDs := taskIDs(o)
+
+	o.K.Reset()
+	o.Reset()
+	if len(o.Tasks()) != 0 {
+		t.Fatalf("Reset left %d tasks", len(o.Tasks()))
+	}
+	if o.AllDone() {
+		t.Error("AllDone true on an empty OS")
+	}
+	if o.CtxSwitches != 0 || o.BusyTime != 0 || o.Makespan() != 0 {
+		t.Errorf("Reset left counters: ctx=%d busy=%v span=%v", o.CtxSwitches, o.BusyTime, o.Makespan())
+	}
+
+	script()
+	o.K.Run()
+	if !o.AllDone() {
+		t.Fatal("warm run did not finish")
+	}
+	if o.Makespan() != coldSpan || o.CtxSwitches != coldCtx {
+		t.Errorf("warm run diverged: span %v ctx %d, cold %v / %d",
+			o.Makespan(), o.CtxSwitches, coldSpan, coldCtx)
+	}
+	if got := taskIDs(o); !equalIDs(got, coldIDs) {
+		t.Errorf("warm task IDs %v, cold %v (IDs must restart from zero)", got, coldIDs)
+	}
+}
+
+func taskIDs(o *OS) []TaskID {
+	ids := make([]TaskID, 0, len(o.Tasks()))
+	for _, tk := range o.Tasks() {
+		ids = append(ids, tk.ID)
+	}
+	return ids
+}
+
+func equalIDs(a, b []TaskID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

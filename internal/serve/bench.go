@@ -1,0 +1,97 @@
+// Cold-vs-warm serving benchmark, exported for cmd/vfpgabench: the same
+// job served by a full board rebuild (fresh compile cache — the true
+// cold start, place and route included) vs. a warm snapshot-restore
+// reset. This measures wall-clock service latency of the daemon's
+// runner, not virtual time; serve sits at the wall-clock boundary on
+// purpose, outside the simclock determinism contract.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ColdWarmBench reports wall-clock job service latency, cold vs. warm.
+type ColdWarmBench struct {
+	Manager    string  `json:"manager"`
+	Scenario   string  `json:"scenario"`
+	Jobs       int     `json:"jobs"`
+	ColdP50NS  int64   `json:"cold_p50_ns"`
+	ColdP95NS  int64   `json:"cold_p95_ns"`
+	WarmP50NS  int64   `json:"warm_p50_ns"`
+	WarmP95NS  int64   `json:"warm_p95_ns"`
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP95 float64 `json:"speedup_p95"`
+}
+
+// BenchColdVsWarm serves the spec's job `jobs` times cold and `jobs`
+// times warm on the given board config and returns latency quantiles.
+// Cold builds everything from scratch each time, compile cache included;
+// warm builds once, then resets from the pristine snapshot per job.
+func BenchColdVsWarm(bc BoardConfig, spec *workload.Spec, scenario string, jobs int) (ColdWarmBench, error) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	out := ColdWarmBench{Manager: bc.Manager, Scenario: scenario, Jobs: jobs}
+
+	cold := stats.NewSample(true)
+	for i := 0; i < jobs; i++ {
+		cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+		start := time.Now()
+		if _, err := runJob(cache, bc, spec, false); err != nil {
+			return out, fmt.Errorf("serve: cold bench job %d: %w", i, err)
+		}
+		cold.Observe(float64(time.Since(start).Nanoseconds()))
+	}
+
+	warm := stats.NewSample(true)
+	cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+	set, err := spec.Build()
+	if err != nil {
+		return out, err
+	}
+	circs, err := compileSet(cache, bc, set)
+	if err != nil {
+		return out, err
+	}
+	rt, err := buildRuntime(bc, set, circs)
+	if err != nil {
+		return out, err
+	}
+	if _, err := rt.run(set, circs, false, false); err != nil {
+		return out, fmt.Errorf("serve: warm bench first job: %w", err)
+	}
+	for i := 0; i < jobs; i++ {
+		start := time.Now()
+		if _, err := rt.run(set, circs, false, true); err != nil {
+			return out, fmt.Errorf("serve: warm bench job %d: %w", i, err)
+		}
+		warm.Observe(float64(time.Since(start).Nanoseconds()))
+	}
+
+	out.ColdP50NS = int64(cold.Quantile(0.5))
+	out.ColdP95NS = int64(cold.Quantile(0.95))
+	out.WarmP50NS = int64(warm.Quantile(0.5))
+	out.WarmP95NS = int64(warm.Quantile(0.95))
+	if out.WarmP50NS > 0 {
+		out.SpeedupP50 = float64(out.ColdP50NS) / float64(out.WarmP50NS)
+	}
+	if out.WarmP95NS > 0 {
+		out.SpeedupP95 = float64(out.ColdP95NS) / float64(out.WarmP95NS)
+	}
+	return out, nil
+}
+
+// WriteJSON renders the benchmark record, indented, trailing newline.
+func (b ColdWarmBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

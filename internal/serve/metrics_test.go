@@ -80,7 +80,25 @@ func TestMetricsWellFormed(t *testing.T) {
 	if !strings.HasSuffix(text, "\n") {
 		t.Fatal("exposition must end in a newline")
 	}
-	declared := map[string]bool{}
+	declared := map[string]string{} // family -> type
+	// belongs reports whether a sample name is owned by a declared
+	// family: its own name, or — for summary/histogram families — the
+	// family name plus a _sum/_count (or _bucket) suffix.
+	belongs := func(name string) bool {
+		if declared[name] != "" {
+			return true
+		}
+		for _, sfx := range []string{"_sum", "_count", "_bucket"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base == name {
+				continue
+			}
+			if typ := declared[base]; typ == "summary" || typ == "histogram" {
+				return sfx != "_bucket" || typ == "histogram"
+			}
+		}
+		return false
+	}
 	samples := 0
 	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
 		switch {
@@ -94,17 +112,17 @@ func TestMetricsWellFormed(t *testing.T) {
 				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
 				continue
 			}
-			if declared[m[1]] {
+			if declared[m[1]] != "" {
 				t.Errorf("line %d: family %s declared twice", i+1, m[1])
 			}
-			declared[m[1]] = true
+			declared[m[1]] = m[2]
 		default:
 			m := sampleRe.FindStringSubmatch(line)
 			if m == nil {
 				t.Errorf("line %d: malformed sample: %q", i+1, line)
 				continue
 			}
-			if !declared[m[1]] {
+			if !belongs(m[1]) {
 				t.Errorf("line %d: sample for undeclared family %s", i+1, m[1])
 			}
 			samples++

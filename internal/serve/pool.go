@@ -10,6 +10,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -101,6 +102,14 @@ type board struct {
 	cfg   BoardConfig
 	queue chan *job
 
+	// rt is the board's warm runtime: the simulated stack kept resident
+	// across jobs and reset to its pristine snapshot instead of rebuilt.
+	// nil until the first job builds it, and discarded whenever a job
+	// fails (mid-job state is not pristine). Owned by the board's worker
+	// goroutine exclusively; like pool.wg/gate it sits above mu because
+	// the fields below mu are the ones mu guards.
+	rt *boardRuntime
+
 	mu      sync.Mutex
 	current string // running job id ("" when idle)
 	done    int64
@@ -112,6 +121,23 @@ type board struct {
 	quarantined bool
 	quarKind    string
 	escalations int64
+	// warm mirrors rt != nil for readers outside the worker goroutine;
+	// warmResets/coldResets count jobs started on a snapshot-restore
+	// reset vs. a full (re)build.
+	warm       bool
+	warmResets int64
+	coldResets int64
+}
+
+// noteReset records how a job's board state was prepared.
+func (b *board) noteReset(warm bool) {
+	b.mu.Lock()
+	if warm {
+		b.warmResets++
+	} else {
+		b.coldResets++
+	}
+	b.mu.Unlock()
 }
 
 // quarantine takes the board out of service (idempotent; the first
@@ -154,6 +180,7 @@ func (b *board) info() BoardInfo {
 		QueueDepth: len(b.queue), QueueCap: cap(b.queue),
 		JobsDone: b.done, JobsFailed: b.failed,
 		Quarantined: b.quarantined, FaultKind: b.quarKind, Escalations: b.escalations,
+		Warm: b.warm, WarmResets: b.warmResets, ColdResets: b.coldResets,
 	}
 }
 
@@ -177,6 +204,26 @@ type pool struct {
 	seq      int64
 	requeues int64 // jobs handed to another board after a quarantine
 	draining bool
+	// svc samples completed jobs' virtual service time (makespan, ns)
+	// across all boards, feeding the /metrics summary. Observations are
+	// retained for quantiles; one float per job is fine at this scale.
+	svc *stats.Sample
+}
+
+// observeService records one completed job's virtual service time.
+func (p *pool) observeService(ns int64) {
+	p.mu.Lock()
+	p.svc.Observe(float64(ns))
+	p.mu.Unlock()
+}
+
+// serviceStats returns the p50/p95 quantiles, sum and count of the
+// service-time sample, all in virtual nanoseconds.
+func (p *pool) serviceStats() (p50, p95, sum, count int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.svc.Quantile(0.5)), int64(p.svc.Quantile(0.95)),
+		int64(p.svc.Sum()), p.svc.Count()
 }
 
 func newPool(cfgs []BoardConfig, adm *admission) (*pool, error) {
@@ -187,6 +234,7 @@ func newPool(cfgs []BoardConfig, adm *admission) (*pool, error) {
 		cache: compile.NewStripCache(compile.DefaultCacheCapacity),
 		adm:   adm,
 		jobs:  map[string]*job{},
+		svc:   stats.NewSample(true),
 	}
 	for i, bc := range cfgs {
 		if err := bc.Validate(); err != nil {
@@ -246,7 +294,7 @@ func (p *pool) runOne(b *board, j *job) {
 	b.mu.Unlock()
 	j.setRunning()
 
-	res, err := runJob(p.cache, b.cfg, j.spec, j.trace)
+	res, err := p.runWarm(b, j)
 
 	if esc, ok := fault.AsEscalation(err); ok {
 		// Retry budget exhausted on this board: take it out of service
@@ -278,9 +326,55 @@ func (p *pool) runOne(b *board, j *job) {
 	if err != nil {
 		p.adm.noteFailed(j.tenant)
 	} else {
+		p.observeService(int64(res.Makespan))
 		p.adm.noteCompleted(j.tenant)
 	}
 	j.finish(res, err)
+}
+
+// runWarm executes j on b, reusing the board's warm runtime when one is
+// resident and compatible with the job's circuit set, and rebuilding the
+// whole simulated stack otherwise. Any failure — build error, fault
+// escalation, panic — discards the runtime: mid-job state is not
+// pristine and must not leak into the next job (a quarantined board thus
+// requeues cold). Runs on b's worker goroutine, the sole owner of b.rt.
+func (p *pool) runWarm(b *board, j *job) (res *JobResult, err error) {
+	defer func() {
+		// rt.run recovers its own panics; this one covers the build path,
+		// so a panicking constructor fails the job, not the worker.
+		if r := recover(); r != nil {
+			if esc, ok := fault.AsEscalation(r); ok {
+				res, err = nil, esc
+			} else {
+				res, err = nil, fmt.Errorf("serve: job panicked: %v", r)
+			}
+		}
+		if err != nil {
+			b.rt = nil
+		}
+		b.mu.Lock()
+		b.warm = b.rt != nil
+		b.mu.Unlock()
+	}()
+	set, err := j.spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	circs, err := compileSet(p.cache, b.cfg, set)
+	if err != nil {
+		return nil, err
+	}
+	warm := b.rt != nil && b.rt.compatible(set, circs)
+	if !warm {
+		b.rt = nil
+		rt, err := buildRuntime(b.cfg, set, circs)
+		if err != nil {
+			return nil, err
+		}
+		b.rt = rt
+	}
+	b.noteReset(warm)
+	return b.rt.run(set, circs, j.trace, warm)
 }
 
 // submit enqueues a job: onto the pinned board when pin is non-nil,

@@ -2,14 +2,9 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/baseline"
 	"repro/internal/compile"
-	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/hostos"
-	"repro/internal/lint"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -18,11 +13,11 @@ import (
 var Managers = []string{"dynamic", "partition", "overlay", "paged", "multi", "exclusive", "software", "merged"}
 
 // BoardConfig describes one simulated board of the pool. The simulated
-// hardware is rebuilt from this config for every job — the moral
-// equivalent of fully reprogramming the physical FPGA between tenants —
-// so per-job results are exactly what a direct hostos run of the same
-// workload produces, independent of queue order and of whatever ran on
-// the board before.
+// hardware is built from this config once, then reset to its pristine
+// snapshot between jobs (see boardRuntime) — with a full rebuild as the
+// fallback — so per-job results are exactly what a direct hostos run of
+// the same workload produces, independent of queue order and of whatever
+// ran on the board before.
 type BoardConfig struct {
 	// Manager is one of Managers.
 	Manager string
@@ -40,10 +35,11 @@ type BoardConfig struct {
 	// 429 backpressure.
 	QueueDepth int
 	// Faults, when non-nil, arms this board's engines with the fault
-	// plan (each engine derives its own stream from it). A fresh
-	// injector is built per job, like the board itself, so which faults
-	// a job sees depends only on the plan and the job's own op sequence,
-	// never on queue order.
+	// plan (each engine derives its own stream from it). Every job sees
+	// the injector at its post-construction stream position — cold builds
+	// get a fresh injector, warm resets replay a clone to the captured
+	// position — so which faults a job sees depends only on the plan and
+	// the job's own op sequence, never on queue order.
 	Faults *fault.Plan
 }
 
@@ -83,15 +79,15 @@ func (bc *BoardConfig) Validate() error {
 }
 
 // runJob executes one workload spec on a freshly built board and
-// returns the wire-form result. It is called from the board's goroutine
-// only: everything it builds (kernel, engine, managers, OS) is
+// returns the wire-form result: build the stack cold, run once, drop it.
+// It is the warm path's rebuild fallback and the reference the warm
+// equivalence suite compares against. It is called from the board's
+// goroutine only: everything it builds (kernel, engine, managers, OS) is
 // single-goroutine state confined to that stack.
 func runJob(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec, withTrace bool) (res *JobResult, err error) {
-	// A panicking job must fail, not take the daemon down with it: every
-	// piece of simulation state is confined to this call (the board is
-	// rebuilt per job), so recovery cannot leave shared state corrupted.
-	// A fault escalation stays typed through the recover so the pool can
-	// quarantine the board and requeue the job.
+	// rt.run recovers panics raised while simulating; this recover covers
+	// the build path too, so a panicking constructor fails the job, not
+	// the daemon. Fault escalations stay typed through both.
 	defer func() {
 		if r := recover(); r != nil {
 			if esc, ok := fault.AsEscalation(r); ok {
@@ -105,163 +101,13 @@ func runJob(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec, with
 	if err != nil {
 		return nil, err
 	}
-
-	opt := core.DefaultOptions()
-	opt.Geometry.Cols, opt.Geometry.Rows = bc.Cols, bc.Rows
-	opt.Seed = bc.Seed
-	k := sim.New()
-
-	engIdx := 0
-	newEngine := func() (*core.Engine, error) {
-		e := core.NewEngine(opt)
-		if bc.Faults != nil {
-			plan := bc.Faults.Derive(uint64(engIdx))
-			e.Ledger().InjectFaults(fault.NewInjector(plan))
-		}
-		engIdx++
-		for i, nl := range set.Circuits {
-			tm := opt.Timing
-			c, err := cache.CompileStrip(nl, opt.Geometry.Rows, opt.Geometry.TracksPerChannel,
-				compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
-			if err != nil {
-				return nil, fmt.Errorf("serve: compile %s: %w", nl.Name, err)
-			}
-			e.Lib[nl.Name] = c
-		}
-		return e, nil
-	}
-
-	e, err := newEngine()
+	circs, err := compileSet(cache, bc, set)
 	if err != nil {
 		return nil, err
 	}
-	engines := []*core.Engine{e}
-
-	var mgr hostos.FPGA
-	switch bc.Manager {
-	case "dynamic":
-		mgr = core.NewDynamicLoader(k, e)
-	case "partition":
-		pm, err := core.NewPartitionManager(k, e, core.PartitionConfig{
-			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		mgr = pm
-	case "overlay":
-		om, _, err := core.NewOverlayManager(k, e, set.CircuitNames()[:1])
-		if err != nil {
-			return nil, err
-		}
-		mgr = om
-	case "paged":
-		pl, err := core.NewPagedLoader(k, e, core.PagedConfig{PageCells: 16, Policy: core.LRU, Seed: bc.Seed})
-		if err != nil {
-			return nil, err
-		}
-		mgr = pl
-	case "multi":
-		n := bc.SubBoards
-		if n < 1 {
-			n = 1
-		}
-		for i := 1; i < n; i++ {
-			be, err := newEngine()
-			if err != nil {
-				return nil, err
-			}
-			engines = append(engines, be)
-		}
-		mm, err := core.NewMultiManager(k, engines, core.PartitionConfig{
-			Mode: core.VariablePartitions, Fit: core.BestFit, GC: true, Rotate: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		mgr = mm
-	case "exclusive":
-		mgr = baseline.NewExclusive(k, e)
-	case "software":
-		mgr = baseline.NewSoftware(e, 20)
-	case "merged":
-		m, _, err := baseline.NewMerged(k, e, set.CircuitNames())
-		if err != nil {
-			return nil, err
-		}
-		mgr = m
-	default:
-		return nil, fmt.Errorf("serve: unknown manager %q", bc.Manager)
+	rt, err := buildRuntime(bc, set, circs)
+	if err != nil {
+		return nil, err
 	}
-
-	osCfg := hostos.Config{TimeSlice: bc.Slice, CtxSwitch: 50 * sim.Microsecond, Syscall: 10 * sim.Microsecond}
-	switch bc.Sched {
-	case "fifo":
-		osCfg.Policy = hostos.FIFO
-	case "rr":
-		osCfg.Policy = hostos.RR
-	case "priority":
-		osCfg.Policy = hostos.Priority
-	default:
-		return nil, fmt.Errorf("serve: unknown scheduler %q", bc.Sched)
-	}
-	osim := hostos.New(k, osCfg, mgr)
-	if att, ok := mgr.(interface{ AttachOS(*hostos.OS) }); ok {
-		att.AttachOS(osim)
-	}
-
-	var tlog *hostos.EventLog
-	var devLogs []*core.DeviceLog
-	if withTrace {
-		tlog = hostos.NewEventLog(0)
-		osim.AttachTrace(tlog)
-		for _, eng := range engines {
-			dl := core.NewDeviceLog(0)
-			eng.Ledger().AttachLog(dl)
-			devLogs = append(devLogs, dl)
-		}
-	}
-
-	set.Spawn(osim)
-	k.Run()
-	if !osim.AllDone() {
-		return nil, fmt.Errorf("serve: simulation ended with unfinished tasks")
-	}
-
-	res = &JobResult{
-		Makespan:    osim.Makespan(),
-		CtxSwitches: osim.CtxSwitches,
-		LintClean:   true,
-	}
-	for _, t := range osim.Tasks() {
-		res.Tasks = append(res.Tasks, TaskResult{
-			Name:        t.Name,
-			Turnaround:  t.Turnaround(),
-			CPUTime:     t.CPUTime,
-			HWTime:      t.HWTime,
-			Overhead:    t.Overhead,
-			ReadyWait:   t.ReadyWait,
-			BlockWait:   t.BlockWait,
-			Preemptions: t.Preemptions,
-			Acquires:    t.Acquires,
-		})
-	}
-	for _, eng := range engines {
-		res.Metrics = append(res.Metrics, eng.M.Snapshot(k.Now()))
-	}
-	if lt, ok := mgr.(core.LintTargeter); ok {
-		diags, err := lint.Run(lt.LintTargets(), lint.Options{MinSeverity: lint.Warning})
-		if err != nil {
-			return nil, err
-		}
-		sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pass < diags[j].Pass })
-		for _, d := range diags {
-			res.LintDiags = append(res.LintDiags, d.String())
-		}
-		res.LintClean = !lint.HasErrors(diags)
-	}
-	if withTrace {
-		res.Timeline = core.MergeTimeline(tlog, devLogs...).Events
-	}
-	return res, nil
+	return rt.run(set, circs, withTrace, false)
 }

@@ -1,0 +1,219 @@
+package serve
+
+// The warm-board contract: a job run on a warm-reset runtime is
+// byte-identical to the same job on a freshly built board — tasks,
+// metrics, lint, merged timeline, even the typed error when a fault
+// escalates — for every manager, with and without faults, with and
+// without tracing, independent of what ran on the board before.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func specFor(t testing.TB, scenario string) *workload.Spec {
+	t.Helper()
+	s, err := workload.BuiltinSpec(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+// recoverablePlan injects faults with enough retry budget that most jobs
+// complete (with fault metrics); when one does escalate, warm and fresh
+// must escalate identically.
+func recoverablePlan(t testing.TB) *fault.Plan {
+	t.Helper()
+	plan, err := fault.ParseSpec("seed=7,retries=2,backoff=20us,config-error=0.2,readback-flip=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &plan
+}
+
+// encodeOutcome renders a (result, error) pair for byte comparison.
+func encodeOutcome(t testing.TB, res *JobResult, err error) []byte {
+	t.Helper()
+	if err != nil {
+		return []byte("error: " + err.Error())
+	}
+	b, jerr := json.Marshal(res)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	return b
+}
+
+func TestWarmResetEquivalence(t *testing.T) {
+	// The third and fourth jobs repeat earlier scenarios, so every
+	// manager — including overlay and merged, whose warm reuse is gated
+	// on an identical circuit set — takes the warm path at least once.
+	scenarios := []string{"multimedia", "telecom", "multimedia", "multimedia"}
+	for _, mgr := range Managers {
+		for _, withFaults := range []bool{false, true} {
+			for _, withTrace := range []bool{false, true} {
+				name := fmt.Sprintf("%s/faults=%v/trace=%v", mgr, withFaults, withTrace)
+				t.Run(name, func(t *testing.T) {
+					bc := DefaultBoardConfig()
+					bc.Manager = mgr
+					if withFaults {
+						bc.Faults = recoverablePlan(t)
+					}
+					cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+					var rt *boardRuntime
+					warmRuns := 0
+					for i, scenario := range scenarios {
+						spec := specFor(t, scenario)
+						set, err := spec.Build()
+						if err != nil {
+							t.Fatal(err)
+						}
+						circs, err := compileSet(cache, bc, set)
+						if err != nil {
+							t.Fatal(err)
+						}
+						warm := rt != nil && rt.compatible(set, circs)
+						if !warm {
+							rt, err = buildRuntime(bc, set, circs)
+							if err != nil {
+								t.Fatal(err)
+							}
+						} else {
+							warmRuns++
+						}
+						gotRes, gotErr := rt.run(set, circs, withTrace, warm)
+						if gotErr != nil {
+							rt = nil // what the pool does: discard on any failure
+						}
+						wantRes, wantErr := runJob(cache, bc, spec, withTrace)
+						got := encodeOutcome(t, gotRes, gotErr)
+						want := encodeOutcome(t, wantRes, wantErr)
+						if string(got) != string(want) {
+							t.Errorf("job %d (%s, warm=%v) diverged from fresh rebuild:\n--- warm ---\n%s\n--- fresh ---\n%s",
+								i, scenario, warm, got, want)
+						}
+					}
+					if warmRuns == 0 {
+						t.Errorf("no job took the warm path; the suite proved nothing")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWarmCompatibleGating pins the reuse rule: set-independent managers
+// warm-reset across different circuit sets, overlay and merged only
+// across identical ones.
+func TestWarmCompatibleGating(t *testing.T) {
+	cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+	for _, mgr := range Managers {
+		bc := DefaultBoardConfig()
+		bc.Manager = mgr
+		setA, err := specFor(t, "multimedia").Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		circsA, err := compileSet(cache, bc, setA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := buildRuntime(bc, setA, circsA)
+		if err != nil {
+			t.Fatalf("%s: %v", mgr, err)
+		}
+		setB, err := specFor(t, "telecom").Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		circsB, err := compileSet(cache, bc, setB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rt.compatible(setA, circsA) {
+			t.Errorf("%s: runtime not compatible with its own construction set", mgr)
+		}
+		setDependent := mgr == "overlay" || mgr == "merged"
+		if got := rt.compatible(setB, circsB); got != !setDependent {
+			t.Errorf("%s: compatible(other set) = %v, want %v", mgr, got, !setDependent)
+		}
+	}
+}
+
+// TestPoolWarmCounters drives real jobs through the pool and checks the
+// warm/cold accounting surfaced on BoardInfo.
+func TestPoolWarmCounters(t *testing.T) {
+	s := newTestServer(t, Config{Tenant: TenantLimits{Rate: 0}})
+	s.Start()
+	defer s.Drain()
+	for i := 0; i < 3; i++ {
+		waitDone(t, submitOK(t, s, "acme", "multimedia"))
+	}
+	bi := s.pool.boards[0].info()
+	if bi.ColdResets != 1 || bi.WarmResets != 2 {
+		t.Errorf("resets = %d cold / %d warm, want 1/2", bi.ColdResets, bi.WarmResets)
+	}
+	if !bi.Warm {
+		t.Errorf("board should report a resident warm runtime: %+v", bi)
+	}
+}
+
+// BenchmarkJobColdVsWarm measures the tentpole's point: serving a job by
+// snapshot-restore reset vs. rebuilding the whole stack from scratch
+// (fresh compile cache — the true cold start, place and route included).
+func BenchmarkJobColdVsWarm(b *testing.B) {
+	bc := DefaultBoardConfig()
+	spec := specFor(b, "multimedia")
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+			if _, err := runJob(cache, bc, spec, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+		set, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		circs, err := compileSet(cache, bc, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := buildRuntime(bc, set, circs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.run(set, circs, false, false); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.run(set, circs, false, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// An empty circuit set must fail at Build time with the typed workload
+// error for the set-pinning managers (overlay, merged index the circuit
+// list at construction), not panic on `names[:1]`.
+func TestEmptySetTypedError(t *testing.T) {
+	for _, mgr := range []string{"overlay", "merged"} {
+		bc := DefaultBoardConfig()
+		bc.Manager = mgr
+		if _, err := buildRuntime(bc, &workload.Set{}, nil); !errors.Is(err, workload.ErrNoCircuits) {
+			t.Errorf("%s: buildRuntime(empty set) = %v, want ErrNoCircuits", mgr, err)
+		}
+	}
+}

@@ -123,6 +123,13 @@ type BoardInfo struct {
 	Quarantined bool   `json:"quarantined,omitempty"`
 	FaultKind   string `json:"fault_kind,omitempty"`
 	Escalations int64  `json:"escalations,omitempty"`
+	// Warm reports that the board holds a warm runtime: the next
+	// compatible job is reset from the pristine snapshot instead of
+	// rebuilding the simulated stack. WarmResets and ColdResets count
+	// jobs started on a snapshot-restore reset vs. a full (re)build.
+	Warm       bool  `json:"warm"`
+	WarmResets int64 `json:"warm_resets"`
+	ColdResets int64 `json:"cold_resets"`
 }
 
 // Health is the body of GET /healthz.

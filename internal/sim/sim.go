@@ -192,6 +192,26 @@ func (k *Kernel) Run() Time {
 	return k.now
 }
 
+// Reset returns the kernel to virtual time zero with an empty queue, as
+// if freshly constructed. Pending events are dropped. Resetting while
+// Run/RunUntil is executing panics — the event loop must have drained
+// (or been abandoned) first.
+func (k *Kernel) Reset() {
+	if k.running {
+		panic("sim: Reset during Run")
+	}
+	for _, e := range k.queue {
+		if e != nil {
+			e.fn = nil
+			e.index = -1
+		}
+	}
+	k.now = 0
+	k.queue = nil
+	k.seq = 0
+	k.fired = 0
+}
+
 // RunUntil executes events with time <= deadline. Events scheduled beyond
 // the deadline remain queued; the clock is advanced to the deadline even
 // if the queue drained earlier. It returns the number of events fired.

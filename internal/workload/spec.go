@@ -10,12 +10,19 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
+
+// ErrNoCircuits is returned by Build when a spec generates a workload
+// set with no circuits. Managers that pin circuits at construction
+// (overlay, merged) index the circuit list unconditionally, so an empty
+// set must be rejected here, as a typed error, before it reaches them.
+var ErrNoCircuits = errors.New("workload: spec builds no circuits")
 
 // SyntheticSpec is the wire form of SyntheticConfig: the circuit pool is
 // named (netlist registry names) instead of holding netlist pointers.
@@ -157,6 +164,28 @@ func (s *Spec) Validate() error {
 
 // Build validates the spec and generates its Set.
 func (s *Spec) Build() (*Set, error) {
+	set, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateSet(set, s.Scenario); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// validateSet rejects generated sets no manager can run. Today's
+// built-in generators always produce circuits (synthetic falls back to
+// DefaultPool), so this is the typed safety net for future generators
+// and hand-built specs.
+func validateSet(set *Set, scenario string) error {
+	if len(set.Circuits) == 0 {
+		return fmt.Errorf("%w (scenario %q)", ErrNoCircuits, scenario)
+	}
+	return nil
+}
+
+func (s *Spec) build() (*Set, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}

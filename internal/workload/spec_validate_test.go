@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+// An empty generated set must be rejected with the typed error — the
+// overlay and merged managers index the circuit list at construction, so
+// this is the guard that keeps them panic-free.
+func TestValidateSetEmpty(t *testing.T) {
+	err := validateSet(&Set{}, "synthetic")
+	if err == nil {
+		t.Fatal("validateSet accepted an empty set")
+	}
+	if !errors.Is(err, ErrNoCircuits) {
+		t.Fatalf("error %v is not ErrNoCircuits", err)
+	}
+}
+
+// Every built-in scenario must build a set with at least one circuit, so
+// Build never trips the guard on shipped generators.
+func TestBuiltinSpecsBuildCircuits(t *testing.T) {
+	for _, spec := range BuiltinSpecs() {
+		spec := spec
+		t.Run(spec.Scenario, func(t *testing.T) {
+			set, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(set.Circuits) == 0 {
+				t.Fatal("built-in scenario generated no circuits")
+			}
+			if err := validateSet(set, spec.Scenario); err != nil {
+				t.Fatalf("validateSet rejected a built-in set: %v", err)
+			}
+		})
+	}
+}
