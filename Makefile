@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick bench-serve trace-demo serve-smoke serve-smoke-faults serve-smoke-warm
+.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick bench-serve trace-demo serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag
 
-check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick bench-serve serve-smoke serve-smoke-faults serve-smoke-warm
+check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick bench-serve serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -145,4 +145,24 @@ serve-smoke-warm:
 	if ./.smoke/vfpgaload -target "http://$$addr" -requests 100 -concurrency 8 -workload synthetic -check-lint -expect-warm; then ok=1; else ok=0; fi; \
 	kill -TERM $$pid; \
 	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-warm: ok"; else echo "serve-smoke-warm: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
+	@rm -rf .smoke
+
+# The defragmentation smoke: amorphous boards on a narrow device, so the
+# adoption cache leaves residual fragmentation after jobs and the
+# idle-cycle compactor (armed at a low watermark) must run real passes.
+# vfpgaload exits nonzero on any 5xx, transport error, failed job,
+# lint-dirty result, or if no board ever compacted.
+serve-smoke-defrag:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(GO) build -o .smoke/vfpgad ./cmd/vfpgad
+	$(GO) build -o .smoke/vfpgaload ./cmd/vfpgaload
+	@set -e; \
+	./.smoke/vfpgad -addr 127.0.0.1:0 -addr-file .smoke/addr -boards 2 -managers amorphous -cols 20 -rate 0 -compact-watermark 0.01 > .smoke/vfpgad.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .smoke/addr ] || { echo "vfpgad did not come up"; cat .smoke/vfpgad.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .smoke/addr); \
+	if ./.smoke/vfpgaload -target "http://$$addr" -requests 60 -concurrency 4 -workload multimedia -check-lint -expect-compaction; then ok=1; else ok=0; fi; \
+	kill -TERM $$pid; \
+	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-defrag: ok"; else echo "serve-smoke-defrag: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
 	@rm -rf .smoke

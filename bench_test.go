@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every table (T1-T5) and
-// figure (F1-F7) of the evaluation plan through the testing.B interface:
+// figure (F1-F9) of the evaluation plan through the testing.B interface:
 //
 //	go test -bench=. -benchmem
 //
@@ -101,6 +101,7 @@ func BenchmarkF5Pagination(b *testing.B)             { benchExperiment(b, "F5") 
 func BenchmarkF6Segmentation(b *testing.B)           { benchExperiment(b, "F6") }
 func BenchmarkF7Applications(b *testing.B)           { benchExperiment(b, "F7") }
 func BenchmarkF8MultiBoard(b *testing.B)             { benchExperiment(b, "F8") }
+func BenchmarkF9AmorphousRegions(b *testing.B)       { benchExperiment(b, "F9") }
 func BenchmarkA1OptimizerAblation(b *testing.B)      { benchExperiment(b, "A1") }
 
 // --- CAD-flow micro-benchmarks: the substrate costs behind every table ---

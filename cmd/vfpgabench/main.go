@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F8, A1), 'all', or 'none'")
+	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F9, A1), 'all', or 'none'")
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent workers (1 = serial)")

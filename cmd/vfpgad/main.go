@@ -48,6 +48,8 @@ func main() {
 	burst := flag.Float64("burst", 40, "per-tenant admission burst")
 	seed := flag.Uint64("seed", 1, "compilation seed")
 	faults := flag.String("faults", "", "fault-injection plan applied to every board (board i derives its own stream)")
+	compactWatermark := flag.Float64("compact-watermark", 0.5, "fragmentation ratio at which an idle board defragments its device (<= 0 disables)")
+	compactBudget := flag.Duration("compact-budget", 0, "virtual device time one compaction pass may spend on relocations (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -55,14 +57,16 @@ func main() {
 		return
 	}
 	if err := run(*addr, *addrFile, *boards, *managers, *cols, *rows, *subBoards,
-		*sched, *slice, *queue, *rate, *burst, *seed, *faults); err != nil {
+		*sched, *slice, *queue, *rate, *burst, *seed, *faults,
+		*compactWatermark, *compactBudget); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, boards int, managers string, cols, rows, subBoards int,
-	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64, faults string) error {
+	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64, faults string,
+	compactWatermark float64, compactBudget time.Duration) error {
 	if boards < 1 {
 		return fmt.Errorf("need at least one board")
 	}
@@ -89,10 +93,12 @@ func run(addr, addrFile string, boards int, managers string, cols, rows, subBoar
 	}
 
 	srv, err := serve.New(serve.Config{
-		Boards:  cfgs,
-		Tenant:  serve.TenantLimits{Rate: rate, Burst: burst},
-		Version: "vfpgad " + version.String(),
-		Faults:  plan,
+		Boards:           cfgs,
+		Tenant:           serve.TenantLimits{Rate: rate, Burst: burst},
+		Version:          "vfpgad " + version.String(),
+		Faults:           plan,
+		CompactWatermark: compactWatermark,
+		CompactBudget:    sim.Time(compactBudget.Nanoseconds()),
 	})
 	if err != nil {
 		return err

@@ -69,6 +69,7 @@ func main() {
 	allowFaults := flag.Bool("allow-faults", false, "count job failures with a typed fault kind separately, not as failures")
 	expectQuarantine := flag.Bool("expect-quarantine", false, "fail unless at least one board ends up quarantined")
 	expectWarm := flag.Bool("expect-warm", false, "fail unless every board served at least one job via warm reset")
+	expectCompaction := flag.Bool("expect-compaction", false, "fail unless the boards ran at least one idle-cycle compaction pass")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -123,6 +124,10 @@ func main() {
 	if *expectWarm {
 		minWarm = minWarmResets(*target, deadline, st)
 	}
+	compactions := int64(-1)
+	if *expectCompaction {
+		compactions = sumCompactions(*target, deadline, st)
+	}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -155,6 +160,12 @@ func main() {
 	if *expectWarm {
 		fmt.Printf("  min warm resets per board: %d\n", minWarm)
 		if minWarm < 1 {
+			bad = true
+		}
+	}
+	if *expectCompaction {
+		fmt.Printf("  compaction passes across boards: %d\n", compactions)
+		if compactions < 1 {
 			bad = true
 		}
 	}
@@ -256,6 +267,29 @@ func minWarmResets(target string, deadline time.Time, st *stats) int64 {
 		}
 	}
 	return min
+}
+
+// sumCompactions asks /v1/boards how many idle-cycle compaction passes
+// ran across the pool; -1 means the query itself failed.
+func sumCompactions(target string, deadline time.Time, st *stats) int64 {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := doReq(client, http.MethodGet, target+"/v1/boards", nil, deadline)
+	if err != nil {
+		st.mu.Lock()
+		st.transport++
+		st.mu.Unlock()
+		return -1
+	}
+	defer resp.Body.Close()
+	var infos []serve.BoardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return -1
+	}
+	var n int64
+	for _, bi := range infos {
+		n += bi.Compactions
+	}
+	return n
 }
 
 // runOne submits one job (retrying 429 backpressure and transient

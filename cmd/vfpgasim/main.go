@@ -31,7 +31,7 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "multimedia", "multimedia | telecom | diagnosis | storage | synthetic")
-	manager := flag.String("manager", "dynamic", "dynamic | partition | overlay | paged | multi | exclusive | software | merged")
+	manager := flag.String("manager", "dynamic", "dynamic | partition | amorphous | overlay | paged | multi | exclusive | software | merged")
 	sched := flag.String("sched", "rr", "fifo | rr | priority")
 	slice := flag.Duration("slice", 10*time.Millisecond, "round-robin time slice")
 	tasks := flag.Int("tasks", 6, "task count (synthetic scenario)")
@@ -217,6 +217,8 @@ func run(cfg runConfig) (err error) {
 			return err
 		}
 		mgr = pm
+	case "amorphous":
+		mgr = core.NewAmorphousManager(k, e, core.DefaultAmorphousConfig())
 	case "overlay":
 		// The most-used circuit (first in the set) stays resident.
 		om, initCost, err := core.NewOverlayManager(k, e, set.CircuitNames()[:1])

@@ -13,7 +13,8 @@
 // over the whole module (RunModule) rather than per package. Sites in
 // _test.go files do not count: tests prime counters deliberately.
 // Exposition names that are not string constants are skipped; the only
-// such site is the int->series forwarding helper inside metricsWriter.
+// such sites are the int/float->series forwarding helpers inside
+// metricsWriter.
 package metricsonce
 
 import (
@@ -141,7 +142,7 @@ func checkExposition(passes []*analysis.Pass) {
 					if len(call.Args) >= 3 {
 						checkFamilyArgs(pass, call, name)
 					}
-				case "series", "int":
+				case "series", "int", "float":
 					uses = append(uses, use{site: s, name: name})
 				}
 				return true

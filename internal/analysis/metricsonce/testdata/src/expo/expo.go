@@ -12,6 +12,10 @@ func (m *metricsWriter) int(name string, v int64, kv ...string) {
 	m.series(name, "0", kv...) // non-constant name: skipped, not flagged
 }
 
+func (m *metricsWriter) float(name string, v float64, kv ...string) {
+	m.series(name, "0.0", kv...) // non-constant name: skipped, not flagged
+}
+
 func write(m *metricsWriter) {
 	m.family("vfpgad_jobs_total", "Finished jobs by outcome.", "counter")
 	m.int("vfpgad_jobs_total", 1, "outcome", "completed")
@@ -23,5 +27,8 @@ func write(m *metricsWriter) {
 	m.family("vfpgad_typo_total", "Typo'd type.", "counts") // want `invalid type "counts"`
 	m.family("vfpgad_jobs_total", "Again.", "counter")      // want `metric family "vfpgad_jobs_total" declared more than once`
 
-	m.int("vfpgad_orphan_total", 3) // want `metric series "vfpgad_orphan_total" has no registered family`
+	m.float("vfpga_util_clbs", 0.5)
+
+	m.int("vfpgad_orphan_total", 3)      // want `metric series "vfpgad_orphan_total" has no registered family`
+	m.float("vfpgad_orphan_ratio", 0.25) // want `metric series "vfpgad_orphan_ratio" has no registered family`
 }

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one runner per table (T1-T5)
-// and figure (F1-F7) of the reproduction's evaluation plan (see DESIGN.md
+// and figure (F1-F9) of the reproduction's evaluation plan (see DESIGN.md
 // §4 — the paper itself publishes no quantitative results, so each runner
 // operationalizes one of its qualitative claims).
 //
@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"F6", "Segmentation vs monolithic configuration", F6Segmentation},
 		{"F7", "Application scenarios (multimedia, telecom, diagnosis)", F7Applications},
 		{"F8", "Multi-board virtualization (one big vs several small)", F8MultiBoard},
+		{"F9", "Amorphous regions vs variable partitions", F9AmorphousRegions},
 		{"A1", "Ablation: logic optimizer area/download savings", A1OptimizerAblation},
 	}
 }

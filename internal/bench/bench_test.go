@@ -63,7 +63,7 @@ func TestAllRegistered(t *testing.T) {
 			t.Fatalf("experiment %s malformed", e.ID)
 		}
 	}
-	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1"} {
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %s", want)
 		}
@@ -242,6 +242,34 @@ func TestF6Shape(t *testing.T) {
 	}
 	if tbl.f(autoRow, "makespan_ms") <= tbl.f(last, "makespan_ms") {
 		t.Fatal("auto-segmentation should cost makespan")
+	}
+}
+
+func TestF9Shape(t *testing.T) {
+	tbl := runExp(t, "F9")
+	if len(tbl.rows) != 2 {
+		t.Fatalf("rows %d, want partition+amorphous", len(tbl.rows))
+	}
+	part, amor := 0, 1
+	if got := tbl.rows[part][tbl.col("manager")]; got != "partition" {
+		t.Fatalf("row 0 manager %q", got)
+	}
+	if got := tbl.rows[amor][tbl.col("manager")]; got != "amorphous" {
+		t.Fatalf("row 1 manager %q", got)
+	}
+	// The tentpole's acceptance axis: on the identical churn the amorphous
+	// manager must win on sustained utilization or tail admission latency.
+	hwWin := tbl.f(amor, "hw_util") > tbl.f(part, "hw_util")
+	tailWin := tbl.f(amor, "p95_block_ms") < tbl.f(part, "p95_block_ms")
+	if !hwWin && !tailWin {
+		t.Fatalf("amorphous wins neither axis: hw_util %.4f vs %.4f, p95_block %.3f vs %.3f",
+			tbl.f(amor, "hw_util"), tbl.f(part, "hw_util"),
+			tbl.f(amor, "p95_block_ms"), tbl.f(part, "p95_block_ms"))
+	}
+	// The adoption cache means a recurring circuit reattaches without a
+	// fresh configuration, so loads must not exceed the partition run's.
+	if tbl.f(amor, "loads") > tbl.f(part, "loads") {
+		t.Fatalf("amorphous loads %.0f > partition %.0f", tbl.f(amor, "loads"), tbl.f(part, "loads"))
 	}
 }
 

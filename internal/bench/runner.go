@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/trace"
@@ -67,6 +68,23 @@ type PerfExperiment struct {
 	Error  string  `json:"error,omitempty"`
 }
 
+// PerfFragRow is one manager's line of the F9 residency comparison,
+// lifted from the experiment table into the perf record so the
+// amorphous-vs-partition gap (fragmentation, sustained utilization,
+// tail block latency) is tracked across PRs alongside wall-clock.
+type PerfFragRow struct {
+	Manager     string  `json:"manager"`
+	MeanFrag    float64 `json:"mean_frag"`
+	MaxFrag     float64 `json:"max_frag"`
+	UtilMean    float64 `json:"util_mean_clbs"`
+	HWUtil      float64 `json:"hw_util"`
+	Blocks      int64   `json:"blocks"`
+	P95BlockMS  float64 `json:"p95_block_ms"`
+	Loads       int64   `json:"loads"`
+	Relocations int64   `json:"relocations"`
+	MakespanMS  float64 `json:"makespan_ms"`
+}
+
 // PerfRecord is the machine-readable performance summary of one harness
 // run, written by `vfpgabench -json` so successive PRs can track harness
 // wall-clock, parallel speedup and cache effectiveness over time.
@@ -79,6 +97,7 @@ type PerfRecord struct {
 	SerialEstMS float64          `json:"serial_est_ms"`
 	Speedup     float64          `json:"speedup"`
 	Cache       PerfCache        `json:"cache"`
+	Frag        []PerfFragRow    `json:"frag,omitempty"`
 	Experiments []PerfExperiment `json:"experiments"`
 }
 
@@ -114,6 +133,11 @@ func NewPerfRecord(cfg Config, outcomes []Outcome, wall time.Duration) *PerfReco
 	if r.WallMS > 0 {
 		r.Speedup = r.SerialEstMS / r.WallMS
 	}
+	for _, o := range outcomes {
+		if o.Exp.ID == "F9" && o.Table != nil {
+			r.Frag = fragRows(o.Table)
+		}
+	}
 	cs := CacheStats()
 	r.Cache = PerfCache{
 		Hits:      cs.Hits,
@@ -125,6 +149,43 @@ func NewPerfRecord(cfg Config, outcomes []Outcome, wall time.Duration) *PerfReco
 		HitRate:   cs.HitRate(),
 	}
 	return r
+}
+
+// fragRows parses the F9 table back into typed rows. Tables hold
+// formatted strings; anything unparsable reads as zero — the record is
+// telemetry, not a gate.
+func fragRows(tbl *trace.Table) []PerfFragRow {
+	col := map[string]int{}
+	for i, c := range tbl.Columns {
+		col[c] = i
+	}
+	f := func(row []string, name string) float64 {
+		i, ok := col[name]
+		if !ok || i >= len(row) {
+			return 0
+		}
+		v, _ := strconv.ParseFloat(row[i], 64)
+		return v
+	}
+	rows := make([]PerfFragRow, 0, len(tbl.Rows))
+	for _, row := range tbl.Rows {
+		pr := PerfFragRow{
+			MeanFrag:    f(row, "mean_frag"),
+			MaxFrag:     f(row, "max_frag"),
+			UtilMean:    f(row, "util_mean_clbs"),
+			HWUtil:      f(row, "hw_util"),
+			Blocks:      int64(f(row, "blocks")),
+			P95BlockMS:  f(row, "p95_block_ms"),
+			Loads:       int64(f(row, "loads")),
+			Relocations: int64(f(row, "relocations")),
+			MakespanMS:  f(row, "makespan_ms"),
+		}
+		if i, ok := col["manager"]; ok && i < len(row) {
+			pr.Manager = row[i]
+		}
+		rows = append(rows, pr)
+	}
+	return rows
 }
 
 // WriteJSON writes the record as indented JSON.

@@ -172,7 +172,7 @@ func NewEngine(opt Options) *Engine {
 		Opt: opt,
 		Lib: map[string]*compile.Circuit{},
 	}
-	e.led = Ledger{e: e, residents: map[int]*Resident{}}
+	e.led = Ledger{e: e, residents: map[int]*Resident{}, frag: newFragTracker(opt.Geometry.Cols)}
 	for p := 0; p < opt.Geometry.NumPins(); p++ {
 		e.pins = append(e.pins, p)
 	}

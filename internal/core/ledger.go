@@ -193,6 +193,7 @@ type Ledger struct {
 	log       *DeviceLog
 	inj       *fault.Injector   // nil = no injection (the common case)
 	residents map[int]*Resident // keyed by strip origin column
+	frag      *fragTracker      // free-column model mirroring residents
 
 	// guard backs the single-goroutine assertion: TryLock fails only if
 	// another operation is mid-flight, which under the ownership contract
@@ -340,6 +341,7 @@ func (l *Ledger) ResetForJob(img *PristineImage) error {
 	l.e.M = img.metrics
 	l.e.pins = append([]int(nil), img.pins...)
 	l.residents = copyResidents(img.residents)
+	l.frag.rebuild(l.residents)
 	l.log = nil
 	if img.inj != nil {
 		l.inj = img.inj.Clone()
@@ -385,6 +387,7 @@ func (l *Ledger) TryLoad(owner string, c *compile.Circuit, x int, wholeDevice bo
 		l.e.M.MuxedOps.Inc()
 	}
 	l.residents[x] = &Resident{Circuit: c.Name, C: c, Owner: owner, Region: region, Pins: pins, Mux: mux}
+	l.frag.alloc(region.X, region.W)
 	l.emit(OpLoad, owner, c.Name, region, -1, base, false)
 	l.e.noteUtil(l.now())
 	return mux, cost, nil
@@ -459,6 +462,7 @@ func (l *Ledger) evict(x int, voluntary bool) {
 	l.e.Dev.ClearRegion(r.Region)
 	l.e.FreePins(r.Pins)
 	delete(l.residents, x)
+	l.frag.free(r.Region.X, r.Region.W)
 	if !voluntary {
 		l.e.M.Evictions.Inc()
 	}
@@ -629,11 +633,16 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 		state, cost = st, c
 	}
 	l.e.Dev.ClearRegion(r.Region)
+	l.frag.free(r.Region.X, r.Region.W)
 	in, out := binding(r.C, r.Pins)
 	newRegion := r.C.BS.Region(newX, 0)
 	ccost := r.C.BS.ConfigCost(l.e.Opt.Timing)
 	extra, err := l.applyConfig("relocate", r.Owner, r.C, newX, in, out, newRegion, ccost)
 	if err != nil {
+		// The residency table keeps the doomed entry at oldX, so the
+		// fragmentation model must claim those columns back to stay its
+		// exact mirror.
+		l.frag.alloc(r.Region.X, r.Region.W)
 		if esc, ok := fault.AsEscalation(err); ok {
 			// The strip is gone from both columns: relocation cannot be
 			// unwound by policy, so escalate like readback does.
@@ -646,6 +655,7 @@ func (l *Ledger) Relocate(oldX, newX int) sim.Time {
 	delete(l.residents, oldX)
 	r.Region = newRegion
 	l.residents[newX] = r
+	l.frag.alloc(newRegion.X, newRegion.W)
 	l.e.M.Relocations.Inc()
 	l.emit(OpRelocate, r.Owner, r.Circuit, newRegion, -1, ccost, false)
 	if r.C.Sequential {
@@ -721,4 +731,185 @@ func (l *Ledger) NoteGC() {
 	defer l.enter()()
 	l.e.M.GCRuns.Inc()
 	l.emit(OpGC, "", "", fabric.Region{}, -1, 0, false)
+}
+
+// Frag returns the device's live external-fragmentation statistics, per
+// the residency table: a column is free when no resident strip covers
+// it. The model is maintained incrementally on every load, evict,
+// release and relocate; a manager's own view may be narrower (a fixed
+// partition table cannot use its slack), never wider.
+func (l *Ledger) Frag() FragStats { return l.frag.stats() }
+
+// Adopt transfers the residency at column x to a new owner without
+// touching the device: the configured strip is reused in place (the
+// amorphous manager's residency cache). Pure bookkeeping — no cost, no
+// metrics, no event; any state reset is the adopter's policy to charge.
+func (l *Ledger) Adopt(x int, owner string) {
+	defer l.enter()()
+	r := l.residents[x]
+	if r == nil {
+		panic(fmt.Sprintf("core: adopt of empty column %d", x))
+	}
+	r.Owner = owner
+}
+
+// CompactResult reports one Compact pass.
+type CompactResult struct {
+	Moved int      // resident strips relocated
+	Cost  sim.Time // simulated time charged through the ledger
+	Done  bool     // free space is fully coalesced (nothing left to move)
+	Err   error    // typed escalation that aborted the pass, nil otherwise
+}
+
+// Compact slides resident strips leftward until the free space is one
+// contiguous hole, stopping early when the next move would exceed
+// budget (0 = unbounded). Every move is charged through the same
+// relocation accounting as Relocate. Unlike Relocate, an injected fault
+// that escalates mid-move aborts the pass cleanly: the doomed strip is
+// dropped from the device and the residency table (an involuntary
+// eviction on the timeline), the typed error is returned in Err, and
+// the caller retries on a later idle cycle.
+//
+// Compact bypasses manager placement policy, so it is for idle,
+// between-job use (the serve layer's background compactor): any manager
+// whose bookkeeping survives a job must be reset before the board runs
+// again, which the warm-board reset already guarantees.
+func (l *Ledger) Compact(budget sim.Time) CompactResult {
+	defer l.enter()()
+	var res CompactResult
+	origins := make([]int, 0, len(l.residents))
+	for x := range l.residents {
+		origins = append(origins, x)
+	}
+	sort.Ints(origins)
+	gcNoted := false
+	x := 0
+	for _, ox := range origins {
+		r := l.residents[ox]
+		w := r.Region.W
+		if ox != x {
+			if budget > 0 && res.Cost+l.relocateEstimate(r) > budget {
+				return res
+			}
+			if !gcNoted {
+				l.e.M.GCRuns.Inc()
+				l.emitNote(OpGC, "", "", fabric.Region{}, -1, 0, false, "compact")
+				gcNoted = true
+			}
+			cost, err := l.relocateCompact(ox, x)
+			res.Cost += cost
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			res.Moved++
+		}
+		x += w
+	}
+	res.Done = true
+	return res
+}
+
+// relocateEstimate returns the nominal (fault-free) cost of relocating
+// r, used to gate Compact's budget before committing to a move.
+func (l *Ledger) relocateEstimate(r *Resident) sim.Time {
+	tm := l.e.Opt.Timing
+	cost := r.C.BS.ConfigCost(tm)
+	if r.C.Sequential {
+		cost += tm.ReadbackTime(r.C.BS.FFCells) + tm.RestoreTime(r.C.BS.FFCells)
+	}
+	return cost
+}
+
+// relocateCompact is Relocate with escalation returned instead of
+// panicked, for Compact's clean-abort contract. A readback escalation
+// leaves the strip untouched at oldX; an apply or restore escalation
+// has already destroyed (or corrupted) the strip, so it is dropped —
+// region cleared, pins refunded, residency removed, an involuntary
+// eviction on the timeline — keeping table, fragmentation model and
+// audit balanced.
+func (l *Ledger) relocateCompact(oldX, newX int) (cost sim.Time, err error) {
+	r := l.residents[oldX]
+	var state []bool
+	if r.C.Sequential {
+		st, c, rerr := l.readbackRecover(r)
+		cost += c
+		if rerr != nil {
+			return cost, rerr
+		}
+		state = st
+	}
+	l.e.Dev.ClearRegion(r.Region)
+	l.frag.free(r.Region.X, r.Region.W)
+	in, out := binding(r.C, r.Pins)
+	newRegion := r.C.BS.Region(newX, 0)
+	ccost := r.C.BS.ConfigCost(l.e.Opt.Timing)
+	extra, aerr := l.applyConfig("relocate", r.Owner, r.C, newX, in, out, newRegion, ccost)
+	cost += extra
+	if aerr != nil {
+		if _, ok := fault.AsEscalation(aerr); !ok {
+			panic(fmt.Sprintf("core: relocate %s to column %d: %v", r.Circuit, newX, aerr))
+		}
+		l.e.FreePins(r.Pins)
+		delete(l.residents, oldX)
+		l.e.M.Evictions.Inc()
+		l.emit(OpEvict, r.Owner, r.Circuit, r.Region, -1, 0, false)
+		l.e.noteUtil(l.now())
+		return cost, aerr
+	}
+	l.e.M.ConfigTime += ccost
+	cost += ccost
+	delete(l.residents, oldX)
+	r.Region = newRegion
+	l.residents[newX] = r
+	l.frag.alloc(newRegion.X, newRegion.W)
+	l.e.M.Relocations.Inc()
+	l.emit(OpRelocate, r.Owner, r.Circuit, newRegion, -1, ccost, false)
+	if r.C.Sequential {
+		rcost, rerr := l.restoreRecover(r, newRegion, state)
+		cost += rcost
+		if rerr != nil {
+			l.e.Dev.ClearRegion(newRegion)
+			l.frag.free(newRegion.X, newRegion.W)
+			l.e.FreePins(r.Pins)
+			delete(l.residents, newX)
+			l.e.M.Evictions.Inc()
+			l.emit(OpEvict, r.Owner, r.Circuit, newRegion, -1, 0, false)
+			l.e.noteUtil(l.now())
+			return cost, rerr
+		}
+	}
+	l.e.noteUtil(l.now())
+	return cost, nil
+}
+
+// readbackRecover runs readback, converting its escalation panic into
+// an error for Compact's abort path.
+func (l *Ledger) readbackRecover(r *Resident) (st []bool, cost sim.Time, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			esc, ok := rec.(*fault.EscalationError)
+			if !ok {
+				panic(rec)
+			}
+			err = esc
+		}
+	}()
+	st, cost = l.readback(r.Owner, r.C, r.Region)
+	return st, cost, nil
+}
+
+// restoreRecover runs restore, converting its escalation panic into an
+// error for Compact's abort path.
+func (l *Ledger) restoreRecover(r *Resident, region fabric.Region, state []bool) (cost sim.Time, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			esc, ok := rec.(*fault.EscalationError)
+			if !ok {
+				panic(rec)
+			}
+			err = esc
+		}
+	}()
+	return l.restore(r.Owner, r.C, region, state), nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/compile"
 	"repro/internal/fabric"
@@ -63,34 +62,38 @@ type PartitionConfig struct {
 	Rotate bool
 }
 
-// partition is one column strip of the device. Pins and mux of the loaded
-// circuit live in the ledger's residency table, keyed by the strip origin.
+// partition is the manager's payload on an occupied RegionMap span: the
+// owning task, the loaded circuit, and rotation bookkeeping. Placement
+// itself (origin and width) lives on the span; pins and mux of the
+// loaded circuit live in the ledger's residency table, keyed by the
+// strip origin.
 type partition struct {
-	x, w    int
-	owner   *hostos.Task // nil when free
-	circuit string       // loaded circuit ("" when empty)
+	span    *Span
+	owner   *hostos.Task
+	circuit string
 	lastUse sim.Time
 	pinned  bool // owner has an in-flight preempted op; never evict
 }
 
-func (p *partition) free() bool { return p.owner == nil }
-
 func (p *partition) region(rows int) fabric.Region {
-	return fabric.Region{X: p.x, Y: 0, W: p.w, H: rows}
+	return fabric.Region{X: p.span.X, Y: 0, W: p.span.W, H: rows}
 }
 
 // PartitionManager implements hostos.FPGA with §4's partitioning. The
 // device is divided into full-height column strips; each strip hosts one
 // task's circuit. Tasks suspend when no partition fits; garbage
 // collection relocates loaded circuits to merge idle fragments. Every
-// device touch goes through the engine's residency ledger.
+// device touch goes through the engine's residency ledger, and the
+// strip table itself is a RegionMap — the span-scan mechanics (fit
+// search, split, merge, fragmentation accounting) are the map's, the §4
+// policy is the manager's.
 type PartitionManager struct {
 	E   *Engine
 	K   *sim.Kernel
 	Cfg PartitionConfig
 	OS  *hostos.OS // set via AttachOS before running
 
-	parts   []*partition // sorted by x, covering [0, Cols)
+	rm      *RegionMap
 	byTask  map[hostos.TaskID]*partition
 	waiters []*hostos.Task
 	saved   map[savedKey][]bool // displaced sequential state per task+circuit
@@ -105,26 +108,28 @@ var _ hostos.FPGA = (*PartitionManager)(nil)
 func NewPartitionManager(k *sim.Kernel, e *Engine, cfg PartitionConfig) (*PartitionManager, error) {
 	e.Ledger().Bind(k)
 	pm := &PartitionManager{E: e, K: k, Cfg: cfg, byTask: map[hostos.TaskID]*partition{}}
-	cols := e.Opt.Geometry.Cols
-	switch cfg.Mode {
-	case FixedPartitions:
-		x := 0
-		for _, w := range cfg.FixedWidths {
-			if w <= 0 || x+w > cols {
-				return nil, fmt.Errorf("core: fixed partition widths %v exceed %d columns", cfg.FixedWidths, cols)
-			}
-			pm.parts = append(pm.parts, &partition{x: x, w: w})
-			x += w
-		}
-		if len(pm.parts) == 0 {
-			return nil, fmt.Errorf("core: fixed mode requires FixedWidths")
-		}
-	case VariablePartitions:
-		pm.parts = []*partition{{x: 0, w: cols}}
-	default:
-		return nil, fmt.Errorf("core: unknown partition mode %d", cfg.Mode)
+	if err := pm.carve(); err != nil {
+		return nil, err
 	}
 	return pm, nil
+}
+
+// carve builds the initial region map for the configured mode.
+func (pm *PartitionManager) carve() error {
+	cols := pm.E.Opt.Geometry.Cols
+	switch pm.Cfg.Mode {
+	case FixedPartitions:
+		rm, err := NewFixedRegionMap(pm.Cfg.FixedWidths, cols)
+		if err != nil {
+			return err
+		}
+		pm.rm = rm
+	case VariablePartitions:
+		pm.rm = NewRegionMap(cols)
+	default:
+		return fmt.Errorf("core: unknown partition mode %d", pm.Cfg.Mode)
+	}
+	return nil
 }
 
 // AttachOS wires the manager to the OS for unblocking suspended tasks.
@@ -135,16 +140,8 @@ func (pm *PartitionManager) AttachOS(os *hostos.OS) { pm.OS = os }
 // for warm-board reuse. The config was validated at construction, so the
 // re-carve cannot fail.
 func (pm *PartitionManager) ResetForJob() {
-	pm.parts = nil
-	switch pm.Cfg.Mode {
-	case FixedPartitions:
-		x := 0
-		for _, w := range pm.Cfg.FixedWidths {
-			pm.parts = append(pm.parts, &partition{x: x, w: w})
-			x += w
-		}
-	default:
-		pm.parts = []*partition{{x: 0, w: pm.E.Opt.Geometry.Cols}}
+	if err := pm.carve(); err != nil {
+		panic(err)
 	}
 	pm.byTask = map[hostos.TaskID]*partition{}
 	pm.waiters = nil
@@ -158,12 +155,7 @@ func (pm *PartitionManager) Register(t *hostos.Task, circuit string) error {
 		return err
 	}
 	// A circuit wider than the widest possible partition can never load.
-	maxW := 0
-	for _, p := range pm.parts {
-		if p.w > maxW {
-			maxW = p.w
-		}
-	}
+	maxW := pm.rm.MaxSlotWidth()
 	if pm.Cfg.Mode == VariablePartitions {
 		maxW = pm.E.Opt.Geometry.Cols
 	}
@@ -189,9 +181,9 @@ func (pm *PartitionManager) circuitOf(t *hostos.Task) *compile.Circuit {
 func (pm *PartitionManager) loadInto(p *partition, t *hostos.Task, c *compile.Circuit) sim.Time {
 	led := pm.E.Ledger()
 	if p.circuit != "" {
-		led.Evict(p.x)
+		led.Evict(p.span.X)
 	}
-	_, cost := led.Load(t.Name, c, p.x, false)
+	_, cost := led.Load(t.Name, c, p.span.X, false)
 	p.owner = t
 	p.circuit = c.Name
 	p.lastUse = pm.K.Now()
@@ -199,115 +191,61 @@ func (pm *PartitionManager) loadInto(p *partition, t *hostos.Task, c *compile.Ci
 	return cost
 }
 
-// releasePartition frees p, merging with free neighbors in variable mode.
-// displaced marks an involuntary eviction (rotation) as opposed to a
-// voluntary release (task exit or partition hand-back).
+// releasePartition frees p's span, merging with free neighbors in
+// variable mode. displaced marks an involuntary eviction (rotation) as
+// opposed to a voluntary release (task exit or partition hand-back).
 func (pm *PartitionManager) releasePartition(p *partition, displaced bool) {
 	if p.circuit != "" {
 		if displaced {
-			pm.E.Ledger().Evict(p.x)
+			pm.E.Ledger().Evict(p.span.X)
 		} else {
-			pm.E.Ledger().Release(p.x)
+			pm.E.Ledger().Release(p.span.X)
 		}
 	}
 	if p.owner != nil {
 		delete(pm.byTask, p.owner.ID)
 	}
 	p.owner, p.circuit, p.pinned = nil, "", false
-	if pm.Cfg.Mode == VariablePartitions {
-		pm.mergeFree()
-	}
+	pm.rm.Release(p.span)
 }
 
-// mergeFree coalesces adjacent free partitions (variable mode).
-func (pm *PartitionManager) mergeFree() {
-	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
-	var out []*partition
-	for _, p := range pm.parts {
-		if n := len(out); n > 0 && out[n-1].free() && p.free() && out[n-1].x+out[n-1].w == p.x {
-			out[n-1].w += p.w
-			continue
-		}
-		out = append(out, p)
-	}
-	pm.parts = out
-}
-
-// findFree returns a free partition of width >= need per fit policy, or
-// nil.
-func (pm *PartitionManager) findFree(need int) *partition {
-	var best *partition
-	for _, p := range pm.parts {
-		if !p.free() || p.w < need {
-			continue
-		}
-		if best == nil {
-			best = p
-			if pm.Cfg.Fit == FirstFit {
-				return best
-			}
-			continue
-		}
-		if p.w < best.w {
-			best = p
-		}
-	}
-	return best
-}
-
-// split carves a need-wide partition out of free partition p (variable
-// mode); fixed partitions are used whole.
-func (pm *PartitionManager) split(p *partition, need int) *partition {
-	if pm.Cfg.Mode != VariablePartitions || p.w == need {
-		return p
-	}
-	rest := &partition{x: p.x + need, w: p.w - need}
-	p.w = need
-	pm.parts = append(pm.parts, rest)
-	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
-	return p
-}
-
-// FreeCols returns the total free width and the largest free strip, the
-// external-fragmentation measure of F4.
+// FreeCols returns the total free width and the largest free strip —
+// the external-fragmentation measure of F4 — straight from the region
+// map's shared FragStats.
 func (pm *PartitionManager) FreeCols() (total, largest int) {
-	for _, p := range pm.parts {
-		if p.free() {
-			total += p.w
-			if p.w > largest {
-				largest = p.w
-			}
-		}
-	}
-	return total, largest
+	return pm.rm.FreeCols()
 }
 
-// compact relocates every occupied partition leftward so all free space
-// merges at the right (§4's garbage collection). Returns the relocation
-// cost: each moved circuit pays state readback, reconfiguration at the
-// new origin, and state restore — all charged by the ledger's Relocate.
-func (pm *PartitionManager) compact() sim.Time {
+// Frag returns the manager's live fragmentation statistics (a fixed
+// table counts each free slot separately; slots never merge).
+func (pm *PartitionManager) Frag() FragStats { return pm.rm.Frag() }
+
+// compact relocates occupied partitions leftward so free space merges
+// at the right (§4's garbage collection) — but only until a free hole
+// of at least need columns exists; need <= 0 packs everything. Each
+// moved circuit pays state readback, reconfiguration at the new origin,
+// and state restore, all charged by the ledger's Relocate — stopping
+// early charges only the relocations actually performed.
+func (pm *PartitionManager) compact(need int) sim.Time {
 	led := pm.E.Ledger()
 	var cost sim.Time
 	led.NoteGC()
-	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
 	x := 0
-	var packed []*partition
-	for _, p := range pm.parts {
-		if p.free() {
+	for _, s := range pm.rm.Spans() {
+		if s.Free() {
 			continue
 		}
-		if p.x != x {
-			cost += led.Relocate(p.x, x)
-			p.x = x
+		if need > 0 {
+			if _, largest := pm.rm.FreeCols(); largest >= need {
+				break
+			}
 		}
-		x += p.w
-		packed = append(packed, p)
+		if s.X != x {
+			cost += led.Relocate(s.X, x)
+			pm.rm.Move(s, x)
+		}
+		x += s.W
 	}
-	if x < pm.E.Opt.Geometry.Cols {
-		packed = append(packed, &partition{x: x, w: pm.E.Opt.Geometry.Cols - x})
-	}
-	pm.parts = packed
 	return cost
 }
 
@@ -316,8 +254,12 @@ func (pm *PartitionManager) compact() sim.Time {
 // is evictable.
 func (pm *PartitionManager) evictLRU(t *hostos.Task) (cost sim.Time, ok bool) {
 	var victim *partition
-	for _, p := range pm.parts {
-		if p.free() || p.pinned || p.owner == t {
+	for _, s := range pm.rm.Spans() {
+		if s.Free() {
+			continue
+		}
+		p := s.Owner.(*partition)
+		if p.pinned || p.owner == t {
 			continue
 		}
 		if victim == nil || p.lastUse < victim.lastUse {
@@ -333,7 +275,7 @@ func (pm *PartitionManager) evictLRU(t *hostos.Task) (cost sim.Time, ok bool) {
 	}
 	if c.Sequential {
 		// Preserve the displaced task's state in OS tables.
-		cost += pm.saveFor(victim, c)
+		cost += pm.saveFor(victim.span, victim.owner, c)
 	}
 	pm.releasePartition(victim, true)
 	return cost, true
@@ -353,10 +295,11 @@ func (pm *PartitionManager) savedMap() map[savedKey][]bool {
 	return pm.saved
 }
 
-func (pm *PartitionManager) saveFor(p *partition, c *compile.Circuit) sim.Time {
+func (pm *PartitionManager) saveFor(s *Span, owner *hostos.Task, c *compile.Circuit) sim.Time {
 	rows := pm.E.Opt.Geometry.Rows
-	st, cost := pm.E.Ledger().Readback(p.owner.Name, c, p.region(rows))
-	pm.savedMap()[savedKey{p.owner.ID, c.Name}] = st
+	region := fabric.Region{X: s.X, Y: 0, W: s.W, H: rows}
+	st, cost := pm.E.Ledger().Readback(owner.Name, c, region)
+	pm.savedMap()[savedKey{owner.ID, c.Name}] = st
 	return cost
 }
 
@@ -385,11 +328,11 @@ func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
 			p.lastUse = pm.K.Now()
 			return 0, true // loaded and state in place: zero-cost reuse
 		}
-		if p.w >= need {
+		if p.span.W >= need {
 			// Switch algorithms inside the task's partition, saving the
 			// outgoing sequential state.
 			if old, err := pm.E.Circuit(p.circuit); err == nil && old.Sequential {
-				cost += pm.saveFor(p, old)
+				cost += pm.saveFor(p.span, p.owner, old)
 			}
 			cost += pm.loadInto(p, t, c)
 			cost += pm.restoreFor(p, t, c)
@@ -399,27 +342,27 @@ func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
 		pm.releasePartition(p, false)
 	}
 
-	p := pm.findFree(need)
-	if p == nil && pm.Cfg.Mode == VariablePartitions && pm.Cfg.GC {
-		if total, _ := pm.FreeCols(); total >= need {
-			cost += pm.compact()
-			p = pm.findFree(need)
+	s := pm.rm.FindFree(need, pm.Cfg.Fit)
+	if s == nil && pm.Cfg.Mode == VariablePartitions && pm.Cfg.GC {
+		if total, _ := pm.rm.FreeCols(); total >= need {
+			cost += pm.compact(need)
+			s = pm.rm.FindFree(need, pm.Cfg.Fit)
 		}
 	}
-	if p == nil && pm.Cfg.Rotate {
+	if s == nil && pm.Cfg.Rotate {
 		for {
 			evictCost, ok := pm.evictLRU(t)
 			if !ok {
 				break
 			}
 			cost += evictCost
-			if p = pm.findFree(need); p != nil {
+			if s = pm.rm.FindFree(need, pm.Cfg.Fit); s != nil {
 				break
 			}
 			if pm.Cfg.Mode == VariablePartitions && pm.Cfg.GC {
-				if total, _ := pm.FreeCols(); total >= need {
-					cost += pm.compact()
-					p = pm.findFree(need)
+				if total, _ := pm.rm.FreeCols(); total >= need {
+					cost += pm.compact(need)
+					s = pm.rm.FindFree(need, pm.Cfg.Fit)
 					break
 				}
 			}
@@ -428,18 +371,19 @@ func (pm *PartitionManager) Acquire(t *hostos.Task) (sim.Time, bool) {
 	// Pins are a shared physical resource too: a partition without a
 	// single free pin cannot be wired to the outside. Treat exhaustion
 	// like area shortage (evict under rotation, else suspend).
-	if p != nil && pm.E.FreePinCount() == 0 && pm.Cfg.Rotate {
+	if s != nil && pm.E.FreePinCount() == 0 && pm.Cfg.Rotate {
 		if evictCost, ok := pm.evictLRU(t); ok {
 			cost += evictCost
-			p = pm.findFree(need) // eviction may have reshaped the free list
+			s = pm.rm.FindFree(need, pm.Cfg.Fit) // eviction may have reshaped the free list
 		}
 	}
-	if p == nil || pm.E.FreePinCount() == 0 {
+	if s == nil || pm.E.FreePinCount() == 0 {
 		pm.E.Ledger().NoteBlock(t.Name)
 		pm.waiters = append(pm.waiters, t)
 		return 0, false
 	}
-	p = pm.split(p, need)
+	p := &partition{}
+	p.span = pm.rm.Alloc(s, need, p)
 	cost += pm.loadInto(p, t, c)
 	cost += pm.restoreFor(p, t, c)
 	return cost, true
@@ -451,7 +395,7 @@ func (pm *PartitionManager) ExecTime(t *hostos.Task) sim.Time {
 	req := t.CurrentRequest()
 	mux := 1
 	if p := pm.byTask[t.ID]; p != nil {
-		if r := pm.E.Ledger().ResidentAt(p.x); r != nil {
+		if r := pm.E.Ledger().ResidentAt(p.span.X); r != nil {
 			mux = r.Mux
 		}
 	}
@@ -543,10 +487,13 @@ type PartitionView struct {
 // Partitions returns a snapshot of the partition table, sorted by
 // origin, for inspection, tests and the static verifier.
 func (pm *PartitionManager) Partitions() []PartitionView {
-	sort.Slice(pm.parts, func(i, j int) bool { return pm.parts[i].x < pm.parts[j].x })
 	var out []PartitionView
-	for _, p := range pm.parts {
-		out = append(out, PartitionView{X: p.x, W: p.w, Circuit: p.circuit, Free: p.free()})
+	for _, s := range pm.rm.Spans() {
+		v := PartitionView{X: s.X, W: s.W, Free: s.Free()}
+		if !s.Free() {
+			v.Circuit = s.Owner.(*partition).circuit
+		}
+		out = append(out, v)
 	}
 	return out
 }
@@ -557,7 +504,7 @@ func (pm *PartitionManager) Partitions() []PartitionView {
 //
 //	diags := lint.RunTarget(pm.LintTarget(), lint.Options{})
 func (pm *PartitionManager) LintTarget() *lint.Target {
-	views := make([]lint.PartitionView, 0, len(pm.parts))
+	views := make([]lint.PartitionView, 0, len(pm.rm.Spans()))
 	for _, v := range pm.Partitions() {
 		views = append(views, lint.PartitionView(v))
 	}

@@ -1,0 +1,427 @@
+package core
+
+// Amorphous region support (Nguyen & Hoe's flexible boundaries): the
+// device's columns are tracked as contiguous spans whose boundaries
+// slide, instead of the paper's disjoint split/merge partitions. Two
+// consumers share this file's machinery:
+//
+//   - RegionMap is the manager-side table: owner-carrying spans with
+//     grow/shrink/slide operations, used by PartitionManager (which
+//     keeps §4's policy on top) and AmorphousManager (exact-fit spans,
+//     neighbor sliding).
+//   - fragTracker is the ledger-side model: a sorted, coalesced free
+//     list over the residency table, maintained incrementally on every
+//     load, evict and relocate, so FragStats is always live.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FragHistBuckets is the number of power-of-two width buckets in the
+// free-span histogram: bucket i counts free spans of width in
+// [2^i, 2^(i+1)); the last bucket is open-ended.
+const FragHistBuckets = 8
+
+// FragStats measures external fragmentation of a column range: how much
+// space is free, how much of it is usable as one contiguous hole, and
+// how the rest shatters by size.
+type FragStats struct {
+	Cols        int                  // columns tracked
+	FreeCols    int                  // total free columns
+	LargestFree int                  // widest contiguous free span
+	FreeSpans   int                  // number of free spans
+	Hist        [FragHistBuckets]int // free spans by power-of-two width
+}
+
+// Ratio returns the external-fragmentation ratio 1 - largest/free: 0
+// when the free space is one contiguous hole (or there is none),
+// approaching 1 as it shatters into unusable slivers.
+func (f FragStats) Ratio() float64 {
+	if f.FreeCols == 0 {
+		return 0
+	}
+	return 1 - float64(f.LargestFree)/float64(f.FreeCols)
+}
+
+func histBucket(w int) int {
+	b := 0
+	for w > 1 && b < FragHistBuckets-1 {
+		w >>= 1
+		b++
+	}
+	return b
+}
+
+func (f *FragStats) observe(w int) {
+	f.FreeCols += w
+	f.FreeSpans++
+	if w > f.LargestFree {
+		f.LargestFree = w
+	}
+	f.Hist[histBucket(w)]++
+}
+
+// Span is one contiguous column range of a RegionMap. Owner is
+// manager-defined payload; nil marks the span free. Occupied spans keep
+// object identity across every map operation (including Move), so a
+// manager can hold the pointer in its own tables; free-span pointers
+// are invalidated by the next mutation.
+type Span struct {
+	X, W  int
+	Owner any
+}
+
+// Free reports whether the span is unowned.
+func (s *Span) Free() bool { return s.Owner == nil }
+
+// RegionMap tracks contiguous, non-overlapping column spans over a
+// [0, cols) device. A sliding map (NewRegionMap) tiles the whole range
+// — free space is explicit and coalesced by construction, boundaries
+// move on Alloc/Release/Move. A fixed map (NewFixedRegionMap) has
+// static slots that never split, merge or move, like §4's fixed
+// partition table.
+type RegionMap struct {
+	cols  int
+	fixed bool
+	spans []*Span // sorted by X, non-overlapping
+}
+
+// NewRegionMap returns a sliding map with one free span covering the
+// whole device.
+func NewRegionMap(cols int) *RegionMap {
+	return &RegionMap{cols: cols, spans: []*Span{{X: 0, W: cols}}}
+}
+
+// NewFixedRegionMap carves static slots of the given widths left to
+// right; leftover columns beyond the configured widths are unusable (as
+// with a partition table that does not cover the disk).
+func NewFixedRegionMap(widths []int, cols int) (*RegionMap, error) {
+	rm := &RegionMap{cols: cols, fixed: true}
+	x := 0
+	for _, w := range widths {
+		if w <= 0 || x+w > cols {
+			return nil, fmt.Errorf("core: fixed partition widths %v exceed %d columns", widths, cols)
+		}
+		rm.spans = append(rm.spans, &Span{X: x, W: w})
+		x += w
+	}
+	if len(rm.spans) == 0 {
+		return nil, fmt.Errorf("core: fixed mode requires FixedWidths")
+	}
+	return rm, nil
+}
+
+// Cols returns the tracked column count.
+func (rm *RegionMap) Cols() int { return rm.cols }
+
+// Spans returns the span table sorted by origin (a copied slice over
+// the live span objects).
+func (rm *RegionMap) Spans() []*Span {
+	return append([]*Span(nil), rm.spans...)
+}
+
+// FindFree returns a free span of width >= need per the fit policy
+// (first-fit: lowest origin; best-fit: smallest adequate width, lowest
+// origin on ties), or nil.
+func (rm *RegionMap) FindFree(need int, fit FitPolicy) *Span {
+	var best *Span
+	for _, s := range rm.spans {
+		if !s.Free() || s.W < need {
+			continue
+		}
+		if best == nil {
+			best = s
+			if fit == FirstFit {
+				return best
+			}
+			continue
+		}
+		if s.W < best.W {
+			best = s
+		}
+	}
+	return best
+}
+
+// Alloc claims need columns from free span s for owner. In a fixed map
+// (and on exact fit) the whole span is claimed; otherwise the front is
+// carved off and the remainder stays free, its boundary slid right. It
+// returns the claimed span.
+func (rm *RegionMap) Alloc(s *Span, need int, owner any) *Span {
+	if !s.Free() || s.W < need || need <= 0 {
+		panic(fmt.Sprintf("core: region alloc of %d columns from span x=%d w=%d free=%v", need, s.X, s.W, s.Free()))
+	}
+	if rm.fixed || s.W == need {
+		s.Owner = owner
+		return s
+	}
+	claimed := &Span{X: s.X, W: need, Owner: owner}
+	s.X += need
+	s.W -= need
+	rm.insert(claimed)
+	return claimed
+}
+
+// Release frees s. In a sliding map adjacent free spans coalesce.
+func (rm *RegionMap) Release(s *Span) {
+	s.Owner = nil
+	if !rm.fixed {
+		rm.coalesce(s)
+	}
+}
+
+// Move slides occupied span s so its origin becomes newX. The
+// destination must be covered by free space and s's own extent (the
+// ledger's Relocate clears the old strip before writing the new one, so
+// overlap is fine). s keeps its identity: callers' pointers stay valid.
+func (rm *RegionMap) Move(s *Span, newX int) {
+	if rm.fixed {
+		panic("core: region move in a fixed map")
+	}
+	if s.Free() {
+		panic("core: region move of a free span")
+	}
+	if newX == s.X {
+		return
+	}
+	owner, w := s.Owner, s.W
+	// Free the old extent, letting it coalesce with its neighbors — but
+	// keep the table entry in a fresh husk object so s can be reused as
+	// the claimed destination span.
+	s.Owner = nil
+	rm.coalesce(s)
+	husk := &Span{X: s.X, W: s.W}
+	rm.spans[rm.index(s)] = husk
+	// The destination must now lie inside one free span (possibly the
+	// husk itself).
+	var f *Span
+	for _, cand := range rm.spans {
+		if cand.Free() && cand.X <= newX && newX+w <= cand.X+cand.W {
+			f = cand
+			break
+		}
+	}
+	if f == nil {
+		panic(fmt.Sprintf("core: region move target [%d,%d) is not free", newX, newX+w))
+	}
+	fx, fw := f.X, f.W
+	s.X, s.W, s.Owner = newX, w, owner
+	if newX > fx {
+		f.W = newX - fx
+		rm.insert(s)
+	} else {
+		rm.spans[rm.index(f)] = s
+	}
+	if end := newX + w; end < fx+fw {
+		rm.insert(&Span{X: end, W: fx + fw - end})
+	}
+}
+
+// MaxSlotWidth returns the widest span in the table, free or not — in a
+// fixed map, the widest slot a circuit could ever occupy.
+func (rm *RegionMap) MaxSlotWidth() int {
+	w := 0
+	for _, s := range rm.spans {
+		if s.W > w {
+			w = s.W
+		}
+	}
+	return w
+}
+
+// Frag computes the live fragmentation statistics over the map's free
+// spans. In a sliding map free spans are coalesced by construction, so
+// the numbers are exact; in a fixed map each free slot counts on its
+// own (slots never merge).
+func (rm *RegionMap) Frag() FragStats {
+	f := FragStats{Cols: rm.cols}
+	for _, s := range rm.spans {
+		if s.Free() {
+			f.observe(s.W)
+		}
+	}
+	return f
+}
+
+// FreeCols returns the total free width and the largest free span — the
+// external-fragmentation measure of experiment F4, shared by every
+// consumer through FragStats.
+func (rm *RegionMap) FreeCols() (total, largest int) {
+	f := rm.Frag()
+	return f.FreeCols, f.LargestFree
+}
+
+// FreeList returns the free spans by value, sorted by origin.
+func (rm *RegionMap) FreeList() []Span {
+	var out []Span
+	for _, s := range rm.spans {
+		if s.Free() {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// SpansIn returns the occupied spans lying fully inside [lo, hi),
+// sorted by origin.
+func (rm *RegionMap) SpansIn(lo, hi int) []*Span {
+	var out []*Span
+	for _, s := range rm.spans {
+		if !s.Free() && s.X >= lo && s.X+s.W <= hi {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// index returns s's position in the table.
+func (rm *RegionMap) index(s *Span) int {
+	i := sort.Search(len(rm.spans), func(i int) bool { return rm.spans[i].X >= s.X })
+	if i < len(rm.spans) && rm.spans[i] == s {
+		return i
+	}
+	panic("core: span not in region map")
+}
+
+// insert places s at its sorted position.
+func (rm *RegionMap) insert(s *Span) {
+	i := sort.Search(len(rm.spans), func(i int) bool { return rm.spans[i].X >= s.X })
+	rm.spans = append(rm.spans, nil)
+	copy(rm.spans[i+1:], rm.spans[i:])
+	rm.spans[i] = s
+}
+
+// coalesce merges s with adjacent free neighbors; s survives, the
+// neighbors are removed.
+func (rm *RegionMap) coalesce(s *Span) {
+	i := rm.index(s)
+	for i+1 < len(rm.spans) {
+		n := rm.spans[i+1]
+		if !n.Free() || s.X+s.W != n.X {
+			break
+		}
+		s.W += n.W
+		rm.spans = append(rm.spans[:i+1], rm.spans[i+2:]...)
+	}
+	for i > 0 {
+		n := rm.spans[i-1]
+		if !n.Free() || n.X+n.W != s.X {
+			break
+		}
+		s.X = n.X
+		s.W += n.W
+		rm.spans = append(rm.spans[:i-1], rm.spans[i:]...)
+		i--
+	}
+}
+
+// fragSpan is one free column range of the ledger's tracker.
+type fragSpan struct{ x, w int }
+
+// fragTracker is the ledger's incremental fragmentation model: a
+// sorted, disjoint, coalesced list of free column ranges over [0, cols),
+// mirroring the residency table's complement exactly — including on
+// escalation paths, where the table keeps the doomed entry. Updated in
+// O(free spans) per operation; FragStats is a scan of the (short) free
+// list instead of a walk of the residency table.
+type fragTracker struct {
+	cols  int
+	spans []fragSpan
+}
+
+func newFragTracker(cols int) *fragTracker {
+	ft := &fragTracker{cols: cols}
+	if cols > 0 {
+		ft.spans = []fragSpan{{0, cols}}
+	}
+	return ft
+}
+
+// alloc marks [x, x+w) occupied. The range must be free — resident
+// strips are disjoint by construction, so a violation is a ledger bug.
+func (ft *fragTracker) alloc(x, w int) {
+	if w <= 0 {
+		return
+	}
+	i := sort.Search(len(ft.spans), func(i int) bool { return ft.spans[i].x+ft.spans[i].w > x })
+	if i == len(ft.spans) || ft.spans[i].x > x || x+w > ft.spans[i].x+ft.spans[i].w {
+		panic(fmt.Sprintf("core: fragment tracker: alloc of non-free columns [%d,%d)", x, x+w))
+	}
+	s := ft.spans[i]
+	pre := fragSpan{s.x, x - s.x}
+	post := fragSpan{x + w, s.x + s.w - (x + w)}
+	switch {
+	case pre.w > 0 && post.w > 0:
+		ft.spans[i] = pre
+		ft.spans = append(ft.spans, fragSpan{})
+		copy(ft.spans[i+2:], ft.spans[i+1:])
+		ft.spans[i+1] = post
+	case pre.w > 0:
+		ft.spans[i] = pre
+	case post.w > 0:
+		ft.spans[i] = post
+	default:
+		ft.spans = append(ft.spans[:i], ft.spans[i+1:]...)
+	}
+}
+
+// free marks [x, x+w) free again, coalescing with neighbors. The range
+// must be fully occupied and inside the device.
+func (ft *fragTracker) free(x, w int) {
+	if w <= 0 {
+		return
+	}
+	if x < 0 || x+w > ft.cols {
+		panic(fmt.Sprintf("core: fragment tracker: free of columns [%d,%d) outside [0,%d)", x, x+w, ft.cols))
+	}
+	j := sort.Search(len(ft.spans), func(i int) bool { return ft.spans[i].x >= x })
+	if j > 0 && ft.spans[j-1].x+ft.spans[j-1].w > x {
+		panic(fmt.Sprintf("core: fragment tracker: free of already-free columns [%d,%d)", x, x+w))
+	}
+	if j < len(ft.spans) && x+w > ft.spans[j].x {
+		panic(fmt.Sprintf("core: fragment tracker: free of already-free columns [%d,%d)", x, x+w))
+	}
+	mergeLeft := j > 0 && ft.spans[j-1].x+ft.spans[j-1].w == x
+	mergeRight := j < len(ft.spans) && x+w == ft.spans[j].x
+	switch {
+	case mergeLeft && mergeRight:
+		ft.spans[j-1].w += w + ft.spans[j].w
+		ft.spans = append(ft.spans[:j], ft.spans[j+1:]...)
+	case mergeLeft:
+		ft.spans[j-1].w += w
+	case mergeRight:
+		ft.spans[j].x = x
+		ft.spans[j].w += w
+	default:
+		ft.spans = append(ft.spans, fragSpan{})
+		copy(ft.spans[j+1:], ft.spans[j:])
+		ft.spans[j] = fragSpan{x, w}
+	}
+}
+
+// stats computes FragStats from the free list.
+func (ft *fragTracker) stats() FragStats {
+	f := FragStats{Cols: ft.cols}
+	for _, s := range ft.spans {
+		f.observe(s.w)
+	}
+	return f
+}
+
+// rebuild recomputes the free list from a residency table (warm reset).
+func (ft *fragTracker) rebuild(residents map[int]*Resident) {
+	ft.spans = ft.spans[:0]
+	if ft.cols > 0 {
+		ft.spans = append(ft.spans, fragSpan{0, ft.cols})
+	}
+	xs := make([]int, 0, len(residents))
+	for x := range residents {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	for _, x := range xs {
+		r := residents[x]
+		ft.alloc(r.Region.X, r.Region.W)
+	}
+}

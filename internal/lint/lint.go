@@ -106,6 +106,17 @@ type PartitionView struct {
 	Free    bool
 }
 
+// RegionView is a lint-side snapshot of one amorphous region-map span:
+// a column range, what circuit it holds, which task owns it ("" for a
+// cached, unowned resident), and whether it is free.
+// core.AmorphousManager exports its state in this shape.
+type RegionView struct {
+	X, W    int
+	Circuit string
+	Owner   string
+	Free    bool
+}
+
 // Target bundles the artifacts one lint run inspects. Any field may be
 // nil/empty; each pass checks only what is present.
 type Target struct {
@@ -133,7 +144,10 @@ type Target struct {
 	// Partitions is a partition-table snapshot; Cols the device width it
 	// must fit, and PartitionMode "fixed" or "variable".
 	Partitions []PartitionView
-	Cols       int
+	// Regions is an amorphous region-map snapshot (flexible-boundary
+	// spans); Cols bounds it like Partitions.
+	Regions []RegionView
+	Cols    int
 	// PartitionMode selects the coverage rule: "variable" partitions
 	// must tile the device exactly; "fixed" tables may leave a tail.
 	PartitionMode string
@@ -205,6 +219,7 @@ var builtin = []Pass{
 	{"bitstream-bounds", "cell writes, sources and pin bindings inside the claimed region", passBitstreamBounds},
 	{"page-coverage", "pages partition the bitstream's cells exactly once", passPageCoverage},
 	{"partition-state", "disjoint, merged, non-leaking partition tables", passPartitionState},
+	{"region-state", "amorphous region maps: exact tiling, no shared columns, coalesced free spans", passRegionState},
 	{"fabric-config", "configured devices: dangling sources, config-level loops", passFabricConfig},
 	{"fault-plan", "fault campaign sanity: probability ranges, script ordering, retry policy", passFaultPlan},
 }

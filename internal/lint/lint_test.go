@@ -268,6 +268,47 @@ func TestPartitionStateInvariants(t *testing.T) {
 	wantDiag(t, diags, Error, "not merged")
 }
 
+func TestRegionStateInvariants(t *testing.T) {
+	clean := &Target{
+		Name: "rm", Cols: 12,
+		Regions: []RegionView{
+			{X: 0, W: 4, Circuit: "a", Owner: "t1"},
+			{X: 4, W: 3, Circuit: "b"}, // cached resident: circuit, no owner
+			{X: 7, W: 5, Free: true},
+		},
+	}
+	wantNone(t, only(t, "region-state", clean))
+
+	broken := &Target{
+		Name: "rm", Cols: 12,
+		Regions: []RegionView{
+			{X: 0, W: 4, Circuit: "a", Owner: "t1"},
+			{X: 3, W: 2, Circuit: "b", Owner: "t2"}, // shares column 3 with a
+			{X: 6, W: 2, Free: true, Owner: "t3"},   // free but owned; gap 5..5 leaked
+			{X: 8, W: 2, Free: true},                // adjacent free spans uncoalesced
+			{X: 10, W: 2},                           // occupied, no circuit
+		},
+	}
+	diags := only(t, "region-state", broken)
+	wantDiag(t, diags, Error, "two regions share a column")
+	wantDiag(t, diags, Error, "leaked")
+	wantDiag(t, diags, Error, "still claims owner")
+	wantDiag(t, diags, Error, "not coalesced")
+	wantDiag(t, diags, Error, "names no circuit")
+}
+
+func TestRegionStateMustTileDevice(t *testing.T) {
+	short := &Target{
+		Name: "rm", Cols: 12,
+		Regions: []RegionView{
+			{X: 0, W: 4, Circuit: "a"},
+			// columns 4..11 never accounted for: a sliding map has no tail.
+		},
+	}
+	diags := only(t, "region-state", short)
+	wantDiag(t, diags, Error, "must tile the device")
+}
+
 func TestPartitionStateFixedModeAllowsTail(t *testing.T) {
 	fixed := &Target{
 		Name: "pt", Cols: 10, PartitionMode: "fixed",

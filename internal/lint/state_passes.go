@@ -68,6 +68,65 @@ func passPartitionState(t *Target, r *Reporter) {
 	}
 }
 
+// passRegionState audits an amorphous region-map snapshot against the
+// flexible-boundary invariants: every span inside the device, no two
+// owners sharing a column (spans pairwise disjoint), the device tiled
+// exactly (free space is explicit, never dropped — a sliding map has no
+// unusable tail), free spans sorted and coalesced, free spans carrying
+// no stale circuit or owner claim, and occupied spans naming a circuit.
+func passRegionState(t *Target, r *Reporter) {
+	if len(t.Regions) == 0 {
+		return
+	}
+	name := t.Name
+	if name == "" {
+		name = "regions"
+	}
+	views := append([]RegionView(nil), t.Regions...)
+	sort.Slice(views, func(i, j int) bool { return views[i].X < views[j].X })
+	rpos := func(v RegionView) string {
+		return fmt.Sprintf("%s: span x=%d w=%d", name, v.X, v.W)
+	}
+	for _, v := range views {
+		if v.W <= 0 {
+			r.Errorf(rpos(v), "non-positive width")
+		}
+		if v.X < 0 {
+			r.Errorf(rpos(v), "negative origin")
+		}
+		if t.Cols > 0 && v.X+v.W > t.Cols {
+			r.Errorf(rpos(v), "extends past the device's %d columns", t.Cols)
+		}
+		if v.Free {
+			if v.Circuit != "" {
+				r.Errorf(rpos(v), "free span still claims circuit %q", v.Circuit)
+			}
+			if v.Owner != "" {
+				r.Errorf(rpos(v), "free span still claims owner %q", v.Owner)
+			}
+		} else if v.Circuit == "" {
+			r.Errorf(rpos(v), "occupied span names no circuit")
+		}
+	}
+	at := 0
+	for i, v := range views {
+		if v.X < at {
+			r.Errorf(rpos(v), "overlaps the previous span by %d column(s): two regions share a column", at-v.X)
+		} else if v.X > at {
+			r.Errorf(rpos(v), "columns %d..%d leaked: not covered by any span", at, v.X-1)
+		}
+		if v.X+v.W > at {
+			at = v.X + v.W
+		}
+		if i > 0 && v.Free && views[i-1].Free && views[i-1].X+views[i-1].W == v.X {
+			r.Errorf(rpos(v), "adjacent free spans not coalesced (previous ends at %d)", v.X)
+		}
+	}
+	if t.Cols > 0 && at < t.Cols {
+		r.Errorf(fmt.Sprintf("%s: map", name), "columns %d..%d leaked: the region map must tile the device", at, t.Cols-1)
+	}
+}
+
 // passFabricConfig cross-checks a configured device the way the
 // functional evaluator would consume it: every used CLB input and every
 // output-pin driver must reference a used CLB, a configured input pin

@@ -61,6 +61,12 @@ func (m *metricsWriter) int(name string, v int64, kv ...string) {
 	m.series(name, strconv.FormatInt(v, 10), kv...)
 }
 
+// float renders with a fixed four decimal places so a fixed scenario
+// stays byte-identical across platforms.
+func (m *metricsWriter) float(name string, v float64, kv ...string) {
+	m.series(name, strconv.FormatFloat(v, 'f', 4, 64), kv...)
+}
+
 // ledgerOpCounts flattens a metrics snapshot into the per-op counter
 // series, in fixed order.
 func ledgerOpCounts(s core.MetricsSnapshot) []struct {
@@ -154,6 +160,26 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	for _, bi := range infos {
 		m.int("vfpgad_board_resets_total", bi.WarmResets, "board", strconv.Itoa(bi.ID), "mode", "warm")
 		m.int("vfpgad_board_resets_total", bi.ColdResets, "board", strconv.Itoa(bi.ID), "mode", "cold")
+	}
+	m.family("vfpgad_board_fragmentation", "External-fragmentation ratio of the board's device after its last job or compaction pass (0 means one contiguous free extent).", "gauge")
+	for _, bi := range infos {
+		m.float("vfpgad_board_fragmentation", bi.Fragmentation, "board", strconv.Itoa(bi.ID), "manager", bi.Manager)
+	}
+	m.family("vfpgad_board_largest_free_cols", "Widest contiguous free column extent on the board's device.", "gauge")
+	for _, bi := range infos {
+		m.int("vfpgad_board_largest_free_cols", int64(bi.LargestFreeCols), "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_compactions_total", "Idle-cycle defragmentation passes the board ran.", "counter")
+	for _, bi := range infos {
+		m.int("vfpgad_compactions_total", bi.Compactions, "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_compaction_moved_total", "Strips relocated by idle-cycle compaction.", "counter")
+	for _, bi := range infos {
+		m.int("vfpgad_compaction_moved_total", bi.CompactionMoved, "board", strconv.Itoa(bi.ID))
+	}
+	m.family("vfpgad_compaction_aborts_total", "Compaction passes cut short by an injected fault (retried on a later idle cycle).", "counter")
+	for _, bi := range infos {
+		m.int("vfpgad_compaction_aborts_total", bi.CompactionAborts, "board", strconv.Itoa(bi.ID))
 	}
 	m.family("vfpgad_board_quarantined", "1 while the board is quarantined after a fault escalation.", "gauge")
 	for _, bi := range infos {

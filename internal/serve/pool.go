@@ -10,6 +10,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -127,6 +128,42 @@ type board struct {
 	warm       bool
 	warmResets int64
 	coldResets int64
+	// fragRatio and largestFree are the board's fragmentation view,
+	// sampled from the warm runtime after every job and after every
+	// compaction pass (a discarded runtime keeps the last sample).
+	// compactions counts idle-cycle defrag passes, compactionMoved the
+	// strips they relocated, compactionAborts the passes an injected
+	// fault cut short.
+	fragRatio        float64
+	largestFree      int
+	compactions      int64
+	compactionMoved  int64
+	compactionAborts int64
+}
+
+// sampleFrag refreshes the board's exported fragmentation view from the
+// warm runtime's engines: the worst external-fragmentation ratio and the
+// widest contiguous free extent across them (a multi-device board
+// reports its most fragmented device). Runs on the board's worker
+// goroutine, the sole owner of b.rt.
+func (b *board) sampleFrag() {
+	if b.rt == nil {
+		return
+	}
+	var ratio float64
+	largest := 0
+	for _, eng := range b.rt.engines {
+		f := eng.Ledger().Frag()
+		if r := f.Ratio(); r > ratio {
+			ratio = r
+		}
+		if f.LargestFree > largest {
+			largest = f.LargestFree
+		}
+	}
+	b.mu.Lock()
+	b.fragRatio, b.largestFree = ratio, largest
+	b.mu.Unlock()
 }
 
 // noteReset records how a job's board state was prepared.
@@ -181,6 +218,9 @@ func (b *board) info() BoardInfo {
 		JobsDone: b.done, JobsFailed: b.failed,
 		Quarantined: b.quarantined, FaultKind: b.quarKind, Escalations: b.escalations,
 		Warm: b.warm, WarmResets: b.warmResets, ColdResets: b.coldResets,
+		Fragmentation: b.fragRatio, LargestFreeCols: b.largestFree,
+		Compactions: b.compactions, CompactionMoved: b.compactionMoved,
+		CompactionAborts: b.compactionAborts,
 	}
 }
 
@@ -198,6 +238,12 @@ type pool struct {
 	// queues full deterministically. Both are written before start().
 	wg   sync.WaitGroup
 	gate chan struct{}
+
+	// compactWatermark and compactBudget configure idle-cycle
+	// defragmentation; both are written before start() and read only by
+	// the worker goroutines. A watermark <= 0 disables compaction.
+	compactWatermark float64
+	compactBudget    sim.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -260,7 +306,66 @@ func (p *pool) worker(b *board) {
 			<-p.gate
 		}
 		p.runOne(b, j)
+		p.boardMaint(b)
 	}
+}
+
+// boardMaint runs on b's worker goroutine after every job: it samples
+// the board's fragmentation view and, when the queue is idle and the
+// ratio has crossed the configured watermark, spends the idle cycle on
+// a budgeted compaction pass through each engine's ledger. The pass
+// charges real relocation costs, but the next job starts from the
+// pristine image anyway (warm reset or rebuild), so job results stay
+// independent of whether the board defragmented in between — compaction
+// here models reclaiming otherwise-dead device time, and its effect is
+// visible through the board's exported fragmentation gauges.
+func (p *pool) boardMaint(b *board) {
+	if b.rt == nil || b.isQuarantined() {
+		return
+	}
+	b.sampleFrag()
+	if p.compactWatermark <= 0 || len(b.queue) != 0 {
+		return
+	}
+	var moved, aborts int64
+	ran := false
+	for _, eng := range b.rt.engines {
+		f := eng.Ledger().Frag()
+		// One mid-device hole is enough to cross a low watermark, but
+		// with a single free span there is nothing to merge.
+		if f.Ratio() < p.compactWatermark || f.FreeSpans < 2 {
+			continue
+		}
+		res := p.compactEngine(eng)
+		ran = true
+		moved += int64(res.Moved)
+		if res.Err != nil {
+			aborts++
+		}
+	}
+	if !ran {
+		return
+	}
+	b.mu.Lock()
+	b.compactions++
+	b.compactionMoved += moved
+	b.compactionAborts += aborts
+	b.mu.Unlock()
+	b.sampleFrag()
+}
+
+// compactEngine runs one budgeted compaction pass over an engine's
+// ledger, converting any stray panic into an aborted result. An abort —
+// an injected fault firing mid-move — never quarantines the board: the
+// ledger already resolved the fault (strip kept or cleanly dropped),
+// and the next idle cycle simply retries.
+func (p *pool) compactEngine(eng *core.Engine) (res core.CompactResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.CompactResult{Err: fmt.Errorf("serve: compaction panicked: %v", r)}
+		}
+	}()
+	return eng.Ledger().Compact(p.compactBudget)
 }
 
 func (p *pool) runOne(b *board, j *job) {

@@ -10,7 +10,7 @@ import (
 )
 
 // Managers lists the hostos.FPGA implementations a board can run.
-var Managers = []string{"dynamic", "partition", "overlay", "paged", "multi", "exclusive", "software", "merged"}
+var Managers = []string{"dynamic", "partition", "amorphous", "overlay", "paged", "multi", "exclusive", "software", "merged"}
 
 // BoardConfig describes one simulated board of the pool. The simulated
 // hardware is built from this config once, then reset to its pristine

@@ -122,6 +122,8 @@ func buildRuntime(bc BoardConfig, set *workload.Set, circs []*compile.Circuit) (
 			return nil, err
 		}
 		mgr = pm
+	case "amorphous":
+		mgr = core.NewAmorphousManager(k, e, core.DefaultAmorphousConfig())
 	case "overlay":
 		// workload.Spec.Build rejects empty sets with ErrNoCircuits, but
 		// guard the index anyway: a panic here would read as a board bug.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/sim"
 )
 
 // Config parameterizes a Server.
@@ -28,6 +29,14 @@ type Config struct {
 	// independently but reproducibly). Boards with their own Faults plan
 	// keep it. Nil means no injection anywhere.
 	Faults *fault.Plan
+	// CompactWatermark turns on idle-cycle defragmentation: after a job,
+	// a board whose queue is empty and whose external-fragmentation
+	// ratio is at or above the watermark runs a compaction pass through
+	// its ledger. <= 0 disables compaction.
+	CompactWatermark float64
+	// CompactBudget bounds the virtual device time one compaction pass
+	// may spend on relocations; 0 means unbounded (pack fully).
+	CompactBudget sim.Time
 }
 
 // Server is the vfpgad service: board pool + admission + HTTP handlers.
@@ -56,6 +65,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.compactWatermark, p.compactBudget = cfg.CompactWatermark, cfg.CompactBudget
 	s := &Server{pool: p, adm: adm, version: cfg.Version}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
