@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +27,14 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/version"
 	"repro/internal/workload"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F9, A1), 'all', or 'none'")
+	run := flag.String("run", "all", "comma-separated experiment ids (T1..T5, F1..F10, A1), 'all', or 'none'")
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent workers (1 = serial)")
@@ -128,7 +130,7 @@ func main() {
 		f.Close()
 	}
 	if *serveJSONPath != "" {
-		if err := writeServeBench(*serveJSONPath, *serveJobs); err != nil {
+		if err := writeServeBench(*serveJSONPath, *serveJobs, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "vfpgabench: serve bench: %v\n", err)
 			failed = true
 		}
@@ -139,8 +141,11 @@ func main() {
 }
 
 // writeServeBench runs the cold-vs-warm serving benchmark on the default
-// board and records p50/p95 wall-clock job latency per mode.
-func writeServeBench(path string, jobs int) error {
+// board plus the F10 fleet placement bake-off, and records both in one
+// JSON file: the cold/warm fields at top level (the speedup gate greps
+// them there) and the bake-off under "fleet". The bake-off always runs
+// at full scale — 12k virtual-time jobs cost well under a second.
+func writeServeBench(path string, jobs int, seed uint64) error {
 	const scenario = "multimedia"
 	spec, err := workload.BuiltinSpec(scenario)
 	if err != nil {
@@ -150,16 +155,31 @@ func writeServeBench(path string, jobs int) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	fcfg, err := bench.FleetBakeoffConfig(bench.Config{Seed: seed})
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := rec.WriteJSON(f); err != nil {
+	frec, err := fleet.RunBakeoffAll(fcfg, fleet.PolicyNames)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		serve.ColdWarmBench
+		Fleet *fleet.BakeoffRecord `json:"fleet"`
+	}{rec, frec}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("serve bench: warm p50 %v vs cold p50 %v (%.1fx); p95 %v vs %v (%.1fx) -> %s\n",
 		time.Duration(rec.WarmP50NS), time.Duration(rec.ColdP50NS), rec.SpeedupP50,
 		time.Duration(rec.WarmP95NS), time.Duration(rec.ColdP95NS), rec.SpeedupP95, path)
+	for _, row := range frec.Rows {
+		fmt.Printf("fleet bench: %-9s %d jobs, hw_util %.4f, p99 admit %.2fms, %d requeues\n",
+			row.Policy, row.Jobs, row.HWUtil, row.P99AdmitMS, row.Requeues)
+	}
 	return nil
 }

@@ -4,12 +4,19 @@
 // throttle admission, and /metrics exposes the service in Prometheus
 // text format.
 //
+// With -nodes > 1 the process runs a whole fleet: each node wraps its
+// own pool of boards (one simulated daemon), and a placement policy
+// routes jobs across nodes. The HTTP API is unchanged, plus GET
+// /v1/fleet for routing inspection; admission budgets span the fleet.
+//
 // Usage:
 //
 //	vfpgad -addr :8080
 //	vfpgad -boards 4 -managers dynamic,partition -queue 32
 //	vfpgad -addr 127.0.0.1:0 -addr-file /tmp/vfpgad.addr
 //	vfpgad -boards 3 -faults seed=7,retries=2,config-error=0.1
+//	vfpgad -nodes 3 -boards-per-node 2 -placement packing
+//	vfpgad -nodes 3 -faults seed=1,config-error=0.9 -fault-node 1
 //
 // SIGINT/SIGTERM stop intake, drain every accepted job, and exit 0.
 package main
@@ -28,97 +35,170 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/version"
 )
 
+// options collects the flag values; one struct keeps the single-daemon
+// and fleet paths on the same configuration.
+type options struct {
+	addr, addrFile   string
+	boards           int
+	nodes            int
+	boardsPerNode    int
+	placement        string
+	managers         string
+	cols, rows       int
+	subBoards        int
+	sched            string
+	slice            time.Duration
+	queue            int
+	rate, burst      float64
+	seed             uint64
+	faults           string
+	faultNode        int
+	compactWatermark float64
+	compactBudget    time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
-	boards := flag.Int("boards", 2, "number of boards in the pool")
-	managers := flag.String("managers", "dynamic", "comma-separated manager list, cycled across boards")
-	cols := flag.Int("cols", 32, "device columns per board")
-	rows := flag.Int("rows", 16, "device rows per board")
-	subBoards := flag.Int("sub-boards", 2, "sub-board count for multi-manager boards")
-	sched := flag.String("sched", "rr", "host OS scheduler: fifo | rr | priority")
-	slice := flag.Duration("slice", 10*time.Millisecond, "round-robin time slice")
-	queue := flag.Int("queue", 16, "job queue depth per board")
-	rate := flag.Float64("rate", 20, "per-tenant admitted jobs per second (<= 0 disables)")
-	burst := flag.Float64("burst", 40, "per-tenant admission burst")
-	seed := flag.Uint64("seed", 1, "compilation seed")
-	faults := flag.String("faults", "", "fault-injection plan applied to every board (board i derives its own stream)")
-	compactWatermark := flag.Float64("compact-watermark", 0.5, "fragmentation ratio at which an idle board defragments its device (<= 0 disables)")
-	compactBudget := flag.Duration("compact-budget", 0, "virtual device time one compaction pass may spend on relocations (0 = unbounded)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.IntVar(&o.boards, "boards", 2, "number of boards in the pool (single-node mode)")
+	flag.IntVar(&o.nodes, "nodes", 1, "number of nodes; > 1 serves a fleet from this one process")
+	flag.IntVar(&o.boardsPerNode, "boards-per-node", 0, "boards per fleet node (0 = the -boards value)")
+	flag.StringVar(&o.placement, "placement", "packing", "fleet placement policy: firstfit | packing | random")
+	flag.StringVar(&o.managers, "managers", "dynamic", "comma-separated manager list, cycled across boards")
+	flag.IntVar(&o.cols, "cols", 32, "device columns per board")
+	flag.IntVar(&o.rows, "rows", 16, "device rows per board")
+	flag.IntVar(&o.subBoards, "sub-boards", 2, "sub-board count for multi-manager boards")
+	flag.StringVar(&o.sched, "sched", "rr", "host OS scheduler: fifo | rr | priority")
+	flag.DurationVar(&o.slice, "slice", 10*time.Millisecond, "round-robin time slice")
+	flag.IntVar(&o.queue, "queue", 16, "job queue depth per board")
+	flag.Float64Var(&o.rate, "rate", 20, "per-tenant admitted jobs per second, fleet-wide (<= 0 disables)")
+	flag.Float64Var(&o.burst, "burst", 40, "per-tenant admission burst")
+	flag.Uint64Var(&o.seed, "seed", 1, "compilation seed")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection plan applied per board (board i derives its own stream)")
+	flag.IntVar(&o.faultNode, "fault-node", -1, "restrict -faults to this node's boards (fleet mode; -1 arms every node)")
+	flag.Float64Var(&o.compactWatermark, "compact-watermark", 0.5, "fragmentation ratio at which an idle board defragments its device (<= 0 disables)")
+	flag.DurationVar(&o.compactBudget, "compact-budget", 0, "virtual device time one compaction pass may spend on relocations (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("vfpgad", version.String())
 		return
 	}
-	if err := run(*addr, *addrFile, *boards, *managers, *cols, *rows, *subBoards,
-		*sched, *slice, *queue, *rate, *burst, *seed, *faults,
-		*compactWatermark, *compactBudget); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "vfpgad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, boards int, managers string, cols, rows, subBoards int,
-	sched string, slice time.Duration, queue int, rate, burst float64, seed uint64, faults string,
-	compactWatermark float64, compactBudget time.Duration) error {
-	if boards < 1 {
-		return fmt.Errorf("need at least one board")
+// service is the part of serve.Server and fleet.Server the daemon loop
+// needs.
+type service interface {
+	Handler() http.Handler
+	Start()
+	Drain()
+}
+
+func (o options) boardConfigs(n int) []serve.BoardConfig {
+	mgrs := strings.Split(o.managers, ",")
+	cfgs := make([]serve.BoardConfig, n)
+	for i := range cfgs {
+		bc := serve.DefaultBoardConfig()
+		bc.Manager = strings.TrimSpace(mgrs[i%len(mgrs)])
+		bc.Cols, bc.Rows = o.cols, o.rows
+		bc.SubBoards = o.subBoards
+		bc.Sched = o.sched
+		bc.Slice = sim.Time(o.slice.Nanoseconds())
+		bc.Seed = o.seed
+		bc.QueueDepth = o.queue
+		cfgs[i] = bc
+	}
+	return cfgs
+}
+
+func run(o options) error {
+	if o.boards < 1 || o.nodes < 1 {
+		return fmt.Errorf("need at least one board and one node")
 	}
 	var plan *fault.Plan
-	if faults != "" {
-		p, err := fault.ParseSpec(faults)
+	if o.faults != "" {
+		p, err := fault.ParseSpec(o.faults)
 		if err != nil {
 			return err
 		}
 		plan = &p
 	}
-	mgrs := strings.Split(managers, ",")
-	cfgs := make([]serve.BoardConfig, boards)
-	for i := range cfgs {
-		bc := serve.DefaultBoardConfig()
-		bc.Manager = strings.TrimSpace(mgrs[i%len(mgrs)])
-		bc.Cols, bc.Rows = cols, rows
-		bc.SubBoards = subBoards
-		bc.Sched = sched
-		bc.Slice = sim.Time(slice.Nanoseconds())
-		bc.Seed = seed
-		bc.QueueDepth = queue
-		cfgs[i] = bc
-	}
+	limits := serve.TenantLimits{Rate: o.rate, Burst: o.burst}
+	ver := "vfpgad " + version.String()
 
-	srv, err := serve.New(serve.Config{
-		Boards:           cfgs,
-		Tenant:           serve.TenantLimits{Rate: rate, Burst: burst},
-		Version:          "vfpgad " + version.String(),
-		Faults:           plan,
-		CompactWatermark: compactWatermark,
-		CompactBudget:    sim.Time(compactBudget.Nanoseconds()),
-	})
-	if err != nil {
-		return err
+	var srv service
+	var banner string
+	if o.nodes > 1 {
+		per := o.boardsPerNode
+		if per <= 0 {
+			per = o.boards
+		}
+		nodeCfgs := make([][]serve.BoardConfig, o.nodes)
+		for i := range nodeCfgs {
+			nodeCfgs[i] = o.boardConfigs(per)
+		}
+		fs, err := fleet.NewServer(fleet.ServerConfig{
+			Nodes:            nodeCfgs,
+			Policy:           o.placement,
+			Seed:             o.seed,
+			Tenant:           limits,
+			Version:          ver,
+			Faults:           plan,
+			FaultNode:        o.faultNode,
+			CompactWatermark: o.compactWatermark,
+			CompactBudget:    sim.Time(o.compactBudget.Nanoseconds()),
+		})
+		if err != nil {
+			return err
+		}
+		srv = fs
+		banner = fmt.Sprintf("%d node(s) x %d board(s), placement=%s,", o.nodes, per, o.placement)
+	} else {
+		ss, err := serve.New(serve.Config{
+			Boards:           o.boardConfigs(o.boards),
+			Tenant:           limits,
+			Version:          ver,
+			Faults:           plan,
+			CompactWatermark: o.compactWatermark,
+			CompactBudget:    sim.Time(o.compactBudget.Nanoseconds()),
+		})
+		if err != nil {
+			return err
+		}
+		srv = ss
+		banner = fmt.Sprintf("%d board(s)", o.boards)
 	}
 	if plan != nil {
-		fmt.Printf("vfpgad: fault injection armed: %s\n", plan)
+		scope := ""
+		if o.nodes > 1 && o.faultNode >= 0 {
+			scope = fmt.Sprintf(" (node %d only)", o.faultNode)
+		}
+		fmt.Printf("vfpgad: fault injection armed%s: %s\n", scope, plan)
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	if addrFile != "" {
+	if o.addrFile != "" {
 		// Written after Listen succeeds, so a reader that sees the file can
 		// connect immediately — the smoke test polls for it.
-		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("vfpgad: %d board(s) listening on %s\n", boards, ln.Addr())
+	fmt.Printf("vfpgad: %s listening on %s\n", banner, ln.Addr())
 
 	srv.Start()
 	hs := &http.Server{Handler: srv.Handler()}

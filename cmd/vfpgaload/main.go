@@ -7,6 +7,7 @@
 //	vfpgaload -target http://127.0.0.1:8080 -requests 200 -concurrency 8
 //	vfpgaload -target http://127.0.0.1:8080 -workload telecom -tenants 4
 //	vfpgaload -target http://127.0.0.1:8080 -requests 50 -check-lint
+//	vfpgaload -targets http://10.0.0.1:8080,http://10.0.0.2:8080 -requests 500
 //
 // Closed-loop: each of -concurrency workers submits, polls the job to
 // completion, then submits again until -requests jobs are accounted
@@ -17,10 +18,18 @@
 // nonzero on any 5xx, any persistent transport error, any failed job,
 // or (with -check-lint) any lint-dirty result.
 //
+// With -targets, submissions round-robin across the endpoints. Each
+// target keeps its own 429 account and Retry-After window: a throttled
+// target sits out until its hint expires while the rotation continues
+// over the others, and the per-target tallies are reported at the end.
+// Polling always follows the job to the target that accepted it.
+//
 // Against a daemon running a fault campaign (vfpgad -faults),
 // -allow-faults accepts job failures that carry a typed fault kind —
 // they are counted separately, not as failures — and -expect-quarantine
-// requires at least one board to end up quarantined.
+// requires at least one board to end up quarantined. Against a fleet
+// (vfpgad -nodes > 1), -expect-node-quarantine requires a whole node to
+// have dropped out of the healthy rotation (via GET /v1/fleet).
 package main
 
 import (
@@ -33,9 +42,11 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/version"
 	"repro/internal/workload"
@@ -59,8 +70,78 @@ func (s *stats) code(c int) {
 	s.mu.Unlock()
 }
 
+// target is one endpoint of the rotation with its own backpressure
+// account: how many submissions it accepted, how many 429s it returned,
+// and until when its last Retry-After hint asks us to stay away.
+type target struct {
+	url string
+
+	mu        sync.Mutex
+	submitted int
+	throttled int
+	notBefore time.Time
+}
+
+func (t *target) noteSubmitted() {
+	t.mu.Lock()
+	t.submitted++
+	t.mu.Unlock()
+}
+
+func (t *target) noteThrottled(wait time.Duration) {
+	t.mu.Lock()
+	t.throttled++
+	if nb := time.Now().Add(wait); nb.After(t.notBefore) {
+		t.notBefore = nb
+	}
+	t.mu.Unlock()
+}
+
+// targetSet rotates submissions round-robin, skipping targets inside
+// their Retry-After window.
+type targetSet struct {
+	// targets is fixed at construction; each target self-synchronizes.
+	targets []*target
+
+	mu   sync.Mutex
+	next int
+}
+
+func newTargetSet(urls []string) *targetSet {
+	ts := &targetSet{}
+	for _, u := range urls {
+		ts.targets = append(ts.targets, &target{url: strings.TrimRight(u, "/")})
+	}
+	return ts
+}
+
+// pick returns the next target whose backoff window has passed, in
+// round-robin order. When every target is backing off it returns nil
+// and how long until the earliest window opens.
+func (ts *targetSet) pick() (*target, time.Duration) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	now := time.Now()
+	var soonest time.Duration
+	for i := 0; i < len(ts.targets); i++ {
+		t := ts.targets[(ts.next+i)%len(ts.targets)]
+		t.mu.Lock()
+		wait := t.notBefore.Sub(now)
+		t.mu.Unlock()
+		if wait <= 0 {
+			ts.next = (ts.next + i + 1) % len(ts.targets)
+			return t, 0
+		}
+		if soonest == 0 || wait < soonest {
+			soonest = wait
+		}
+	}
+	return nil, soonest
+}
+
 func main() {
-	target := flag.String("target", "http://127.0.0.1:8080", "vfpgad base URL")
+	targetFlag := flag.String("target", "http://127.0.0.1:8080", "vfpgad base URL")
+	targetsFlag := flag.String("targets", "", "comma-separated vfpgad base URLs; submissions round-robin across them (overrides -target)")
 	requests := flag.Int("requests", 100, "total jobs to run to completion")
 	concurrency := flag.Int("concurrency", 4, "concurrent closed-loop workers")
 	tenants := flag.Int("tenants", 2, "number of distinct tenants to submit as")
@@ -68,6 +149,7 @@ func main() {
 	checkLint := flag.Bool("check-lint", false, "fail if any job result is not lint-clean")
 	allowFaults := flag.Bool("allow-faults", false, "count job failures with a typed fault kind separately, not as failures")
 	expectQuarantine := flag.Bool("expect-quarantine", false, "fail unless at least one board ends up quarantined")
+	expectNodeQuarantine := flag.Bool("expect-node-quarantine", false, "fail unless at least one fleet node ends up unhealthy (needs a fleet target)")
 	expectWarm := flag.Bool("expect-warm", false, "fail unless every board served at least one job via warm reset")
 	expectCompaction := flag.Bool("expect-compaction", false, "fail unless the boards ran at least one idle-cycle compaction pass")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
@@ -77,6 +159,21 @@ func main() {
 		fmt.Println("vfpgaload", version.String())
 		return
 	}
+
+	urls := []string{*targetFlag}
+	if *targetsFlag != "" {
+		urls = nil
+		for _, u := range strings.Split(*targetsFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "vfpgaload: -targets lists no endpoints")
+		os.Exit(1)
+	}
+	ts := newTargetSet(urls)
 
 	spec, err := workload.BuiltinSpec(*scenario)
 	if err != nil {
@@ -110,29 +207,41 @@ func main() {
 					return
 				}
 				tenant := "tenant-" + strconv.Itoa(n%*tenants)
-				runOne(client, *target, tenant, &spec, *checkLint, *allowFaults, deadline, st)
+				runOne(client, ts, tenant, &spec, *checkLint, *allowFaults, deadline, st)
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	probe := ts.targets[0].url
 	quarantined := -1
 	if *expectQuarantine {
-		quarantined = countQuarantined(*target, deadline, st)
+		quarantined = countQuarantined(probe, deadline, st)
+	}
+	nodesOut := -1
+	if *expectNodeQuarantine {
+		nodesOut = countUnhealthyNodes(probe, deadline, st)
 	}
 	minWarm := int64(-1)
 	if *expectWarm {
-		minWarm = minWarmResets(*target, deadline, st)
+		minWarm = minWarmResets(probe, deadline, st)
 	}
 	compactions := int64(-1)
 	if *expectCompaction {
-		compactions = sumCompactions(*target, deadline, st)
+		compactions = sumCompactions(probe, deadline, st)
 	}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	fmt.Printf("vfpgaload: %d submitted, %d completed, %d failed, %d faulted, %d transport errors, %d retries after 429\n",
 		st.submitted, st.completed, st.failed, st.faulted, st.transport, st.retries)
+	if len(ts.targets) > 1 {
+		for _, t := range ts.targets {
+			t.mu.Lock()
+			fmt.Printf("  target %s: %d submitted, %d throttled (429)\n", t.url, t.submitted, t.throttled)
+			t.mu.Unlock()
+		}
+	}
 	codes := make([]int, 0, len(st.codes))
 	for c := range st.codes {
 		codes = append(codes, c)
@@ -154,6 +263,12 @@ func main() {
 	if *expectQuarantine {
 		fmt.Printf("  quarantined boards: %d\n", quarantined)
 		if quarantined < 1 {
+			bad = true
+		}
+	}
+	if *expectNodeQuarantine {
+		fmt.Printf("  unhealthy nodes: %d\n", nodesOut)
+		if nodesOut < 1 {
 			bad = true
 		}
 	}
@@ -244,6 +359,35 @@ func countQuarantined(target string, deadline time.Time, st *stats) int {
 	return n
 }
 
+// countUnhealthyNodes asks /v1/fleet how many nodes dropped out of the
+// healthy rotation; -1 means the query failed (e.g. a single-daemon
+// target, which serves no /v1/fleet).
+func countUnhealthyNodes(target string, deadline time.Time, st *stats) int {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := doReq(client, http.MethodGet, target+"/v1/fleet", nil, deadline)
+	if err != nil {
+		st.mu.Lock()
+		st.transport++
+		st.mu.Unlock()
+		return -1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return -1
+	}
+	var info fleet.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return -1
+	}
+	n := 0
+	for _, node := range info.Nodes {
+		if !node.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
 // minWarmResets asks /v1/boards for the smallest warm-reset count any
 // board served; -1 means the query itself failed or there are no boards.
 func minWarmResets(target string, deadline time.Time, st *stats) int64 {
@@ -292,19 +436,28 @@ func sumCompactions(target string, deadline time.Time, st *stats) int64 {
 	return n
 }
 
-// runOne submits one job (retrying 429 backpressure and transient
-// transport errors) and polls it to a terminal state.
-func runOne(client *http.Client, target, tenant string, spec *workload.Spec, checkLint, allowFaults bool, deadline time.Time, st *stats) {
+// runOne submits one job (rotating targets, honoring each target's
+// Retry-After window, and retrying transient transport errors) and polls
+// it to a terminal state on the target that accepted it.
+func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Spec, checkLint, allowFaults bool, deadline time.Time, st *stats) {
 	body, err := json.Marshal(serve.SubmitRequest{Tenant: tenant, Workload: *spec})
 	if err != nil {
 		panic(err) // specs come from BuiltinSpec; marshal cannot fail
 	}
 	var sub serve.SubmitResponse
+	var tgt *target
 	for {
 		if time.Now().After(deadline) {
 			return
 		}
-		resp, err := doReq(client, http.MethodPost, target+"/v1/jobs", body, deadline)
+		t, wait := ts.pick()
+		if t == nil {
+			// Every target is inside its Retry-After window; sleep out the
+			// earliest one rather than hammering a throttled fleet.
+			time.Sleep(wait)
+			continue
+		}
+		resp, err := doReq(client, http.MethodPost, t.url+"/v1/jobs", body, deadline)
 		if err != nil {
 			st.mu.Lock()
 			st.transport++
@@ -314,12 +467,11 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 		code := resp.StatusCode
 		st.code(code)
 		if code == http.StatusTooManyRequests {
-			wait := retryAfterWait(resp)
+			t.noteThrottled(retryAfterWait(resp))
 			st.mu.Lock()
 			st.retries++
 			st.mu.Unlock()
-			time.Sleep(wait)
-			continue
+			continue // the rotation moves on; this target sits out its window
 		}
 		err = json.NewDecoder(resp.Body).Decode(&sub)
 		resp.Body.Close()
@@ -329,6 +481,8 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 			st.mu.Unlock()
 			return
 		}
+		t.noteSubmitted()
+		tgt = t
 		break
 	}
 	st.mu.Lock()
@@ -342,7 +496,7 @@ func runOne(client *http.Client, target, tenant string, spec *workload.Spec, che
 			st.mu.Unlock()
 			return
 		}
-		resp, err := doReq(client, http.MethodGet, target+"/v1/jobs/"+sub.ID, nil, deadline)
+		resp, err := doReq(client, http.MethodGet, tgt.url+"/v1/jobs/"+sub.ID, nil, deadline)
 		if err != nil {
 			st.mu.Lock()
 			st.transport++

@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"F7", "Application scenarios (multimedia, telecom, diagnosis)", F7Applications},
 		{"F8", "Multi-board virtualization (one big vs several small)", F8MultiBoard},
 		{"F9", "Amorphous regions vs variable partitions", F9AmorphousRegions},
+		{"F10", "Fleet placement-policy bake-off under churn", F10PlacementBakeoff},
 		{"A1", "Ablation: logic optimizer area/download savings", A1OptimizerAblation},
 	}
 }

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/fleet"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// F10 — the fleet-scale bake-off: the same 10k-job churn mix replayed
+// through each placement policy over a virtual rack. Placement is
+// strip-packing with delays one level above the boards: every job is a
+// rectangle whose width is its widest real compiled strip on the bench
+// geometry and whose height is a modeled service time, and the policy
+// decides which node's open strip it lands in. The replay (see
+// fleet.RunBakeoff) is pure virtual time, so the rows measure routing
+// quality alone — identical arrivals, identical rectangles, identical
+// mid-run node failure.
+
+// fleetClassPool is the churn mix: recurring narrow strips that
+// checkerboard boards, a mid band, and wide multipliers that demand
+// contiguity — the same tension the F4/F9 fragmentation studies create,
+// lifted to fleet scale. Service time models evaluation work at the
+// simulated 100 MHz fabric clock (evals × 10 ns).
+func fleetClassPool() []struct {
+	nl     *netlist.Netlist
+	evals  int64
+	weight int
+} {
+	return []struct {
+		nl     *netlist.Netlist
+		evals  int64
+		weight int
+	}{
+		{netlist.Parity(16), 40_000, 5},
+		{netlist.Adder(8), 60_000, 3},
+		{netlist.ALU(8), 80_000, 2},
+		{netlist.Multiplier(6), 120_000, 2},
+		{netlist.Multiplier(8), 160_000, 1},
+	}
+}
+
+// FleetBakeoffConfig builds the F10 scenario: class widths come from
+// real strip compiles on the bench geometry, the arrival rate is tuned
+// for ~90% offered load on the healthy fleet, and one node fails about
+// 40% through the expected arrival span so every policy absorbs the
+// same casualty.
+func FleetBakeoffConfig(cfg Config) (fleet.BakeoffConfig, error) {
+	geo := benchGeometry()
+	jobs := 12_000
+	if cfg.Quick {
+		jobs = 1_500
+	}
+	// 12-column boards make contiguity scarce: the widest class fills
+	// most of a board, so routing a wide strip to a checkerboarded node
+	// blocks its whole queue — the failure mode packing exists to avoid.
+	bcfg := fleet.BakeoffConfig{
+		Nodes: 4, BoardsPerNode: 2, Cols: 12,
+		Jobs: jobs, Seed: cfg.Seed,
+		FailNode: 1,
+	}
+	opt := defaultOpt(cfg)
+	var meanArea float64
+	var totalWeight int
+	for i, cl := range fleetClassPool() {
+		tm := opt.Timing
+		c, err := compile.CompileStrip(cl.nl, geo.Rows, geo.TracksPerChannel,
+			compile.Options{Seed: opt.Seed + uint64(i), Timing: &tm})
+		if err != nil {
+			return fleet.BakeoffConfig{}, fmt.Errorf("bench F10: compile %s: %w", cl.nl.Name, err)
+		}
+		w, _ := c.Footprint()
+		dur := sim.Time(cl.evals) * 10 * sim.Nanosecond
+		bcfg.Classes = append(bcfg.Classes, fleet.JobClass{
+			Name: cl.nl.Name, Width: w, Duration: dur, Weight: cl.weight,
+		})
+		meanArea += float64(w) * float64(dur) * float64(cl.weight)
+		totalWeight += cl.weight
+	}
+	meanArea /= float64(totalWeight)
+	// Offered load ~0.9: mean inter-arrival = E[width×duration] over
+	// 90% of the fleet's column capacity. High enough that a policy's
+	// packing quality shows up in queue delay, low enough to stay stable.
+	totalCols := float64(bcfg.Nodes * bcfg.BoardsPerNode * bcfg.Cols)
+	bcfg.MeanInterval = sim.Time(meanArea / (0.9 * totalCols))
+	// The casualty lands ~40% through the arrival span: enough history
+	// to have packed the failed node, enough future to measure recovery.
+	bcfg.FailAt = sim.Time(jobs) * bcfg.MeanInterval * 4 / 10
+	return bcfg, nil
+}
+
+// F10PlacementBakeoff — fleet placement policies under identical churn:
+// sustained hardware utilization, tail admission latency and
+// displacement counts per policy. The packing policy should beat the
+// random control on both utilization and p99 admission latency; firstfit
+// sits between.
+func F10PlacementBakeoff(cfg Config) (*trace.Table, error) {
+	tbl := &trace.Table{
+		ID:      "F10",
+		Title:   "Fleet placement-policy bake-off under churn with a node casualty",
+		Note:    "same arrivals, rectangles and mid-run node failure per policy; only routing differs",
+		Columns: []string{"policy", "jobs", "completed", "hw_util", "p50_admit_ms", "p99_admit_ms", "requeues", "mean_score", "makespan_ms"},
+	}
+	bcfg, err := FleetBakeoffConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policies := fleet.PolicyNames
+	rows, err := parRows(cfg.Jobs, len(policies), func(i int) ([]any, error) {
+		row, err := fleet.RunBakeoff(bcfg, policies[i])
+		if err != nil {
+			return nil, err
+		}
+		return []any{row.Policy, row.Jobs, row.Completed, row.HWUtil,
+			row.P50AdmitMS, row.P99AdmitMS, row.Requeues, row.MeanScore, row.MakespanMS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(tbl, rows)
+	return tbl, nil
+}

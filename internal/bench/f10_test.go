@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestF10Shape gates the bake-off's headline claim at full scale: over
+// the 12k-job churn replay with a mid-run node casualty, the packing
+// policy beats the random control on both sustained hardware
+// utilization and p99 admission latency, and no policy loses a job.
+// The replay is deterministic, so this is a regression gate, not a
+// statistical assertion.
+func TestF10Shape(t *testing.T) {
+	cfg, err := FleetBakeoffConfig(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]fleet.BakeoffRow{}
+	for _, name := range fleet.PolicyNames {
+		row, err := fleet.RunBakeoff(cfg, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[name] = row
+		if row.Jobs < 10_000 {
+			t.Errorf("%s: %d jobs, want >= 10000", name, row.Jobs)
+		}
+		if row.Completed != row.Jobs {
+			t.Errorf("%s: %d of %d jobs completed", name, row.Completed, row.Jobs)
+		}
+		if row.Requeues == 0 {
+			t.Errorf("%s: node %d's casualty displaced nothing", name, cfg.FailNode)
+		}
+	}
+	packing, random := rows["packing"], rows["random"]
+	if packing.HWUtil <= random.HWUtil {
+		t.Errorf("packing hw_util %.4f does not beat random %.4f", packing.HWUtil, random.HWUtil)
+	}
+	if packing.P99AdmitMS >= random.P99AdmitMS {
+		t.Errorf("packing p99 admit %.3fms does not beat random %.3fms", packing.P99AdmitMS, random.P99AdmitMS)
+	}
+
+	// The table renders one row per policy in PolicyNames order.
+	tbl, err := F10PlacementBakeoff(Config{Seed: 42, Quick: true, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(fleet.PolicyNames) {
+		t.Fatalf("table has %d rows, want %d", len(tbl.Rows), len(fleet.PolicyNames))
+	}
+	for i, name := range fleet.PolicyNames {
+		if tbl.Rows[i][0] != name {
+			t.Errorf("row %d policy %q, want %q", i, tbl.Rows[i][0], name)
+		}
+	}
+}

@@ -27,11 +27,11 @@ const FragHistBuckets = 8
 // space is free, how much of it is usable as one contiguous hole, and
 // how the rest shatters by size.
 type FragStats struct {
-	Cols        int                  // columns tracked
-	FreeCols    int                  // total free columns
-	LargestFree int                  // widest contiguous free span
-	FreeSpans   int                  // number of free spans
-	Hist        [FragHistBuckets]int // free spans by power-of-two width
+	Cols        int                  `json:"cols"`         // columns tracked
+	FreeCols    int                  `json:"free_cols"`    // total free columns
+	LargestFree int                  `json:"largest_free"` // widest contiguous free span
+	FreeSpans   int                  `json:"free_spans"`   // number of free spans
+	Hist        [FragHistBuckets]int `json:"hist"`         // free spans by power-of-two width
 }
 
 // Ratio returns the external-fragmentation ratio 1 - largest/free: 0
@@ -42,6 +42,35 @@ func (f FragStats) Ratio() float64 {
 		return 0
 	}
 	return 1 - float64(f.LargestFree)/float64(f.FreeCols)
+}
+
+// Merge folds another device's stats into f: totals and the histogram
+// add, LargestFree takes the maximum. Merging per-device stats gives a
+// board- or node-level view — the fleet layer aggregates every board of
+// a node this way to feed placement scoring and the per-node gauges.
+func (f *FragStats) Merge(o FragStats) {
+	f.Cols += o.Cols
+	f.FreeCols += o.FreeCols
+	f.FreeSpans += o.FreeSpans
+	if o.LargestFree > f.LargestFree {
+		f.LargestFree = o.LargestFree
+	}
+	for i, n := range o.Hist {
+		f.Hist[i] += n
+	}
+}
+
+// FreshFrag returns the stats of a device that has never been touched:
+// one free span covering all cols. Exposed so layers that track boards
+// before their first job (the serve pool, fleet placement) report full
+// capacity rather than zero.
+func FreshFrag(cols int) FragStats {
+	var f FragStats
+	f.Cols = cols
+	if cols > 0 {
+		f.observe(cols)
+	}
+	return f
 }
 
 func histBucket(w int) int {

@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The policy bake-off: a pure virtual-time replay of the fleet in the
+// strip-packing-with-delays formulation (Angermeier et al.). Jobs are
+// rectangles — strip width × service duration — arriving in a Poisson
+// stream; each node packs accepted rectangles onto its boards' region
+// maps and queues the rest FIFO with head-of-line blocking. The same
+// precomputed arrival stream is replayed against each policy, so the
+// only difference between rows is the routing decision — and the whole
+// run is deterministic: virtual clock, seeded streams, no goroutines.
+
+// JobClass is one rectangle shape in the churn mix.
+type JobClass struct {
+	Name     string   `json:"name"`
+	Width    int      `json:"width_cols"`
+	Duration sim.Time `json:"duration_ns"`
+	Weight   int      `json:"weight"`
+}
+
+// BakeoffConfig parameterizes one replay.
+type BakeoffConfig struct {
+	Nodes         int        `json:"nodes"`
+	BoardsPerNode int        `json:"boards_per_node"`
+	Cols          int        `json:"cols"`
+	Jobs          int        `json:"jobs"`
+	Seed          uint64     `json:"seed"`
+	MeanInterval  sim.Time   `json:"mean_interval_ns"` // mean job inter-arrival time
+	Classes       []JobClass `json:"classes"`
+	// FailNode, when >= 0, fails that node at FailAt: its queued and
+	// running jobs displace and re-route, and it accepts nothing after.
+	FailNode int      `json:"fail_node"`
+	FailAt   sim.Time `json:"fail_at_ns"`
+}
+
+func (c BakeoffConfig) validate() error {
+	if c.Nodes <= 0 || c.BoardsPerNode <= 0 || c.Cols <= 0 || c.Jobs <= 0 {
+		return fmt.Errorf("fleet: bakeoff needs nodes, boards, cols and jobs > 0")
+	}
+	if c.MeanInterval <= 0 {
+		return fmt.Errorf("fleet: bakeoff needs a positive mean arrival interval")
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("fleet: bakeoff needs at least one job class")
+	}
+	for _, cl := range c.Classes {
+		if cl.Width <= 0 || cl.Width > c.Cols {
+			return fmt.Errorf("fleet: class %q width %d outside (0, %d]", cl.Name, cl.Width, c.Cols)
+		}
+		if cl.Duration <= 0 || cl.Weight <= 0 {
+			return fmt.Errorf("fleet: class %q needs positive duration and weight", cl.Name)
+		}
+	}
+	if c.FailNode >= c.Nodes {
+		return fmt.Errorf("fleet: fail node %d outside the %d-node fleet", c.FailNode, c.Nodes)
+	}
+	return nil
+}
+
+// BakeoffRow is one policy's outcome over the replay.
+type BakeoffRow struct {
+	Policy string `json:"policy"`
+	Jobs   int    `json:"jobs"`
+	// Completed counts jobs that finished; with one failed node out of
+	// several it equals Jobs (every displaced job re-routes).
+	Completed int `json:"completed"`
+	// HWUtil is sustained hardware utilization: occupied column-time
+	// over provisioned column-time (all boards × makespan).
+	HWUtil float64 `json:"hw_util"`
+	// Admission latency: arrival → final start (virtual ms).
+	P50AdmitMS float64 `json:"p50_admit_ms"`
+	P99AdmitMS float64 `json:"p99_admit_ms"`
+	// Requeues counts jobs displaced by the node failure.
+	Requeues int64 `json:"requeues"`
+	// MeanScore is the mean placement score the policy assigned.
+	MeanScore  float64 `json:"mean_score"`
+	MakespanMS float64 `json:"makespan_ms"`
+}
+
+// BakeoffRecord is the fleet section of BENCH_serve.json.
+type BakeoffRecord struct {
+	Config BakeoffConfig `json:"config"`
+	Rows   []BakeoffRow  `json:"rows"`
+}
+
+// bakeJob is one rectangle moving through the replay.
+type bakeJob struct {
+	id      int
+	class   int
+	arrival sim.Time
+	start   sim.Time
+	span    *core.Span
+	node    int
+	board   int
+	gen     int // bumped when displaced; stale completion events skip
+	running bool
+	done    bool
+}
+
+// bakeNode is one node's replay state.
+type bakeNode struct {
+	healthy bool
+	boards  []*core.RegionMap
+	queue   []*bakeJob
+	running []*bakeJob // in start order
+}
+
+func (n *bakeNode) view(id int) NodeView {
+	v := NodeView{ID: id, Healthy: n.healthy, Queued: len(n.queue) + len(n.running)}
+	for _, rm := range n.boards {
+		f := rm.Frag()
+		v.Boards = append(v.Boards, BoardView{
+			Cols: rm.Cols(), LargestFree: f.LargestFree, FragRatio: f.Ratio(),
+			Quarantined: !n.healthy,
+		})
+	}
+	return v
+}
+
+// Event kinds, processed in (time, seq) order.
+const (
+	evArrival = iota
+	evComplete
+	evFail
+)
+
+type bakeEvent struct {
+	t    sim.Time
+	seq  int64
+	kind int
+	job  *bakeJob
+	node int
+	gen  int
+}
+
+type eventHeap []bakeEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(bakeEvent)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *eventHeap) push(ev bakeEvent) { heap.Push(h, ev) }
+
+// bakeoffSim is one policy's replay.
+type bakeoffSim struct {
+	cfg      BakeoffConfig
+	policy   PlacementPolicy
+	jobs     []*bakeJob
+	nodes    []*bakeNode
+	events   eventHeap
+	seq      int64
+	now      sim.Time
+	makespan sim.Time
+	busyArea int64 // completed column-time
+	waits    *stats.Sample
+	scores   *stats.Sample
+	requeues int64
+	finished int
+	lost     int
+}
+
+// RunBakeoff replays the configured job stream against one policy and
+// returns its row. The arrival stream is a pure function of the config,
+// so every policy sees byte-identical inputs.
+func RunBakeoff(cfg BakeoffConfig, policyName string) (BakeoffRow, error) {
+	if err := cfg.validate(); err != nil {
+		return BakeoffRow{}, err
+	}
+	policy, err := NewPolicy(policyName, cfg.Seed)
+	if err != nil {
+		return BakeoffRow{}, err
+	}
+	s := &bakeoffSim{
+		cfg:    cfg,
+		policy: policy,
+		waits:  stats.NewSample(true),
+		scores: stats.NewSample(false),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &bakeNode{healthy: true}
+		for b := 0; b < cfg.BoardsPerNode; b++ {
+			n.boards = append(n.boards, core.NewRegionMap(cfg.Cols))
+		}
+		s.nodes = append(s.nodes, n)
+	}
+
+	// The arrival stream: Poisson arrivals over a weighted class mix,
+	// identical for every policy.
+	src := rng.New(cfg.Seed)
+	totalWeight := 0
+	for _, cl := range cfg.Classes {
+		totalWeight += cl.Weight
+	}
+	t := sim.Time(0)
+	for i := 0; i < cfg.Jobs; i++ {
+		t += sim.Time(src.ExpFloat64() * float64(cfg.MeanInterval))
+		pick := src.Intn(totalWeight)
+		class := 0
+		for ci, cl := range cfg.Classes {
+			if pick < cl.Weight {
+				class = ci
+				break
+			}
+			pick -= cl.Weight
+		}
+		j := &bakeJob{id: i, class: class, arrival: t, node: -1}
+		s.jobs = append(s.jobs, j)
+		s.push(bakeEvent{t: t, kind: evArrival, job: j})
+	}
+	if cfg.FailNode >= 0 {
+		s.push(bakeEvent{t: cfg.FailAt, kind: evFail, node: cfg.FailNode})
+	}
+
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(bakeEvent)
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			s.place(ev.job)
+		case evComplete:
+			s.complete(ev)
+		case evFail:
+			s.fail(ev.node)
+		}
+	}
+
+	row := BakeoffRow{
+		Policy:     policy.Name(),
+		Jobs:       cfg.Jobs,
+		Completed:  s.finished,
+		P50AdmitMS: s.waits.Quantile(0.5) / 1e6,
+		P99AdmitMS: s.waits.Quantile(0.99) / 1e6,
+		Requeues:   s.requeues,
+		MeanScore:  s.scores.Mean(),
+		MakespanMS: float64(s.makespan) / 1e6,
+	}
+	if s.makespan > 0 {
+		provisioned := float64(cfg.Nodes*cfg.BoardsPerNode*cfg.Cols) * float64(s.makespan)
+		row.HWUtil = float64(s.busyArea) / provisioned
+	}
+	return row, nil
+}
+
+// RunBakeoffAll replays the stream against each named policy in order.
+func RunBakeoffAll(cfg BakeoffConfig, policies []string) (*BakeoffRecord, error) {
+	rec := &BakeoffRecord{Config: cfg}
+	for _, name := range policies {
+		row, err := RunBakeoff(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	return rec, nil
+}
+
+func (s *bakeoffSim) push(ev bakeEvent) {
+	s.seq++
+	ev.seq = s.seq
+	s.events.push(ev)
+}
+
+func (s *bakeoffSim) class(j *bakeJob) JobClass { return s.cfg.Classes[j.class] }
+
+// place routes one job through the policy into a node queue. A job with
+// no healthy node left is lost (only possible when every node failed).
+func (s *bakeoffSim) place(j *bakeJob) {
+	views := make([]NodeView, len(s.nodes))
+	for i, n := range s.nodes {
+		views[i] = n.view(i)
+	}
+	cl := s.class(j)
+	idx, score, ok := s.policy.Place(JobView{Width: cl.Width}, views)
+	if !ok {
+		s.lost++
+		return
+	}
+	s.scores.Observe(score)
+	j.node = idx
+	s.nodes[idx].queue = append(s.nodes[idx].queue, j)
+	s.dispatch(idx)
+}
+
+// dispatch starts queued jobs on the node while its queue head fits on
+// some board — FIFO with head-of-line blocking, the delay half of
+// strip-packing with delays. Best fit across boards: the tightest
+// adequate free span, ties to the lowest board id.
+func (s *bakeoffSim) dispatch(ni int) {
+	n := s.nodes[ni]
+	if !n.healthy {
+		return
+	}
+	for len(n.queue) > 0 {
+		j := n.queue[0]
+		cl := s.class(j)
+		bestBoard := -1
+		var bestSpan *core.Span
+		for bi, rm := range n.boards {
+			if sp := rm.FindFree(cl.Width, core.BestFit); sp != nil {
+				if bestSpan == nil || sp.W < bestSpan.W {
+					bestBoard, bestSpan = bi, sp
+				}
+			}
+		}
+		if bestBoard < 0 {
+			return
+		}
+		n.queue = n.queue[1:]
+		j.span = n.boards[bestBoard].Alloc(bestSpan, cl.Width, j)
+		j.board = bestBoard
+		j.start = s.now
+		j.running = true
+		n.running = append(n.running, j)
+		s.push(bakeEvent{t: s.now + cl.Duration, kind: evComplete, job: j, gen: j.gen})
+	}
+}
+
+func (s *bakeoffSim) complete(ev bakeEvent) {
+	j := ev.job
+	if ev.gen != j.gen || j.done {
+		return // displaced before finishing; a re-routed run is in flight
+	}
+	n := s.nodes[j.node]
+	n.boards[j.board].Release(j.span)
+	for i, r := range n.running {
+		if r == j {
+			n.running = append(n.running[:i], n.running[i+1:]...)
+			break
+		}
+	}
+	cl := s.class(j)
+	j.done, j.running = true, false
+	s.finished++
+	s.busyArea += int64(cl.Width) * int64(cl.Duration)
+	s.waits.Observe(float64(j.start - j.arrival))
+	if s.now > s.makespan {
+		s.makespan = s.now
+	}
+	s.dispatch(j.node)
+}
+
+// fail takes a node out: queued jobs and running jobs displace (in
+// queue order, then start order — deterministic) and re-route through
+// the policy, which sees the node unhealthy. Work a running job had
+// done is lost; it restarts from scratch elsewhere, charging the
+// failure's true cost to the latency tail.
+func (s *bakeoffSim) fail(ni int) {
+	n := s.nodes[ni]
+	if !n.healthy {
+		return
+	}
+	n.healthy = false
+	displaced := make([]*bakeJob, 0, len(n.queue)+len(n.running))
+	displaced = append(displaced, n.queue...)
+	n.queue = nil
+	for _, j := range n.running {
+		n.boards[j.board].Release(j.span)
+		j.gen++ // invalidate the in-flight completion event
+		j.running = false
+		displaced = append(displaced, j)
+	}
+	n.running = nil
+	for _, j := range displaced {
+		s.requeues++
+		s.place(j)
+	}
+}

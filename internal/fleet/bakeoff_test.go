@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testBakeoffConfig(jobs int) BakeoffConfig {
+	return BakeoffConfig{
+		Nodes: 3, BoardsPerNode: 2, Cols: 24,
+		Jobs: jobs, Seed: 42,
+		MeanInterval: 40 * sim.Microsecond,
+		Classes: []JobClass{
+			{Name: "narrow", Width: 4, Duration: 300 * sim.Microsecond, Weight: 5},
+			{Name: "medium", Width: 9, Duration: 500 * sim.Microsecond, Weight: 3},
+			{Name: "wide", Width: 18, Duration: 800 * sim.Microsecond, Weight: 2},
+		},
+		FailNode: 1, FailAt: 5 * sim.Millisecond,
+	}
+}
+
+func TestBakeoffDeterministic(t *testing.T) {
+	cfg := testBakeoffConfig(800)
+	a, err := RunBakeoffAll(cfg, PolicyNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBakeoffAll(cfg, PolicyNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("replay not byte-identical:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestBakeoffCompletesEveryJob(t *testing.T) {
+	cfg := testBakeoffConfig(600)
+	rec, err := RunBakeoffAll(cfg, PolicyNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rec.Rows {
+		if row.Completed != cfg.Jobs {
+			t.Errorf("%s: completed %d of %d — displaced jobs lost", row.Policy, row.Completed, cfg.Jobs)
+		}
+		if row.Requeues == 0 {
+			t.Errorf("%s: node %d failed at %v but no job was displaced", row.Policy, cfg.FailNode, cfg.FailAt)
+		}
+		if row.HWUtil <= 0 || row.HWUtil > 1 {
+			t.Errorf("%s: hw_util %v outside (0, 1]", row.Policy, row.HWUtil)
+		}
+	}
+}
+
+func TestBakeoffValidates(t *testing.T) {
+	bad := []BakeoffConfig{
+		{},
+		{Nodes: 1, BoardsPerNode: 1, Cols: 8, Jobs: 1, MeanInterval: 1,
+			Classes: []JobClass{{Name: "x", Width: 9, Duration: 1, Weight: 1}}, FailNode: -1}, // wider than board
+		{Nodes: 1, BoardsPerNode: 1, Cols: 8, Jobs: 1, MeanInterval: 1,
+			Classes: []JobClass{{Name: "x", Width: 4, Duration: 1, Weight: 1}}, FailNode: 3}, // fail node outside fleet
+	}
+	for i, cfg := range bad {
+		if _, err := RunBakeoff(cfg, "firstfit"); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := RunBakeoff(testBakeoffConfig(10), "nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

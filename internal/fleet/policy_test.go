@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func view(healthy bool, queued int, boards ...BoardView) NodeView {
+	return NodeView{Healthy: healthy, Queued: queued, Boards: boards}
+}
+
+func board(cols, largest int, frag float64) BoardView {
+	return BoardView{Cols: cols, LargestFree: largest, FragRatio: frag}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range PolicyNames {
+		p, err := NewPolicy(name, 1)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("nope", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFirstFitPrefersFittingNode(t *testing.T) {
+	p, _ := NewPolicy("firstfit", 0)
+	nodes := []NodeView{
+		view(true, 0, board(24, 4, 0.5)),  // too narrow
+		view(false, 0, board(24, 24, 0)),  // unhealthy
+		view(true, 9, board(24, 12, 0.1)), // first fit
+		view(true, 0, board(24, 24, 0)),   // also fits, but later
+	}
+	idx, score, ok := p.Place(JobView{Width: 8}, nodes)
+	if !ok || idx != 2 {
+		t.Fatalf("Place = (%d, %v, %v), want node 2", idx, score, ok)
+	}
+	// No node fits: fall back to the least-queued healthy node (ties to
+	// the first), in the penalty tier.
+	idx, score, ok = p.Place(JobView{Width: 30}, nodes)
+	if !ok || idx != 0 || score < nonFitPenalty {
+		t.Fatalf("no-fit Place = (%d, %v, %v), want node 0 in penalty tier", idx, score, ok)
+	}
+}
+
+func TestPackingPrefersTightFitAndLowQueue(t *testing.T) {
+	p, _ := NewPolicy("packing", 0)
+	nodes := []NodeView{
+		view(true, 0, board(24, 20, 0.3)), // loose fit
+		view(true, 0, board(24, 9, 0.0)),  // tight fit, less frag
+		view(true, 5, board(24, 8, 0.0)),  // tightest, but queued
+	}
+	idx, _, ok := p.Place(JobView{Width: 8}, nodes)
+	if !ok || idx != 1 {
+		t.Fatalf("Place picked node %d, want 1 (tight fit, empty queue)", idx)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	nodes := []NodeView{
+		view(true, 0, board(24, 24, 0)),
+		view(true, 0, board(24, 24, 0)),
+		view(true, 0, board(24, 24, 0)),
+	}
+	a, _ := NewPolicy("random", 7)
+	b, _ := NewPolicy("random", 7)
+	for i := 0; i < 64; i++ {
+		ia, _, _ := a.Place(JobView{Width: 4}, nodes)
+		ib, _, _ := b.Place(JobView{Width: 4}, nodes)
+		if ia != ib {
+			t.Fatalf("call %d: same seed diverged (%d vs %d)", i, ia, ib)
+		}
+	}
+}
+
+// TestPackingNeverOverflowsWhenAlternativeFits is the packing safety
+// property: over randomized fleets, packing never routes a strip to a
+// node whose boards cannot currently hold it while some other healthy
+// node shows a wide-enough contiguous free extent. The two-tier scoring
+// (nonFitPenalty) is what guarantees it.
+func TestPackingNeverOverflowsWhenAlternativeFits(t *testing.T) {
+	p, _ := NewPolicy("packing", 0)
+	src := rng.New(0xF10)
+	for trial := 0; trial < 5000; trial++ {
+		n := 2 + src.Intn(5)
+		nodes := make([]NodeView, n)
+		for i := range nodes {
+			boards := make([]BoardView, 1+src.Intn(3))
+			for b := range boards {
+				cols := 8 + src.Intn(25)
+				free := src.Intn(cols + 1)
+				boards[b] = BoardView{
+					Cols:        cols,
+					LargestFree: free,
+					FragRatio:   src.Float64(),
+					Quarantined: src.Intn(8) == 0,
+				}
+			}
+			nodes[i] = NodeView{
+				ID:      i,
+				Healthy: src.Intn(6) != 0,
+				Queued:  src.Intn(10),
+				Boards:  boards,
+			}
+		}
+		w := 1 + src.Intn(32)
+		idx, _, ok := p.Place(JobView{Width: w}, nodes)
+		if !ok {
+			continue
+		}
+		if nodes[idx].Fits(w) {
+			continue
+		}
+		for i, nv := range nodes {
+			if i != idx && nv.Healthy && nv.Fits(w) {
+				t.Fatalf("trial %d: packing put a %d-col strip on node %d (largest_free too small) while node %d fits",
+					trial, w, idx, i)
+			}
+		}
+	}
+}

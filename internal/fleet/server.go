@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// ServerConfig parameterizes a fleet Server.
+type ServerConfig struct {
+	// Nodes describes the fleet: one board-config slice per node; at
+	// least one node with at least one board is required.
+	Nodes [][]serve.BoardConfig
+	// Policy names the placement policy (see PolicyNames).
+	Policy string
+	// Seed feeds the random placement policy; other policies ignore it.
+	Seed uint64
+	// Tenant is the fleet-wide per-tenant admission limit: one shared
+	// token bucket per tenant across every node, so a tenant throttled
+	// here is out of budget on the whole fleet — never told to wait
+	// while another node still has tokens.
+	Tenant serve.TenantLimits
+	// Version is reported by /healthz and /metrics.
+	Version string
+	// Now is the admission clock; nil means time.Now.
+	Now func() time.Time
+	// Faults arms boards with campaigns derived from this plan (board
+	// k of node n gets Derive(n*perNode+k), fleet-wide unique). Nil
+	// means no injection.
+	Faults *fault.Plan
+	// FaultNode, when >= 0, restricts the campaign to that node's
+	// boards — the smoke uses it to take exactly one node out
+	// deterministically. < 0 arms every node.
+	FaultNode int
+	// CompactWatermark / CompactBudget configure idle-cycle defrag on
+	// every node's boards (see serve.Config).
+	CompactWatermark float64
+	CompactBudget    sim.Time
+}
+
+// Server is the fleet front-end: scheduler + fleet-wide admission +
+// HTTP handlers. The API is wire-compatible with a single vfpgad (same
+// endpoints and bodies) plus GET /v1/fleet for routing inspection.
+type Server struct {
+	sched   *Scheduler
+	adm     *serve.Admission
+	version string
+	mux     *http.ServeMux
+}
+
+// NewServer builds the fleet server and its nodes. All nodes share one
+// strip-compile cache and one admission domain.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet: a fleet needs at least one node")
+	}
+	policy, err := NewPolicy(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	adm := serve.NewAdmission(cfg.Tenant, cfg.Now)
+	cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+	nodes := make([]*Node, 0, len(cfg.Nodes))
+	boardSeq := 0
+	for i, bcfgs := range cfg.Nodes {
+		boards := append([]serve.BoardConfig(nil), bcfgs...)
+		for k := range boards {
+			if cfg.Faults != nil && boards[k].Faults == nil && (cfg.FaultNode < 0 || cfg.FaultNode == i) {
+				plan := cfg.Faults.Derive(uint64(boardSeq + k))
+				boards[k].Faults = &plan
+			}
+		}
+		boardSeq += len(boards)
+		n, err := NewNode(i, boards, serve.PoolOptions{
+			Outcomes:         adm,
+			Cache:            cache,
+			CompactWatermark: cfg.CompactWatermark,
+			CompactBudget:    cfg.CompactBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	sched, err := NewScheduler(nodes, policy, cache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sched: sched, adm: adm, version: cfg.Version}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/boards", s.handleBoards)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler returns the fleet scheduler.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Start launches every node's board workers.
+func (s *Server) Start() { s.sched.Start() }
+
+// Drain stops intake and blocks until every accepted job has finished
+// on every node.
+func (s *Server) Drain() { s.sched.Drain() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, serve.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "tenant is required")
+		return
+	}
+	if err := req.Workload.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad workload: %v", err)
+		return
+	}
+	if req.Board != nil && req.Node == nil {
+		writeError(w, http.StatusBadRequest, "board pinning in a fleet requires a node pin too")
+		return
+	}
+
+	// One admission decision for the whole fleet: the bucket is shared
+	// across nodes, so a 429's Retry-After is the earliest token
+	// fleet-wide — not the local bucket of whichever node would have
+	// taken the job.
+	if ok, retry := s.adm.Allow(req.Tenant); !ok {
+		secs := int(retry / time.Second)
+		if retry%time.Second != 0 || secs == 0 {
+			secs++ // round up: retrying earlier than the hint just throttles again
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over admission rate", req.Tenant)
+		return
+	}
+
+	// The job's context outlives the HTTP request: it governs the job's
+	// whole lifetime, so a deadline set here still fires while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	spec := req.Workload
+	j, err := s.sched.Submit(Request{
+		Tenant: req.Tenant, Spec: &spec, Trace: req.Trace,
+		Node: req.Node, Board: req.Board,
+		Ctx: ctx, Cancel: cancel,
+	})
+	switch {
+	case errors.Is(err, serve.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	case errors.Is(err, ErrNoSuchNode), errors.Is(err, serve.ErrNoSuchBoard):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, serve.ErrBoardQuarantined):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrNoHealthyNode), errors.Is(err, serve.ErrNoHealthyBoard):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, serve.ErrQueueFull):
+		s.adm.NoteQueueFull(req.Tenant)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "every node's board queues are full")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := j.Status()
+	writeJSON(w, http.StatusAccepted, serve.SubmitResponse{ID: j.ID(), Board: st.Board, Node: st.Node})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// BoardInfo is one entry of a fleet's GET /v1/boards: the node's board
+// info plus which node it belongs to. Single-daemon clients that decode
+// []serve.BoardInfo keep working — the extra key is ignored.
+type BoardInfo struct {
+	serve.BoardInfo
+	Node int `json:"node"`
+}
+
+func (s *Server) handleBoards(w http.ResponseWriter, r *http.Request) {
+	var infos []BoardInfo
+	for _, n := range s.sched.Nodes() {
+		for _, bi := range n.Pool().BoardInfos() {
+			infos = append(infos, BoardInfo{BoardInfo: bi, Node: n.ID()})
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// NodeInfo is one node's entry of GET /v1/fleet.
+type NodeInfo struct {
+	ID      int  `json:"id"`
+	Healthy bool `json:"healthy"`
+	Queued  int  `json:"queued"`
+	// Routed counts placements accepted by this node.
+	Routed int64 `json:"routed"`
+	// BoardRequeues counts jobs the node moved between its own boards
+	// after a board quarantine (node-internal; fleet-level re-routes are
+	// in Info.Reroutes).
+	BoardRequeues int64 `json:"board_requeues"`
+	// Frag is the node's merged fragmentation view across boards — the
+	// stats the packing policy scores against.
+	Frag   core.FragStats    `json:"frag"`
+	Boards []serve.BoardInfo `json:"boards"`
+}
+
+// Info is the body of GET /v1/fleet.
+type Info struct {
+	Policy     string     `json:"policy"`
+	Draining   bool       `json:"draining"`
+	Placements int64      `json:"placements"`
+	Reroutes   int64      `json:"reroutes"`
+	ScoreP50   float64    `json:"score_p50"`
+	ScoreP95   float64    `json:"score_p95"`
+	Nodes      []NodeInfo `json:"nodes"`
+}
+
+func (s *Server) fleetInfo() Info {
+	p50, p95, _, count := s.sched.ScoreStats()
+	info := Info{
+		Policy:     s.sched.Policy(),
+		Draining:   s.sched.IsDraining(),
+		Placements: count,
+		Reroutes:   s.sched.RerouteCount(),
+		ScoreP50:   p50,
+		ScoreP95:   p95,
+	}
+	routed := s.sched.Routed()
+	for i, n := range s.sched.Nodes() {
+		v := n.View()
+		var frag core.FragStats
+		for _, f := range n.Pool().FragSnapshots() {
+			frag.Merge(f)
+		}
+		info.Nodes = append(info.Nodes, NodeInfo{
+			ID: n.ID(), Healthy: v.Healthy, Queued: v.Queued,
+			Routed: routed[i], BoardRequeues: n.Pool().RequeueCount(),
+			Frag: frag, Boards: n.Pool().BoardInfos(),
+		})
+	}
+	return info
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleetInfo())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.sched.IsDraining() {
+		status = "draining"
+	}
+	boards := 0
+	for _, n := range s.sched.Nodes() {
+		boards += len(n.Pool().BoardInfos())
+	}
+	writeJSON(w, http.StatusOK, serve.Health{
+		Status: status, Version: s.version,
+		Boards: boards, Nodes: len(s.sched.Nodes()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.writeMetrics(w)
+}

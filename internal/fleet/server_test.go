@@ -1,0 +1,319 @@
+package fleet
+
+// Fleet server tests: the HTTP surface over a 3-node fleet, the shared
+// fleet-wide admission domain, and node-level casualty re-routing.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// testClock is a hand-advanced admission clock.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// newTestFleet builds a started nodes×boards fleet of small dynamic
+// boards; the cleanup drains it.
+func newTestFleet(t *testing.T, cfg ServerConfig, nodes, boardsPer int) *Server {
+	t.Helper()
+	if cfg.Nodes == nil {
+		for i := 0; i < nodes; i++ {
+			row := make([]serve.BoardConfig, boardsPer)
+			for k := range row {
+				row[k] = serve.DefaultBoardConfig()
+			}
+			cfg.Nodes = append(cfg.Nodes, row)
+		}
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "firstfit"
+	}
+	if cfg.Version == "" {
+		cfg.Version = "test"
+	}
+	if cfg.FaultNode == 0 && cfg.Faults == nil {
+		cfg.FaultNode = -1
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Drain)
+	return s
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func submitBody(t *testing.T, tenant, scenario string) string {
+	t.Helper()
+	spec, err := workload.BuiltinSpec(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(serve.SubmitRequest{Tenant: tenant, Workload: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// submitWait submits one job and waits for its terminal state.
+func submitWait(t *testing.T, s *Server, tenant, scenario string) JobStatus {
+	t.Helper()
+	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, tenant, scenario))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202 (body %s)", rec.Code, rec.Body)
+	}
+	var resp serve.SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.Scheduler().Job(resp.ID)
+	if !ok {
+		t.Fatalf("job %s not registered", resp.ID)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", resp.ID)
+	}
+	return j.Status()
+}
+
+func TestFleetSubmitRoutesAndCompletes(t *testing.T) {
+	s := newTestFleet(t, ServerConfig{}, 3, 2)
+	for i := 0; i < 4; i++ {
+		st := submitWait(t, s, "acme", "multimedia")
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s: state %q (error %q)", st.ID, st.State, st.Error)
+		}
+		if st.Node < 0 || st.Node > 2 || st.Attempts != 1 {
+			t.Fatalf("job %s: node %d attempts %d", st.ID, st.Node, st.Attempts)
+		}
+		// The job endpoint reports the fleet id and routed node.
+		rec := do(t, s, "GET", "/v1/jobs/"+st.ID, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job: %d", rec.Code)
+		}
+		var got JobStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != st.ID || got.Node != st.Node {
+			t.Fatalf("GET job = %+v, want id %s node %d", got, st.ID, st.Node)
+		}
+	}
+
+	// /v1/fleet accounts for every placement.
+	var info Info
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/fleet", "").Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != "firstfit" || info.Placements != 4 || info.Reroutes != 0 {
+		t.Fatalf("fleet info = %+v", info)
+	}
+	if len(info.Nodes) != 3 {
+		t.Fatalf("fleet info has %d nodes", len(info.Nodes))
+	}
+	var routed int64
+	for _, n := range info.Nodes {
+		routed += n.Routed
+		if !n.Healthy {
+			t.Fatalf("node %d unhealthy: %+v", n.ID, n)
+		}
+		if n.Frag.Cols == 0 || len(n.Boards) != 2 {
+			t.Fatalf("node %d view incomplete: %+v", n.ID, n)
+		}
+	}
+	if routed != 4 {
+		t.Fatalf("routed %d, want 4", routed)
+	}
+
+	// /v1/boards flattens the fleet with node attribution.
+	var boards []BoardInfo
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/boards", "").Body.Bytes(), &boards); err != nil {
+		t.Fatal(err)
+	}
+	if len(boards) != 6 {
+		t.Fatalf("boards: %d, want 6", len(boards))
+	}
+
+	// /healthz reports the fleet shape.
+	var h serve.Health
+	if err := json.Unmarshal(do(t, s, "GET", "/healthz", "").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes != 3 || h.Boards != 6 || h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestFleetRejectsBadPins(t *testing.T) {
+	s := newTestFleet(t, ServerConfig{}, 2, 1)
+	spec, err := workload.BuiltinSpec("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nine, zero := 9, 0
+	b, _ := json.Marshal(serve.SubmitRequest{Tenant: "acme", Workload: spec, Node: &nine})
+	if rec := do(t, s, "POST", "/v1/jobs", string(b)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("node pin outside fleet: got %d, want 400", rec.Code)
+	}
+	b, _ = json.Marshal(serve.SubmitRequest{Tenant: "acme", Workload: spec, Board: &zero})
+	if rec := do(t, s, "POST", "/v1/jobs", string(b)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("board pin without node pin: got %d, want 400", rec.Code)
+	}
+}
+
+// TestFleetSharedAdmission is the Retry-After satellite: one admission
+// domain spans the fleet, so a tenant's budget does not multiply with
+// node count, and a 429's Retry-After reflects the earliest token of
+// that single fleet-wide bucket.
+func TestFleetSharedAdmission(t *testing.T) {
+	clock := &testClock{t: time.Unix(1000, 0)}
+	s := newTestFleet(t, ServerConfig{
+		Tenant: serve.TenantLimits{Rate: 0.5, Burst: 2},
+		Now:    clock.now,
+	}, 3, 1)
+
+	// Burst of 2 admits fleet-wide — not 2 per node.
+	for i := 0; i < 2; i++ {
+		if st := submitWait(t, s, "acme", "multimedia"); st.State != serve.StateDone {
+			t.Fatalf("burst job %d: %q (%s)", i, st.State, st.Error)
+		}
+	}
+	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "acme", "multimedia"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("third burst submit: got %d, want 429 (3 nodes must not triple the budget)", rec.Code)
+	}
+	// At 0.5 tokens/s the next token is 2s out; the hint must say so
+	// (rounded up), not 0 or a per-node figure.
+	if ra := rec.Result().Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	// Waiting out the hint readmits.
+	clock.advance(2 * time.Second)
+	if st := submitWait(t, s, "acme", "multimedia"); st.State != serve.StateDone {
+		t.Fatalf("post-wait job: %q (%s)", st.State, st.Error)
+	}
+	// Another tenant has its own fleet-wide bucket.
+	if st := submitWait(t, s, "rival", "multimedia"); st.State != serve.StateDone {
+		t.Fatalf("rival tenant: %q (%s)", st.State, st.Error)
+	}
+}
+
+// TestFleetNodeCasualtyReroutes generalizes PR 5's board quarantine one
+// level up: a node whose boards all escalate drains out of the rotation
+// and its jobs re-route to healthy nodes, finishing with no client-visible
+// failure.
+func TestFleetNodeCasualtyReroutes(t *testing.T) {
+	plan, err := fault.ParseSpec("seed=1,retries=0,config-error@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestFleet(t, ServerConfig{
+		Faults:    &plan,
+		FaultNode: 0, // only node 0's boards are armed
+	}, 3, 2)
+
+	// firstfit sends the first job to node 0. Its attempt escalates,
+	// quarantining the board; the pool's own requeue hands it to the
+	// sibling board, which also escalates — so one job takes the whole
+	// node out before the fleet sees a single typed failure and
+	// re-routes it. Later jobs route straight past the dead node.
+	for i := 0; i < 4; i++ {
+		st := submitWait(t, s, "acme", "multimedia")
+		if st.State != serve.StateDone {
+			t.Fatalf("job %d: %q (error %q, fault %q)", i, st.State, st.Error, st.FaultKind)
+		}
+	}
+
+	var info Info
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/fleet", "").Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes[0].Healthy {
+		t.Fatalf("node 0 still healthy after both boards escalated: %+v", info.Nodes[0])
+	}
+	if info.Reroutes != 1 {
+		t.Fatalf("reroutes = %d, want 1 (node 0's casualty displaced one job)", info.Reroutes)
+	}
+	for _, n := range info.Nodes[1:] {
+		if !n.Healthy {
+			t.Fatalf("unarmed node %d went unhealthy", n.ID)
+		}
+	}
+
+	// With node 0 out, new jobs route straight to healthy nodes.
+	st := submitWait(t, s, "acme", "multimedia")
+	if st.State != serve.StateDone || st.Node == 0 || st.Attempts != 1 {
+		t.Fatalf("post-casualty job: %+v", st)
+	}
+}
+
+func TestFleetMetricsExposition(t *testing.T) {
+	s := newTestFleet(t, ServerConfig{Policy: "packing"}, 2, 1)
+	if st := submitWait(t, s, "acme", "multimedia"); st.State != serve.StateDone {
+		t.Fatalf("job: %q (%s)", st.State, st.Error)
+	}
+	body := do(t, s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"# TYPE vfpgad_fleet_info gauge",
+		`vfpgad_fleet_info{version="test",policy="packing"} 1`,
+		"vfpgad_fleet_nodes 2",
+		`vfpgad_fleet_routed_total{policy="packing",node="0"}`,
+		`vfpgad_fleet_routed_total{policy="packing",node="1"}`,
+		"# TYPE vfpgad_fleet_placement_score summary",
+		"vfpgad_fleet_placement_score_count 1",
+		`vfpgad_fleet_node_fragmentation{node="0"}`,
+		`vfpgad_fleet_node_largest_free_cols{node="1"}`,
+		`vfpgad_fleet_admission_total{tenant="acme",decision="admitted"} 1`,
+		`vfpgad_fleet_jobs_total{tenant="acme",outcome="completed"} 1`,
+		"vfpgad_fleet_reroutes_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestFleetDrainRejectsNewWork(t *testing.T) {
+	s := newTestFleet(t, ServerConfig{}, 2, 1)
+	if st := submitWait(t, s, "acme", "multimedia"); st.State != serve.StateDone {
+		t.Fatalf("job: %q", st.State)
+	}
+	s.Drain()
+	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, "acme", "multimedia"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: got %d, want 503", rec.Code)
+	}
+	var h serve.Health
+	if err := json.Unmarshal(do(t, s, "GET", "/healthz", "").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("health status %q, want draining", h.Status)
+	}
+}

@@ -16,11 +16,11 @@ import (
 // fragBoard builds a single-board pool with a resident warm runtime
 // over the given builtin scenario's circuit set. No job has run: the
 // engine ledger is empty, so tests lay out residency explicitly.
-func fragBoard(t *testing.T, manager, scenario string) (*pool, *board) {
+func fragBoard(t *testing.T, manager, scenario string) (*Pool, *board) {
 	t.Helper()
 	bc := DefaultBoardConfig()
 	bc.Manager = manager
-	p, err := newPool([]BoardConfig{bc}, newAdmission(TenantLimits{}, nil))
+	p, err := NewPool([]BoardConfig{bc}, PoolOptions{Outcomes: NewAdmission(TenantLimits{}, nil)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestCompactionEndToEnd(t *testing.T) {
 	j2 := submitOK(t, s, "alpha", "multimedia")
 	waitDone(t, j2)
 
-	st1, st2 := j1.status(), j2.status()
+	st1, st2 := j1.Status(), j2.Status()
 	if st1.State != StateDone || st2.State != StateDone {
 		t.Fatalf("jobs: %+v / %+v", st1, st2)
 	}

@@ -36,20 +36,20 @@ func TestQuarantineAndRequeue(t *testing.T) {
 
 	// Workers not started yet: four submissions alternate over the two
 	// idle boards, so board 0 holds two of them when it quarantines.
-	var jobs []*job
+	var jobs []*Job
 	for i := 0; i < 4; i++ {
 		jobs = append(jobs, submitOK(t, s, "acme", "multimedia"))
 	}
 	s.Start()
 	for _, j := range jobs {
 		waitDone(t, j)
-		if st := j.status(); st.State != StateDone {
+		if st := j.Status(); st.State != StateDone {
 			t.Errorf("job %s: state %s (%s)", st.ID, st.State, st.Error)
 		} else if st.Board != 1 {
 			t.Errorf("job %s finished on board %d, want 1 (0 is quarantined)", st.ID, st.Board)
 		}
 	}
-	if n := s.pool.requeueCount(); n != 2 {
+	if n := s.pool.RequeueCount(); n != 2 {
 		t.Errorf("requeues = %d, want 2 (escalated job + queued-behind job)", n)
 	}
 
@@ -100,9 +100,9 @@ func TestPinnedJobFailsTyped(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	j, _ := s.pool.get(resp.ID)
+	j, _ := s.pool.Job(resp.ID)
 	waitDone(t, j)
-	st := j.status()
+	st := j.Status()
 	if st.State != StateFailed || st.FaultKind != "config-error" || st.Requeues != 0 {
 		t.Errorf("pinned escalated job: %+v, want failed/config-error/0 requeues", st)
 	}
@@ -117,7 +117,7 @@ func TestPinnedJobFailsTyped(t *testing.T) {
 	// Unpinned work still flows to the healthy board.
 	good := submitOK(t, s, "acme", "multimedia")
 	waitDone(t, good)
-	if gst := good.status(); gst.State != StateDone || gst.Board != 1 {
+	if gst := good.Status(); gst.State != StateDone || gst.Board != 1 {
 		t.Errorf("unpinned job after quarantine: %+v", gst)
 	}
 }
@@ -133,7 +133,7 @@ func TestAllBoardsQuarantined(t *testing.T) {
 
 	j := submitOK(t, s, "acme", "multimedia")
 	waitDone(t, j)
-	st := j.status()
+	st := j.Status()
 	if st.State != StateFailed || st.FaultKind != "config-error" {
 		t.Errorf("job on sole faulty board: %+v, want failed/config-error", st)
 	}

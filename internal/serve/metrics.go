@@ -104,7 +104,7 @@ func (s *Server) writeMetrics(w io.Writer) error {
 
 	m.family("vfpgad_draining", "1 while the daemon is draining, 0 otherwise.", "gauge")
 	draining := int64(0)
-	if s.pool.isDraining() {
+	if s.pool.IsDraining() {
 		draining = 1
 	}
 	m.int("vfpgad_draining", draining)
@@ -113,7 +113,7 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	m.int("vfpgad_boards", int64(len(s.pool.boards)))
 
 	// Admission and job outcomes, per tenant.
-	tenants := s.adm.snapshot()
+	tenants := s.adm.Snapshot()
 	m.family("vfpgad_admission_total", "Submissions by admission decision.", "counter")
 	for _, t := range tenants {
 		m.int("vfpgad_admission_total", t.Admitted, "tenant", t.Tenant, "decision", "admitted")
@@ -194,13 +194,13 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		m.int("vfpgad_board_escalations_total", bi.Escalations, "board", strconv.Itoa(bi.ID))
 	}
 	m.family("vfpgad_job_requeues_total", "Jobs rerun on another board after a quarantine.", "counter")
-	m.int("vfpgad_job_requeues_total", s.pool.requeueCount())
+	m.int("vfpgad_job_requeues_total", s.pool.RequeueCount())
 
 	// Job service time, in virtual nanoseconds (makespan of completed
 	// jobs). The _sum/_count series belong to the summary family per the
 	// exposition format; their names are built from a variable so the
 	// analyzer's declared-family check keys on the summary name.
-	p50, p95, svcSum, svcCount := s.pool.serviceStats()
+	p50, p95, svcSum, svcCount := s.pool.ServiceStats()
 	svcFamily := "vfpgad_job_service_time_ns"
 	m.family("vfpgad_job_service_time_ns", "Virtual service time of completed jobs (makespan, ns).", "summary")
 	m.int("vfpgad_job_service_time_ns", p50, "quantile", "0.5")

@@ -31,8 +31,10 @@ var (
 	ErrNoHealthyBoard = errors.New("serve: no healthy board")
 )
 
-// job is one unit of work moving through the pool.
-type job struct {
+// Job is one unit of work moving through a Pool. Jobs are created by
+// Pool.Submit; ID, Done, Status and Cancel are valid from the moment
+// Submit returns.
+type Job struct {
 	id     string
 	tenant string
 	spec   *workload.Spec
@@ -44,6 +46,9 @@ type job struct {
 	// elsewhere when that board is quarantined. Written once before the
 	// first channel send, read by workers after the receive.
 	pinned bool
+	// done is created at construction and closed exactly once (under
+	// mu, in finish); waiting on it needs no lock.
+	done chan struct{}
 
 	mu        sync.Mutex
 	state     string
@@ -52,16 +57,26 @@ type job struct {
 	faultKind string
 	requeues  int
 	result    *JobResult
-	done      chan struct{}
 }
 
-func (j *job) setRunning() {
+// ID returns the pool-assigned job id.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel cancels the job's context. Cancellation is advisory: a queued
+// job fails when its worker picks it up; a running or finished job is
+// unaffected (the simulation is not preemptible mid-run).
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
 }
 
-func (j *job) finish(res *JobResult, err error) {
+func (j *Job) finish(res *JobResult, err error) {
 	j.mu.Lock()
 	if err != nil {
 		j.state = StateFailed
@@ -78,7 +93,8 @@ func (j *job) finish(res *JobResult, err error) {
 	close(j.done)
 }
 
-func (j *job) status() JobStatus {
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
@@ -90,7 +106,7 @@ func (j *job) status() JobStatus {
 
 // noteFault records the typed fault reason on a job that never ran
 // because its board was already quarantined.
-func (j *job) noteFault(kind string) {
+func (j *Job) noteFault(kind string) {
 	j.mu.Lock()
 	j.faultKind = kind
 	j.mu.Unlock()
@@ -101,7 +117,7 @@ func (j *job) noteFault(kind string) {
 type board struct {
 	id    int
 	cfg   BoardConfig
-	queue chan *job
+	queue chan *Job
 
 	// rt is the board's warm runtime: the simulated stack kept resident
 	// across jobs and reset to its pristine snapshot instead of rebuilt.
@@ -128,14 +144,18 @@ type board struct {
 	warm       bool
 	warmResets int64
 	coldResets int64
-	// fragRatio and largestFree are the board's fragmentation view,
-	// sampled from the warm runtime after every job and after every
-	// compaction pass (a discarded runtime keeps the last sample).
-	// compactions counts idle-cycle defrag passes, compactionMoved the
-	// strips they relocated, compactionAborts the passes an injected
-	// fault cut short.
+	// fragRatio, largestFree and frag are the board's fragmentation
+	// view, sampled from the warm runtime after every job and after
+	// every compaction pass (a discarded runtime keeps the last sample).
+	// A board that has never run a job reports one full-width free span:
+	// fleet placement must see fresh capacity, not zero. frag is the
+	// merged FragStats across the board's engines; fragRatio keeps the
+	// worst single engine's ratio. compactions counts idle-cycle defrag
+	// passes, compactionMoved the strips they relocated, compactionAborts
+	// the passes an injected fault cut short.
 	fragRatio        float64
 	largestFree      int
+	frag             core.FragStats
 	compactions      int64
 	compactionMoved  int64
 	compactionAborts int64
@@ -144,14 +164,16 @@ type board struct {
 // sampleFrag refreshes the board's exported fragmentation view from the
 // warm runtime's engines: the worst external-fragmentation ratio and the
 // widest contiguous free extent across them (a multi-device board
-// reports its most fragmented device). Runs on the board's worker
-// goroutine, the sole owner of b.rt.
+// reports its most fragmented device), plus the merged FragStats the
+// fleet layer aggregates. Runs on the board's worker goroutine, the
+// sole owner of b.rt.
 func (b *board) sampleFrag() {
 	if b.rt == nil {
 		return
 	}
 	var ratio float64
 	largest := 0
+	var merged core.FragStats
 	for _, eng := range b.rt.engines {
 		f := eng.Ledger().Frag()
 		if r := f.Ratio(); r > ratio {
@@ -160,9 +182,10 @@ func (b *board) sampleFrag() {
 		if f.LargestFree > largest {
 			largest = f.LargestFree
 		}
+		merged.Merge(f)
 	}
 	b.mu.Lock()
-	b.fragRatio, b.largestFree = ratio, largest
+	b.fragRatio, b.largestFree, b.frag = ratio, largest, merged
 	b.mu.Unlock()
 }
 
@@ -224,29 +247,61 @@ func (b *board) info() BoardInfo {
 	}
 }
 
-// pool owns the boards and the job store. One worker goroutine per
+// OutcomeSink receives per-tenant job outcomes from a Pool, after the
+// admission decision. Admission implements it; a fleet scheduler hands
+// one shared Admission to every node's pool so the accounting — and the
+// token budget it informs — stays fleet-wide.
+type OutcomeSink interface {
+	NoteCompleted(tenant string)
+	NoteFailed(tenant string)
+}
+
+// noopSink is the nil-safe default outcome sink.
+type noopSink struct{}
+
+func (noopSink) NoteCompleted(string) {}
+func (noopSink) NoteFailed(string)    {}
+
+// PoolOptions parameterizes a Pool beyond its board configs.
+type PoolOptions struct {
+	// Outcomes receives per-tenant completion/failure notes; nil means
+	// no accounting.
+	Outcomes OutcomeSink
+	// Cache is the strip-compile cache; nil builds a private one. A
+	// fleet shares one cache across its nodes' pools, so a circuit
+	// compiled on any node is warm everywhere.
+	Cache *compile.StripCache
+	// CompactWatermark turns on idle-cycle defragmentation (see
+	// Config.CompactWatermark); <= 0 disables it.
+	CompactWatermark float64
+	// CompactBudget bounds one compaction pass's relocation time; 0
+	// means unbounded.
+	CompactBudget sim.Time
+}
+
+// Pool owns the boards and the job store. One worker goroutine per
 // board drains that board's queue; boards never share simulation state,
 // only the concurrency-safe compile cache.
-type pool struct {
-	boards []*board
-	cache  *compile.StripCache
-	adm    *admission
+type Pool struct {
+	boards   []*board
+	cache    *compile.StripCache
+	outcomes OutcomeSink
 
 	// wg and gate are self-synchronized and sit above mu: fields below
 	// mu are the ones mu guards. gate, when non-nil, makes every worker
 	// consume one token before running each job — a test hook to hold
-	// queues full deterministically. Both are written before start().
+	// queues full deterministically. Both are written before Start().
 	wg   sync.WaitGroup
 	gate chan struct{}
 
 	// compactWatermark and compactBudget configure idle-cycle
-	// defragmentation; both are written before start() and read only by
+	// defragmentation; both are written before Start() and read only by
 	// the worker goroutines. A watermark <= 0 disables compaction.
 	compactWatermark float64
 	compactBudget    sim.Time
 
 	mu       sync.Mutex
-	jobs     map[string]*job
+	jobs     map[string]*Job
 	seq      int64
 	requeues int64 // jobs handed to another board after a quarantine
 	draining bool
@@ -257,49 +312,66 @@ type pool struct {
 }
 
 // observeService records one completed job's virtual service time.
-func (p *pool) observeService(ns int64) {
+func (p *Pool) observeService(ns int64) {
 	p.mu.Lock()
 	p.svc.Observe(float64(ns))
 	p.mu.Unlock()
 }
 
-// serviceStats returns the p50/p95 quantiles, sum and count of the
+// ServiceStats returns the p50/p95 quantiles, sum and count of the
 // service-time sample, all in virtual nanoseconds.
-func (p *pool) serviceStats() (p50, p95, sum, count int64) {
+func (p *Pool) ServiceStats() (p50, p95, sum, count int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return int64(p.svc.Quantile(0.5)), int64(p.svc.Quantile(0.95)),
 		int64(p.svc.Sum()), p.svc.Count()
 }
 
-func newPool(cfgs []BoardConfig, adm *admission) (*pool, error) {
+// NewPool builds a pool over the given boards. Call Start before
+// expecting work to run; until then submissions queue but nothing
+// executes (tests use that window to fill queues deterministically).
+func NewPool(cfgs []BoardConfig, opts PoolOptions) (*Pool, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("serve: a pool needs at least one board")
 	}
-	p := &pool{
-		cache: compile.NewStripCache(compile.DefaultCacheCapacity),
-		adm:   adm,
-		jobs:  map[string]*job{},
-		svc:   stats.NewSample(true),
+	outcomes := opts.Outcomes
+	if outcomes == nil {
+		outcomes = noopSink{}
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = compile.NewStripCache(compile.DefaultCacheCapacity)
+	}
+	p := &Pool{
+		cache:            cache,
+		outcomes:         outcomes,
+		compactWatermark: opts.CompactWatermark,
+		compactBudget:    opts.CompactBudget,
+		jobs:             map[string]*Job{},
+		svc:              stats.NewSample(true),
 	}
 	for i, bc := range cfgs {
 		if err := bc.Validate(); err != nil {
 			return nil, fmt.Errorf("board %d: %w", i, err)
 		}
-		p.boards = append(p.boards, &board{id: i, cfg: bc, queue: make(chan *job, bc.QueueDepth)})
+		p.boards = append(p.boards, &board{
+			id: i, cfg: bc, queue: make(chan *Job, bc.QueueDepth),
+			largestFree: bc.Cols,
+			frag:        core.FreshFrag(bc.Cols),
+		})
 	}
 	return p, nil
 }
 
-// start launches one worker goroutine per board.
-func (p *pool) start() {
+// Start launches one worker goroutine per board.
+func (p *Pool) Start() {
 	for _, b := range p.boards {
 		p.wg.Add(1)
 		go p.worker(b)
 	}
 }
 
-func (p *pool) worker(b *board) {
+func (p *Pool) worker(b *board) {
 	defer p.wg.Done()
 	for j := range b.queue {
 		if p.gate != nil {
@@ -319,7 +391,7 @@ func (p *pool) worker(b *board) {
 // independent of whether the board defragmented in between — compaction
 // here models reclaiming otherwise-dead device time, and its effect is
 // visible through the board's exported fragmentation gauges.
-func (p *pool) boardMaint(b *board) {
+func (p *Pool) boardMaint(b *board) {
 	if b.rt == nil || b.isQuarantined() {
 		return
 	}
@@ -359,7 +431,7 @@ func (p *pool) boardMaint(b *board) {
 // an injected fault firing mid-move — never quarantines the board: the
 // ledger already resolved the fault (strip kept or cleanly dropped),
 // and the next idle cycle simply retries.
-func (p *pool) compactEngine(eng *core.Engine) (res core.CompactResult) {
+func (p *Pool) compactEngine(eng *core.Engine) (res core.CompactResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.CompactResult{Err: fmt.Errorf("serve: compaction panicked: %v", r)}
@@ -368,7 +440,7 @@ func (p *pool) compactEngine(eng *core.Engine) (res core.CompactResult) {
 	return eng.Ledger().Compact(p.compactBudget)
 }
 
-func (p *pool) runOne(b *board, j *job) {
+func (p *Pool) runOne(b *board, j *Job) {
 	if err := j.ctx.Err(); err != nil {
 		// Canceled or deadline-expired while queued: fail without
 		// spending board time on it.
@@ -376,7 +448,7 @@ func (p *pool) runOne(b *board, j *job) {
 		b.mu.Lock()
 		b.failed++
 		b.mu.Unlock()
-		p.adm.noteFailed(j.tenant)
+		p.outcomes.NoteFailed(j.tenant)
 		return
 	}
 	if kind, quarantined := b.quarantineState(); quarantined {
@@ -391,7 +463,7 @@ func (p *pool) runOne(b *board, j *job) {
 		b.mu.Lock()
 		b.failed++
 		b.mu.Unlock()
-		p.adm.noteFailed(j.tenant)
+		p.outcomes.NoteFailed(j.tenant)
 		return
 	}
 	b.mu.Lock()
@@ -413,7 +485,7 @@ func (p *pool) runOne(b *board, j *job) {
 		b.mu.Lock()
 		b.failed++
 		b.mu.Unlock()
-		p.adm.noteFailed(j.tenant)
+		p.outcomes.NoteFailed(j.tenant)
 		return
 	}
 
@@ -429,10 +501,10 @@ func (p *pool) runOne(b *board, j *job) {
 	}
 	b.mu.Unlock()
 	if err != nil {
-		p.adm.noteFailed(j.tenant)
+		p.outcomes.NoteFailed(j.tenant)
 	} else {
 		p.observeService(int64(res.Makespan))
-		p.adm.noteCompleted(j.tenant)
+		p.outcomes.NoteCompleted(j.tenant)
 	}
 	j.finish(res, err)
 }
@@ -443,7 +515,7 @@ func (p *pool) runOne(b *board, j *job) {
 // escalation, panic — discards the runtime: mid-job state is not
 // pristine and must not leak into the next job (a quarantined board thus
 // requeues cold). Runs on b's worker goroutine, the sole owner of b.rt.
-func (p *pool) runWarm(b *board, j *job) (res *JobResult, err error) {
+func (p *Pool) runWarm(b *board, j *Job) (res *JobResult, err error) {
 	defer func() {
 		// rt.run recovers its own panics; this one covers the build path,
 		// so a panicking constructor fails the job, not the worker.
@@ -482,12 +554,55 @@ func (p *pool) runWarm(b *board, j *job) (res *JobResult, err error) {
 	return b.rt.run(set, circs, j.trace, warm)
 }
 
+// SubmitArgs describes one submission into a Pool.
+type SubmitArgs struct {
+	// Tenant is the submitting tenant (accounting is per tenant).
+	Tenant string
+	// Spec is the workload to run.
+	Spec *workload.Spec
+	// Trace includes the merged timeline in the result.
+	Trace bool
+	// Board pins the job to one board id; nil lets the pool pick the
+	// least loaded healthy board.
+	Board *int
+	// Ctx bounds the job's whole lifetime (nil means Background); a
+	// deadline set here still fires while queued. Cancel, when non-nil,
+	// must cancel Ctx: the pool invokes it when the job reaches a
+	// terminal state. When Cancel is nil the pool derives its own. A
+	// fleet scheduler passes a per-attempt context derived from the
+	// fleet job's, so one attempt finishing never cancels the next.
+	Ctx    context.Context
+	Cancel context.CancelFunc
+}
+
+// Submit enqueues a job and returns it. On error the job was not
+// accepted and its context, when pool-derived, is already canceled.
+func (p *Pool) Submit(args SubmitArgs) (*Job, error) {
+	ctx, cancel := args.Ctx, args.Cancel
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cancel == nil {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j := &Job{
+		tenant: args.Tenant, spec: args.Spec, trace: args.Trace,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued, done: make(chan struct{}),
+	}
+	if _, err := p.submit(j, args.Board); err != nil {
+		cancel()
+		return nil, err
+	}
+	return j, nil
+}
+
 // submit enqueues a job: onto the pinned board when pin is non-nil,
 // otherwise onto the board with the most free queue capacity (ties to
 // the lowest id). A full queue — or all full queues — is backpressure,
 // not an error of the job. The whole decision runs under the pool lock
 // so it cannot interleave with drain closing the queues.
-func (p *pool) submit(j *job, pin *int) (int, error) {
+func (p *Pool) submit(j *Job, pin *int) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
@@ -557,7 +672,7 @@ func orderByLoad(candidates []*board) []*board {
 // Bounded: each job moves at most len(boards)-1 times, so a campaign
 // that quarantines every board still terminates. Runs under the pool
 // lock so it cannot interleave with drain closing the queues.
-func (p *pool) requeue(j *job) bool {
+func (p *Pool) requeue(j *Job) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining || j.pinned {
@@ -594,23 +709,49 @@ func (p *pool) requeue(j *job) bool {
 	return false
 }
 
-func (p *pool) requeueCount() int64 {
+// RequeueCount reports jobs handed to another board after a quarantine.
+func (p *Pool) RequeueCount() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.requeues
 }
 
-// get returns the job by id.
-func (p *pool) get(id string) (*job, bool) {
+// Job returns the job by id.
+func (p *Pool) Job(id string) (*Job, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	j, ok := p.jobs[id]
 	return j, ok
 }
 
-// drain stops intake, lets every queued job finish, and waits for the
+// BoardInfos returns a snapshot of every board, in board-id order.
+func (p *Pool) BoardInfos() []BoardInfo {
+	infos := make([]BoardInfo, 0, len(p.boards))
+	for _, b := range p.boards {
+		infos = append(infos, b.info())
+	}
+	return infos
+}
+
+// FragSnapshots returns each board's merged ledger fragmentation stats,
+// in board-id order. Fleet placement aggregates these per node; a board
+// that has never run a job reports one full-width free span.
+func (p *Pool) FragSnapshots() []core.FragStats {
+	out := make([]core.FragStats, 0, len(p.boards))
+	for _, b := range p.boards {
+		b.mu.Lock()
+		out = append(out, b.frag)
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// CacheStats reports the pool's strip-cache counters.
+func (p *Pool) CacheStats() compile.CacheStats { return p.cache.Stats() }
+
+// Drain stops intake, lets every queued job finish, and waits for the
 // workers to exit. Safe to call more than once.
-func (p *pool) drain() {
+func (p *Pool) Drain() {
 	p.mu.Lock()
 	if !p.draining {
 		p.draining = true
@@ -623,7 +764,8 @@ func (p *pool) drain() {
 	p.wg.Wait()
 }
 
-func (p *pool) isDraining() bool {
+// IsDraining reports whether Drain has begun.
+func (p *Pool) IsDraining() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.draining

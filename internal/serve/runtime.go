@@ -78,6 +78,29 @@ func compileSet(cache *compile.StripCache, bc BoardConfig, set *workload.Set) ([
 	return circs, nil
 }
 
+// SpecWidth returns the widest compiled strip among the spec's circuits
+// on the given board geometry — the placement-relevant footprint of a
+// job (its rectangle width in the strip-packing-with-delays view). The
+// compiles go through the shared cache, so repeated calls for the same
+// spec are lookups, not work.
+func SpecWidth(cache *compile.StripCache, bc BoardConfig, spec *workload.Spec) (int, error) {
+	set, err := spec.Build()
+	if err != nil {
+		return 0, err
+	}
+	circs, err := compileSet(cache, bc, set)
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, c := range circs {
+		if cw, _ := c.Footprint(); cw > w {
+			w = cw
+		}
+	}
+	return w, nil
+}
+
 // buildRuntime constructs the full simulated stack for one board config
 // and circuit set — exactly the construction the per-job rebuild used to
 // do — and captures each engine's pristine image for later warm resets.

@@ -65,7 +65,7 @@ func submitBody(t *testing.T, tenant, scenario string) string {
 }
 
 // submitOK submits and returns the accepted job.
-func submitOK(t *testing.T, s *Server, tenant, scenario string) *job {
+func submitOK(t *testing.T, s *Server, tenant, scenario string) *Job {
 	t.Helper()
 	rec := do(t, s, "POST", "/v1/jobs", submitBody(t, tenant, scenario))
 	if rec.Code != http.StatusAccepted {
@@ -75,14 +75,14 @@ func submitOK(t *testing.T, s *Server, tenant, scenario string) *job {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	j, ok := s.pool.get(resp.ID)
+	j, ok := s.pool.Job(resp.ID)
 	if !ok {
 		t.Fatalf("job %s not registered", resp.ID)
 	}
 	return j
 }
 
-func waitDone(t *testing.T, j *job) {
+func waitDone(t *testing.T, j *Job) {
 	t.Helper()
 	select {
 	case <-j.done:
@@ -173,8 +173,8 @@ func TestJobResultMatchesDirectRun(t *testing.T) {
 			waitDone(t, first)
 			second := submitOK(t, s, "acme", scenario)
 			waitDone(t, second)
-			if first.status().State != StateDone || second.status().State != StateDone {
-				t.Fatalf("jobs did not complete: %+v %+v", first.status(), second.status())
+			if first.Status().State != StateDone || second.Status().State != StateDone {
+				t.Fatalf("jobs did not complete: %+v %+v", first.Status(), second.Status())
 			}
 
 			spec, err := workload.BuiltinSpec(scenario)
@@ -182,14 +182,14 @@ func TestJobResultMatchesDirectRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := comparableJSON(t, directRun(t, &spec, DefaultBoardConfig()))
-			if got := comparableJSON(t, first.status().Result); got != want {
+			if got := comparableJSON(t, first.Status().Result); got != want {
 				t.Errorf("first job diverged from direct run:\n got %s\nwant %s", got, want)
 			}
-			if got := comparableJSON(t, second.status().Result); got != want {
+			if got := comparableJSON(t, second.Status().Result); got != want {
 				t.Errorf("second job (cached compile) diverged from direct run:\n got %s\nwant %s", got, want)
 			}
-			if !first.status().Result.LintClean {
-				t.Errorf("job left lint-dirty device state: %v", first.status().Result.LintDiags)
+			if !first.Status().Result.LintClean {
+				t.Errorf("job left lint-dirty device state: %v", first.Status().Result.LintDiags)
 			}
 		})
 	}
@@ -203,7 +203,7 @@ func TestBackpressure(t *testing.T) {
 	bc.QueueDepth = 3
 	s := newTestServer(t, Config{Boards: []BoardConfig{bc}, Tenant: TenantLimits{Rate: 0}})
 
-	var accepted []*job
+	var accepted []*Job
 	for i := 0; i < bc.QueueDepth; i++ {
 		accepted = append(accepted, submitOK(t, s, "acme", "multimedia"))
 	}
@@ -216,7 +216,7 @@ func TestBackpressure(t *testing.T) {
 			t.Error("429 without Retry-After")
 		}
 	}
-	snaps := s.adm.snapshot()
+	snaps := s.adm.Snapshot()
 	if len(snaps) != 1 || snaps[0].QueueFull != 2 {
 		t.Errorf("queue-full accounting: %+v", snaps)
 	}
@@ -226,7 +226,7 @@ func TestBackpressure(t *testing.T) {
 	s.Start()
 	for _, j := range accepted {
 		waitDone(t, j)
-		if st := j.status(); st.State != StateDone {
+		if st := j.Status(); st.State != StateDone {
 			t.Errorf("job %s: state %s (%s)", st.ID, st.State, st.Error)
 		}
 	}
@@ -277,7 +277,7 @@ func TestDrain(t *testing.T) {
 	s.pool.gate = make(chan struct{}, 8)
 	s.Start()
 
-	jobs := []*job{
+	jobs := []*Job{
 		submitOK(t, s, "acme", "multimedia"),
 		submitOK(t, s, "acme", "multimedia"),
 		submitOK(t, s, "acme", "multimedia"),
@@ -297,7 +297,7 @@ func TestDrain(t *testing.T) {
 		t.Fatal("drain did not complete")
 	}
 	for _, j := range jobs {
-		if st := j.status(); st.State != StateDone {
+		if st := j.Status(); st.State != StateDone {
 			t.Errorf("job %s after drain: state %s (%s)", st.ID, st.State, st.Error)
 		}
 	}
@@ -332,10 +332,10 @@ func TestCancelQueued(t *testing.T) {
 	s.pool.gate <- struct{}{}
 	waitDone(t, first)
 	waitDone(t, second)
-	if st := first.status(); st.State != StateDone {
+	if st := first.Status(); st.State != StateDone {
 		t.Errorf("uncancelled job: state %s (%s)", st.State, st.Error)
 	}
-	st := second.status()
+	st := second.Status()
 	if st.State != StateFailed || !strings.Contains(st.Error, "context canceled") {
 		t.Errorf("cancelled job: state %s error %q, want failed/context canceled", st.State, st.Error)
 	}
@@ -400,9 +400,9 @@ func TestBoardPin(t *testing.T) {
 		if resp.Board != i {
 			t.Errorf("manager %s: ran on board %d, pinned to %d", m, resp.Board, i)
 		}
-		j, _ := s.pool.get(resp.ID)
+		j, _ := s.pool.Job(resp.ID)
 		waitDone(t, j)
-		if st := j.status(); st.State != StateDone {
+		if st := j.Status(); st.State != StateDone {
 			t.Errorf("manager %s: state %s (%s)", m, st.State, st.Error)
 		}
 	}
@@ -444,11 +444,11 @@ func TestJobTimeoutWhileQueued(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	j, _ := s.pool.get(resp.ID)
+	j, _ := s.pool.Job(resp.ID)
 	<-j.ctx.Done() // deadline fires while the gated worker holds the job queued
 	s.pool.gate <- struct{}{}
 	waitDone(t, j)
-	if st := j.status(); st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+	if st := j.Status(); st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
 		t.Errorf("timed-out job: state %s error %q", st.State, st.Error)
 	}
 	go s.Drain()
@@ -488,16 +488,16 @@ func TestJobPanicDoesNotKillDaemon(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	j, _ := s.pool.get(resp.ID)
+	j, _ := s.pool.Job(resp.ID)
 	waitDone(t, j)
-	if st := j.status(); st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+	if st := j.Status(); st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
 		t.Errorf("bad job: state %s error %q, want failed/panicked", st.State, st.Error)
 	}
 
 	// The board survives and runs the next job normally.
 	good := submitOK(t, s, "acme", "multimedia")
 	waitDone(t, good)
-	if st := good.status(); st.State != StateDone {
+	if st := good.Status(); st.State != StateDone {
 		t.Errorf("follow-up job: state %s (%s)", st.State, st.Error)
 	}
 }
@@ -518,9 +518,9 @@ func TestPartialParamBlock(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	j, _ := s.pool.get(resp.ID)
+	j, _ := s.pool.Job(resp.ID)
 	waitDone(t, j)
-	st := j.status()
+	st := j.Status()
 	if st.State != StateDone {
 		t.Fatalf("partial-block job: state %s (%s)", st.State, st.Error)
 	}

@@ -37,12 +37,17 @@ type Config struct {
 	// CompactBudget bounds the virtual device time one compaction pass
 	// may spend on relocations; 0 means unbounded (pack fully).
 	CompactBudget sim.Time
+	// Admission, when non-nil, replaces the server's own per-tenant
+	// bucket — the fleet layer shares one Admission across every node so
+	// budgets (and Retry-After hints) are fleet-wide, not per daemon.
+	// Tenant is ignored when Admission is set.
+	Admission *Admission
 }
 
 // Server is the vfpgad service: board pool + admission + HTTP handlers.
 type Server struct {
-	pool    *pool
-	adm     *admission
+	pool    *Pool
+	adm     *Admission
 	version string
 	mux     *http.ServeMux
 }
@@ -51,7 +56,10 @@ type Server struct {
 // submissions queue but nothing runs (tests use that window to fill
 // queues deterministically).
 func New(cfg Config) (*Server, error) {
-	adm := newAdmission(cfg.Tenant, cfg.Now)
+	adm := cfg.Admission
+	if adm == nil {
+		adm = NewAdmission(cfg.Tenant, cfg.Now)
+	}
 	boards := append([]BoardConfig(nil), cfg.Boards...)
 	if cfg.Faults != nil {
 		for i := range boards {
@@ -61,11 +69,14 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
-	p, err := newPool(boards, adm)
+	p, err := NewPool(boards, PoolOptions{
+		Outcomes:         adm,
+		CompactWatermark: cfg.CompactWatermark,
+		CompactBudget:    cfg.CompactBudget,
+	})
 	if err != nil {
 		return nil, err
 	}
-	p.compactWatermark, p.compactBudget = cfg.CompactWatermark, cfg.CompactBudget
 	s := &Server{pool: p, adm: adm, version: cfg.Version}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -82,10 +93,10 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Start launches the board workers.
-func (s *Server) Start() { s.pool.start() }
+func (s *Server) Start() { s.pool.Start() }
 
 // Drain stops intake and blocks until every accepted job has finished.
-func (s *Server) Drain() { s.pool.drain() }
+func (s *Server) Drain() { s.pool.Drain() }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -115,8 +126,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad workload: %v", err)
 		return
 	}
+	if req.Node != nil {
+		writeError(w, http.StatusBadRequest, "node pinning requires a fleet (vfpgad -nodes > 1)")
+		return
+	}
 
-	if ok, retry := s.adm.allow(req.Tenant); !ok {
+	if ok, retry := s.adm.Allow(req.Tenant); !ok {
 		secs := int(retry / time.Second)
 		if retry%time.Second != 0 || secs == 0 {
 			secs++ // round up: retrying earlier than the hint just throttles again
@@ -133,54 +148,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
 	}
 	spec := req.Workload
-	j := &job{
-		tenant: req.Tenant, spec: &spec, trace: req.Trace,
-		ctx: ctx, cancel: cancel,
-		state: StateQueued, done: make(chan struct{}),
-	}
-	boardID, err := s.pool.submit(j, req.Board)
+	j, err := s.pool.Submit(SubmitArgs{
+		Tenant: req.Tenant, Spec: &spec, Trace: req.Trace,
+		Board: req.Board, Ctx: ctx, Cancel: cancel,
+	})
 	switch {
 	case errors.Is(err, ErrDraining):
-		cancel()
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	case errors.Is(err, ErrNoSuchBoard):
-		cancel()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	case errors.Is(err, ErrBoardQuarantined):
-		cancel()
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	case errors.Is(err, ErrNoHealthyBoard):
-		cancel()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
-		cancel()
-		s.adm.noteQueueFull(req.Tenant)
+		s.adm.NoteQueueFull(req.Tenant)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "all board queues full")
 		return
 	case err != nil:
-		cancel()
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Board: boardID})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID(), Board: j.Status().Board})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.pool.get(r.PathValue("id"))
+	j, ok := s.pool.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.pool.get(r.PathValue("id"))
+	j, ok := s.pool.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
@@ -188,21 +195,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// Cancellation is advisory: a queued job fails when its worker picks
 	// it up; a running or finished job is unaffected (the simulation is
 	// not preemptible mid-run).
-	j.cancel()
-	writeJSON(w, http.StatusOK, j.status())
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 func (s *Server) handleBoards(w http.ResponseWriter, r *http.Request) {
-	infos := make([]BoardInfo, 0, len(s.pool.boards))
-	for _, b := range s.pool.boards {
-		infos = append(infos, b.info())
-	}
-	writeJSON(w, http.StatusOK, infos)
+	writeJSON(w, http.StatusOK, s.pool.BoardInfos())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	if s.pool.isDraining() {
+	if s.pool.IsDraining() {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, Health{Status: status, Version: s.version, Boards: len(s.pool.boards)})

@@ -31,10 +31,15 @@ type tenantState struct {
 	failed    int64
 }
 
-// admission is the long-term scheduler of the service: it decides, per
+// Admission is the long-term scheduler of the service: it decides, per
 // tenant, whether a submission may enter the system at all. The clock is
 // injectable so tests (and the metrics golden file) are deterministic.
-type admission struct {
+//
+// One Admission serves one budget domain. A single daemon owns its own;
+// a fleet scheduler shares one across every node, so the token budget —
+// and the Retry-After hint computed from it — reflects the whole fleet's
+// capacity for the tenant, not whichever node the request landed on.
+type Admission struct {
 	// limits and now are set once at construction and never reassigned;
 	// they sit above mu, which guards only the tenant table below it.
 	limits TenantLimits
@@ -44,14 +49,16 @@ type admission struct {
 	tenants map[string]*tenantState
 }
 
-func newAdmission(limits TenantLimits, now func() time.Time) *admission {
+// NewAdmission builds an admission controller; a nil clock means
+// time.Now.
+func NewAdmission(limits TenantLimits, now func() time.Time) *Admission {
 	if now == nil {
 		now = time.Now
 	}
-	return &admission{limits: limits, now: now, tenants: map[string]*tenantState{}}
+	return &Admission{limits: limits, now: now, tenants: map[string]*tenantState{}}
 }
 
-func (a *admission) stateLocked(tenant string) *tenantState {
+func (a *Admission) stateLocked(tenant string) *tenantState {
 	ts := a.tenants[tenant]
 	if ts == nil {
 		ts = &tenantState{tokens: a.limits.Burst, last: a.now()}
@@ -60,9 +67,9 @@ func (a *admission) stateLocked(tenant string) *tenantState {
 	return ts
 }
 
-// allow spends one token for tenant. When the bucket is empty it returns
+// Allow spends one token for tenant. When the bucket is empty it returns
 // false and how long until a token accrues (the Retry-After hint).
-func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
+func (a *Admission) Allow(tenant string) (ok bool, retryAfter time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ts := a.stateLocked(tenant)
@@ -82,23 +89,31 @@ func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration((1 - ts.tokens) / a.limits.Rate * float64(time.Second))
 }
 
-// note* record submission outcomes after the bucket decision.
-func (a *admission) noteQueueFull(tenant string) {
+// Note* record submission outcomes after the bucket decision.
+// NoteCompleted and NoteFailed make Admission an OutcomeSink.
+
+// NoteQueueFull records a submission admitted by the bucket but bounced
+// off queue backpressure.
+func (a *Admission) NoteQueueFull(tenant string) {
 	a.bump(tenant, func(ts *tenantState) { ts.queueFull++ })
 }
-func (a *admission) noteCompleted(tenant string) {
+
+// NoteCompleted records a finished job.
+func (a *Admission) NoteCompleted(tenant string) {
 	a.bump(tenant, func(ts *tenantState) { ts.completed++ })
 }
-func (a *admission) noteFailed(tenant string) { a.bump(tenant, func(ts *tenantState) { ts.failed++ }) }
 
-func (a *admission) bump(tenant string, f func(*tenantState)) {
+// NoteFailed records a failed job.
+func (a *Admission) NoteFailed(tenant string) { a.bump(tenant, func(ts *tenantState) { ts.failed++ }) }
+
+func (a *Admission) bump(tenant string, f func(*tenantState)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	f(a.stateLocked(tenant))
 }
 
-// tenantCounters is a consistent snapshot of one tenant's accounting.
-type tenantCounters struct {
+// TenantCounters is a consistent snapshot of one tenant's accounting.
+type TenantCounters struct {
 	Tenant    string
 	Admitted  int64
 	Throttled int64
@@ -107,14 +122,14 @@ type tenantCounters struct {
 	Failed    int64
 }
 
-// snapshot returns every tenant's counters, sorted by tenant name for
+// Snapshot returns every tenant's counters, sorted by tenant name for
 // deterministic exposition.
-func (a *admission) snapshot() []tenantCounters {
+func (a *Admission) Snapshot() []TenantCounters {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]tenantCounters, 0, len(a.tenants))
+	out := make([]TenantCounters, 0, len(a.tenants))
 	for name, ts := range a.tenants {
-		out = append(out, tenantCounters{
+		out = append(out, TenantCounters{
 			Tenant: name, Admitted: ts.admitted, Throttled: ts.throttled,
 			QueueFull: ts.queueFull, Completed: ts.completed, Failed: ts.failed,
 		})

@@ -36,6 +36,11 @@ type SubmitRequest struct {
 	// Board pins the job to one board; nil lets the pool pick the least
 	// loaded one.
 	Board *int `json:"board,omitempty"`
+	// Node pins the job to one node of a fleet; only valid against a
+	// fleet front-end (vfpgad -nodes > 1). A single-node daemon rejects
+	// it with 400. When both Node and Board are set, Board names a board
+	// of the pinned node.
+	Node *int `json:"node,omitempty"`
 	// TimeoutMS bounds the job's total wall-clock lifetime (queue wait
 	// included); 0 means no deadline. An expired job fails instead of
 	// running.
@@ -48,6 +53,9 @@ type SubmitRequest struct {
 type SubmitResponse struct {
 	ID    string `json:"id"`
 	Board int    `json:"board"`
+	// Node is the fleet node the job was routed to; present only from a
+	// fleet front-end.
+	Node int `json:"node,omitempty"`
 }
 
 // Job states.
@@ -149,6 +157,8 @@ type Health struct {
 	Status  string `json:"status"` // "ok" | "draining"
 	Version string `json:"version"`
 	Boards  int    `json:"boards"`
+	// Nodes is the fleet size; present only from a fleet front-end.
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // ErrorBody is the JSON envelope of every non-2xx response.
