@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick bench-serve trace-demo serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag serve-smoke-fleet
+.PHONY: check fmt vet vet-analyzers build test race conformance lint cover fuzz-smoke bench-quick bench-serve bench-load trace-demo serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag serve-smoke-fleet serve-smoke-trace
 
-check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick bench-serve serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag serve-smoke-fleet
+check: fmt vet vet-analyzers build race conformance test lint cover fuzz-smoke bench-quick bench-serve bench-load serve-smoke serve-smoke-faults serve-smoke-warm serve-smoke-defrag serve-smoke-fleet serve-smoke-trace
 
 fmt:
 	@out=$$(gofmt -l cmd internal examples); \
@@ -29,7 +29,7 @@ build:
 # daemon (serve), the fleet scheduler (fleet), the router scratch, and
 # the simulation layers they drive.
 race:
-	$(GO) test -race ./internal/core/... ./internal/hostos/... ./internal/bench/... ./internal/compile/... ./internal/route/... ./internal/serve/... ./internal/fleet/...
+	$(GO) test -race ./internal/core/... ./internal/hostos/... ./internal/bench/... ./internal/compile/... ./internal/route/... ./internal/serve/... ./internal/fleet/... ./internal/loadgen/... ./cmd/vfpgaload/...
 
 test:
 	$(GO) test ./...
@@ -49,7 +49,7 @@ conformance:
 # tests, or the gate trips.
 cover:
 	$(GO) test -cover ./internal/...
-	@$(GO) test -coverprofile=.cover.out ./internal/core/ ./internal/serve/ > /dev/null
+	@$(GO) test -coverprofile=.cover.out ./internal/core/ ./internal/serve/ ./internal/loadgen/ > /dev/null
 	@total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	base=$$(cat COVERAGE_BASELINE); \
 	echo "combined core+serve coverage: $$total% (baseline $$base%)"; \
@@ -62,6 +62,7 @@ cover:
 # package's testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzSpecDecode -fuzztime 10s
+	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s
 	$(GO) test ./internal/bitstream/ -run '^$$' -fuzz FuzzBitstreamParse -fuzztime 10s
 
 # Quick end-to-end harness run; leaves a machine-readable perf record
@@ -79,6 +80,18 @@ bench-serve:
 	echo "warm vs cold p50 speedup: $${speedup}x (gate: >= 2)"; \
 	awk -v s="$$speedup" 'BEGIN { exit (s + 0 >= 2) ? 0 : 1 }' \
 		|| { echo "warm serving is not at least 2x faster than cold"; exit 1; }
+
+# The trace-driven load record as a gate: regenerate the "load" section
+# of BENCH_serve.json and require the committed SLO to hold at recorded
+# speed with an interior saturation point (met at the low probe AND
+# broken before the high one — neither endpoint degenerate).
+bench-load:
+	$(GO) run ./cmd/vfpgabench -run none -serve-json BENCH_serve.json | grep "load bench:"
+	@met=$$(grep -c '"met": true' BENCH_serve.json); \
+	sat=$$(grep -c '"saturated": true' BENCH_serve.json); \
+	if [ "$$met" -eq 1 ] && [ "$$sat" -eq 1 ]; then \
+		echo "load bench: SLO held at recorded speed; saturation point is interior"; \
+	else echo "load bench: degenerate saturation point"; exit 1; fi
 
 # Render a merged scheduler+device timeline from the time-sharing example.
 trace-demo:
@@ -190,4 +203,31 @@ serve-smoke-fleet:
 		-workload multimedia -check-lint -expect-node-quarantine; then ok=1; else ok=0; fi; \
 	kill -TERM $$pid; \
 	if wait $$pid && [ $$ok -eq 1 ]; then echo "serve-smoke-fleet: ok"; else echo "serve-smoke-fleet: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
+	@rm -rf .smoke
+
+# The trace smoke: replay the committed golden trace (60 jobs, 3
+# tenants, all five scenario families) open-loop against a live vfpgad
+# at 4x recorded pace, with the committed SLO enforced on the virtual
+# replay. vfpgaload exits nonzero on any untyped failure, transport
+# error, lint-dirty result, or SLO violation; the emitted CSV must be
+# byte-identical to the committed golden (the wire-measured makespans
+# reproduce the direct runner's exactly), and vfpgad must drain cleanly
+# on SIGTERM.
+serve-smoke-trace:
+	@rm -rf .smoke && mkdir -p .smoke
+	$(GO) build -o .smoke/vfpgad ./cmd/vfpgad
+	$(GO) build -o .smoke/vfpgaload ./cmd/vfpgaload
+	@set -e; \
+	./.smoke/vfpgad -addr 127.0.0.1:0 -addr-file .smoke/addr -boards 4 -rate 0 > .smoke/vfpgad.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .smoke/addr ] || { echo "vfpgad did not come up"; cat .smoke/vfpgad.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .smoke/addr); \
+	if ./.smoke/vfpgaload -target "http://$$addr" -trace internal/loadgen/testdata/golden_trace.json \
+		-pace 4 -slo 'p99<750ms' -check-lint \
+		-csv-out .smoke/results.csv -json-out .smoke/results.json; then ok=1; else ok=0; fi; \
+	kill -TERM $$pid; \
+	wait $$pid || ok=0; \
+	cmp -s .smoke/results.csv internal/loadgen/testdata/golden_results.csv || { echo "trace CSV diverged from golden"; ok=0; }; \
+	if [ $$ok -eq 1 ]; then echo "serve-smoke-trace: ok"; else echo "serve-smoke-trace: FAILED"; cat .smoke/vfpgad.log; exit 1; fi
 	@rm -rf .smoke

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/fleet"
+	"repro/internal/loadgen"
 	"repro/internal/serve"
 	"repro/internal/version"
 	"repro/internal/workload"
@@ -141,10 +142,11 @@ func main() {
 }
 
 // writeServeBench runs the cold-vs-warm serving benchmark on the default
-// board plus the F10 fleet placement bake-off, and records both in one
-// JSON file: the cold/warm fields at top level (the speedup gate greps
-// them there) and the bake-off under "fleet". The bake-off always runs
-// at full scale — 12k virtual-time jobs cost well under a second.
+// board plus the F10 fleet placement bake-off and the trace-driven load
+// bench, and records all three in one JSON file: the cold/warm fields at
+// top level (the speedup gate greps them there), the bake-off under
+// "fleet", and the open-loop latency/saturation record under "load".
+// Everything runs in virtual time and costs well under a second.
 func writeServeBench(path string, jobs int, seed uint64) error {
 	const scenario = "multimedia"
 	spec, err := workload.BuiltinSpec(scenario)
@@ -163,10 +165,19 @@ func writeServeBench(path string, jobs int, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	runFn, err := serve.NewDirectRunner(serve.DefaultBoardConfig())
+	if err != nil {
+		return err
+	}
+	lrec, err := loadgen.RunBench(loadgen.DefaultBenchConfig(), loadgen.DefaultBenchServers, loadgen.DefaultBenchSLO, runFn)
+	if err != nil {
+		return err
+	}
 	out := struct {
 		serve.ColdWarmBench
 		Fleet *fleet.BakeoffRecord `json:"fleet"`
-	}{rec, frec}
+		Load  *loadgen.BenchRecord `json:"load"`
+	}{rec, frec, lrec}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -181,5 +192,8 @@ func writeServeBench(path string, jobs int, seed uint64) error {
 		fmt.Printf("fleet bench: %-9s %d jobs, hw_util %.4f, p99 admit %.2fms, %d requeues\n",
 			row.Policy, row.Jobs, row.HWUtil, row.P99AdmitMS, row.Requeues)
 	}
+	fmt.Printf("load bench: %d jobs on %d servers, baseline p99 %v (SLO %s), saturation at %.2fx = %.1f jobs/s offered\n",
+		lrec.Baseline.Jobs, lrec.Baseline.Servers, time.Duration(lrec.Baseline.P99Ns),
+		lrec.SLO, lrec.Saturation.Point.Speedup, lrec.Saturation.Point.OfferedPerSec)
 	return nil
 }

@@ -48,9 +48,25 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/serve"
+	istats "repro/internal/stats"
 	"repro/internal/version"
 	"repro/internal/workload"
 )
+
+// sleep is time.Sleep, injectable so tests can run the throttle paths
+// without real waits.
+var sleep = time.Sleep
+
+// tenantAcct separates what the server did for a tenant from what it
+// made the tenant wait for: service latency is accepted-submit to
+// terminal status minus the Retry-After windows slept through, so a
+// throttled tenant's 429 budget never pollutes its latency quantiles.
+type tenantAcct struct {
+	completed int
+	svc       *istats.Sample
+	throttled int
+	waited    time.Duration
+}
 
 type stats struct {
 	mu        sync.Mutex
@@ -62,11 +78,47 @@ type stats struct {
 	lintDirty int
 	transport int
 	retries   int
+	tenants   map[string]*tenantAcct
 }
 
 func (s *stats) code(c int) {
 	s.mu.Lock()
 	s.codes[c]++
+	s.mu.Unlock()
+}
+
+// tenantLocked returns the tenant's account; callers hold s.mu.
+func (s *stats) tenantLocked(tenant string) *tenantAcct {
+	if s.tenants == nil {
+		s.tenants = map[string]*tenantAcct{}
+	}
+	a := s.tenants[tenant]
+	if a == nil {
+		a = &tenantAcct{svc: istats.NewSample(true)}
+		s.tenants[tenant] = a
+	}
+	return a
+}
+
+// noteService records one completed job's service latency (throttle
+// waits already excluded; negatives clamp to zero).
+func (s *stats) noteService(tenant string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	a := s.tenantLocked(tenant)
+	a.completed++
+	a.svc.Observe(float64(d))
+	s.mu.Unlock()
+}
+
+// noteThrottleWait records one 429-induced wait charged to the tenant.
+func (s *stats) noteThrottleWait(tenant string, d time.Duration) {
+	s.mu.Lock()
+	a := s.tenantLocked(tenant)
+	a.throttled++
+	a.waited += d
 	s.mu.Unlock()
 }
 
@@ -154,10 +206,36 @@ func main() {
 	expectCompaction := flag.Bool("expect-compaction", false, "fail unless the boards ran at least one idle-cycle compaction pass")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
+
+	// Trace modes: -record writes a generated trace and exits; -trace
+	// replays a recorded trace open-loop and reports model statistics.
+	record := flag.String("record", "", "write a generated workload trace to this file and exit (no daemon needed)")
+	tracePath := flag.String("trace", "", "replay the recorded trace at this path open-loop (overrides closed-loop mode)")
+	speedup := flag.Float64("speedup", 1, "offered-load multiplier for the replay model: arrival times divide by this")
+	pace := flag.Float64("pace", 0, "wall-clock pacing multiplier for -trace submissions; 0 submits without pacing (results are virtual-time either way)")
+	servers := flag.Int("servers", 0, "server count for the replay model; 0 queries /v1/boards across the targets")
+	sloFlag := flag.String("slo", "", "latency SLO like p99<50ms; with -trace, runs the saturation search and fails when the replay violates it")
+	csvOut := flag.String("csv-out", "", "write per-request replay results as CSV to this file")
+	jsonOut := flag.String("json-out", "", "write the replay summary (and curve/saturation with -slo) as JSON to this file")
+	admitRate := flag.Float64("admit-rate", 0, "virtual per-tenant admission tokens per second in the replay model; 0 disables")
+	admitBurst := flag.Float64("admit-burst", 0, "virtual per-tenant admission burst in the replay model")
+	genJobs := flag.Int("gen-jobs", 60, "jobs to generate with -record")
+	genArrival := flag.String("gen-arrival", "poisson", "arrival process for -record: poisson or onoff")
+	genMean := flag.Duration("gen-mean", 100*time.Millisecond, "mean inter-arrival time for -record")
+	genOn := flag.Duration("gen-on", time.Second, "mean on-phase length for -record with onoff arrivals")
+	genOff := flag.Duration("gen-off", time.Second, "mean off-phase length for -record with onoff arrivals")
+	genSeed := flag.Uint64("gen-seed", 1234, "generator seed for -record")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("vfpgaload", version.String())
 		return
+	}
+
+	if *record != "" {
+		os.Exit(runRecord(*record, genConfig{
+			jobs: *genJobs, arrival: *genArrival, mean: *genMean,
+			on: *genOn, off: *genOff, seed: *genSeed, tenants: *tenants,
+		}))
 	}
 
 	urls := []string{*targetFlag}
@@ -174,6 +252,16 @@ func main() {
 		os.Exit(1)
 	}
 	ts := newTargetSet(urls)
+
+	if *tracePath != "" {
+		os.Exit(runTrace(ts, *tracePath, traceOpts{
+			speedup: *speedup, pace: *pace, servers: *servers,
+			slo: *sloFlag, csvOut: *csvOut, jsonOut: *jsonOut,
+			admitRate: *admitRate, admitBurst: *admitBurst,
+			deadline:  time.Now().Add(*timeout),
+			checkLint: *checkLint,
+		}))
+	}
 
 	spec, err := workload.BuiltinSpec(*scenario)
 	if err != nil {
@@ -249,6 +337,19 @@ func main() {
 	sort.Ints(codes)
 	for _, c := range codes {
 		fmt.Printf("  HTTP %d: %d\n", c, st.codes[c])
+	}
+	names := make([]string, 0, len(st.tenants))
+	for name := range st.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := st.tenants[name]
+		fmt.Printf("  tenant %s: %d completed, service p50=%s p95=%s, %d throttle waits totaling %s\n",
+			name, a.completed,
+			time.Duration(a.svc.Quantile(0.5)).Round(time.Millisecond),
+			time.Duration(a.svc.Quantile(0.95)).Round(time.Millisecond),
+			a.throttled, a.waited.Round(time.Millisecond))
 	}
 	bad := st.failed > 0 || st.transport > 0
 	for _, c := range codes {
@@ -453,8 +554,10 @@ func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Sp
 		t, wait := ts.pick()
 		if t == nil {
 			// Every target is inside its Retry-After window; sleep out the
-			// earliest one rather than hammering a throttled fleet.
-			time.Sleep(wait)
+			// earliest one rather than hammering a throttled fleet. The wait
+			// is backpressure, charged to the tenant's throttle account.
+			st.noteThrottleWait(tenant, wait)
+			sleep(wait)
 			continue
 		}
 		resp, err := doReq(client, http.MethodPost, t.url+"/v1/jobs", body, deadline)
@@ -489,6 +592,12 @@ func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Sp
 	st.submitted++
 	st.mu.Unlock()
 
+	// Service latency starts at the accepted submit; Retry-After windows
+	// slept through while polling are subtracted back out, so the
+	// reported latency is the server's, not the throttle budget's.
+	acceptedAt := time.Now()
+	var waited time.Duration
+
 	for {
 		if time.Now().After(deadline) {
 			st.mu.Lock()
@@ -509,7 +618,9 @@ func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Sp
 			st.mu.Lock()
 			st.retries++
 			st.mu.Unlock()
-			time.Sleep(wait)
+			st.noteThrottleWait(tenant, wait)
+			waited += wait
+			sleep(wait)
 			continue
 		}
 		var js serve.JobStatus
@@ -523,6 +634,7 @@ func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Sp
 		}
 		switch js.State {
 		case serve.StateDone:
+			st.noteService(tenant, time.Since(acceptedAt)-waited)
 			st.mu.Lock()
 			st.completed++
 			if checkLint && (js.Result == nil || !js.Result.LintClean) {
@@ -541,6 +653,6 @@ func runOne(client *http.Client, ts *targetSet, tenant string, spec *workload.Sp
 			st.mu.Unlock()
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		sleep(20 * time.Millisecond)
 	}
 }

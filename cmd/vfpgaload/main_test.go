@@ -1,0 +1,256 @@
+package main
+
+// Regression tests for the client-side accounting: service latency must
+// exclude Retry-After waits (the closed-loop 429 split), and the trace
+// executor must round-robin targets and produce positional outcomes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// stubSleep replaces the injectable sleep for the duration of a test so
+// throttle paths run instantly while still being accounted.
+func stubSleep(t *testing.T) {
+	t.Helper()
+	old := sleep
+	sleep = func(time.Duration) {}
+	t.Cleanup(func() { sleep = old })
+}
+
+// fakeDaemon is a minimal vfpgad look-alike: accepts submissions,
+// optionally 429s the first N poll requests per job with a Retry-After
+// hint, then reports the job done with a fixed makespan.
+type fakeDaemon struct {
+	retryAfterPolls int // 429 this many polls per job before answering
+	makespan        sim.Time
+	faultKind       string // when set, jobs fail with this typed kind
+
+	mu        sync.Mutex
+	submitted int
+	polls     map[string]int
+	tenants   []string
+}
+
+func (f *fakeDaemon) server(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.submitted++
+		id := fmt.Sprintf("j%03d", f.submitted)
+		f.tenants = append(f.tenants, req.Tenant)
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.SubmitResponse{ID: id})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		f.mu.Lock()
+		if f.polls == nil {
+			f.polls = map[string]int{}
+		}
+		f.polls[id]++
+		throttle := f.polls[id] <= f.retryAfterPolls
+		f.mu.Unlock()
+		if throttle {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		js := serve.JobStatus{ID: id, State: serve.StateDone, Result: &serve.JobResult{Makespan: f.makespan, LintClean: true}}
+		if f.faultKind != "" {
+			js = serve.JobStatus{ID: id, State: serve.StateFailed, FaultKind: f.faultKind}
+		}
+		json.NewEncoder(w).Encode(js)
+	})
+	mux.HandleFunc("/v1/boards", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]serve.BoardInfo{{ID: 0}, {ID: 1}})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// The closed-loop fix: two Retry-After:2 throttles while polling must
+// land in the tenant's throttle account — 4s of waits — while the
+// reported service latency stays near the actual wall time, not 4s+.
+func TestClosedLoopSplitsThrottleWaitFromServiceLatency(t *testing.T) {
+	stubSleep(t)
+	fd := &fakeDaemon{retryAfterPolls: 2, makespan: 123}
+	srv := fd.server(t)
+	ts := newTargetSet([]string{srv.URL})
+	st := &stats{codes: map[int]int{}}
+	spec, err := workload.BuiltinSpec("synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	runOne(client, ts, "alpha", &spec, false, false, time.Now().Add(30*time.Second), st)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.completed != 1 || st.failed != 0 {
+		t.Fatalf("completed=%d failed=%d", st.completed, st.failed)
+	}
+	a := st.tenants["alpha"]
+	if a == nil {
+		t.Fatal("no tenant account for alpha")
+	}
+	if a.throttled != 2 || a.waited != 4*time.Second {
+		t.Fatalf("throttle account = %d waits / %s, want 2 / 4s", a.throttled, a.waited)
+	}
+	// The stubbed sleep means barely any wall time passed; with the 4s of
+	// Retry-After waits subtracted, service latency must clamp near zero
+	// rather than absorbing the throttle budget.
+	if svc := time.Duration(a.svc.Quantile(0.5)); svc > time.Second {
+		t.Fatalf("service latency %s absorbed the Retry-After waits", svc)
+	}
+	if a.completed != 1 {
+		t.Fatalf("tenant completed = %d, want 1", a.completed)
+	}
+}
+
+// Without throttling, service latency is a plain positive wall measure.
+func TestClosedLoopServiceLatencyPositive(t *testing.T) {
+	fd := &fakeDaemon{makespan: 99}
+	srv := fd.server(t)
+	ts := newTargetSet([]string{srv.URL})
+	st := &stats{codes: map[int]int{}}
+	spec, err := workload.BuiltinSpec("synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	runOne(client, ts, "beta", &spec, false, false, time.Now().Add(30*time.Second), st)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.tenants["beta"]
+	if a == nil || a.completed != 1 {
+		t.Fatalf("tenant account: %+v", a)
+	}
+	if a.throttled != 0 || a.waited != 0 {
+		t.Fatalf("unthrottled run charged waits: %+v", a)
+	}
+	if a.svc.Quantile(0.5) <= 0 {
+		t.Fatal("service latency must be positive")
+	}
+}
+
+// executeTrace must keep outcomes positional, rotate targets, and carry
+// the daemon's makespan into the virtual outcome.
+func TestExecuteTraceRoundRobinAndOutcomes(t *testing.T) {
+	stubSleep(t)
+	fa := &fakeDaemon{makespan: 500}
+	fb := &fakeDaemon{makespan: 500}
+	sa, sb := fa.server(t), fb.server(t)
+	ts := newTargetSet([]string{sa.URL, sb.URL})
+
+	spec, err := workload.BuiltinSpec("telecom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &workload.Trace{Version: workload.TraceVersion, Seed: 1, Tenants: []string{"a"}}
+	for i := 0; i < 6; i++ {
+		tr.Entries = append(tr.Entries, workload.TraceEntry{At: sim.Time(i) * 1000, Tenant: "a", Spec: spec})
+	}
+	st := &stats{codes: map[int]int{}}
+	outcomes, err := executeTrace(ts, tr, traceOpts{deadline: time.Now().Add(30 * time.Second)}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 6 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	for i, o := range outcomes {
+		if o.Service != 500 || o.Failed {
+			t.Fatalf("outcome %d: %+v", i, o)
+		}
+	}
+	fa.mu.Lock()
+	na := fa.submitted
+	fa.mu.Unlock()
+	fb.mu.Lock()
+	nb := fb.submitted
+	fb.mu.Unlock()
+	if na+nb != 6 || na == 0 || nb == 0 {
+		t.Fatalf("rotation skew: %d vs %d submissions", na, nb)
+	}
+	// Positional outcomes + the pure model = deterministic results: two
+	// replays of what came over the wire are byte-identical.
+	one, err := loadgen.Replay(tr, outcomes, loadgen.ModelConfig{Servers: 2, Speedup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := loadgen.Replay(tr, outcomes, loadgen.ModelConfig{Servers: 2, Speedup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := loadgen.EncodeSummary(one.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := loadgen.EncodeSummary(two.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s2) {
+		t.Fatal("replay of wire outcomes is not deterministic")
+	}
+}
+
+// A typed fault failure is an outcome for the model's error breakdown;
+// the replay must not abort.
+func TestExecuteTraceTypedFaultIsOutcome(t *testing.T) {
+	stubSleep(t)
+	fd := &fakeDaemon{faultKind: "config-error"}
+	srv := fd.server(t)
+	ts := newTargetSet([]string{srv.URL})
+	spec, err := workload.BuiltinSpec("storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &workload.Trace{
+		Version: workload.TraceVersion, Seed: 1, Tenants: []string{"a"},
+		Entries: []workload.TraceEntry{{At: 0, Tenant: "a", Spec: spec}},
+	}
+	st := &stats{codes: map[int]int{}}
+	outcomes, err := executeTrace(ts, tr, traceOpts{deadline: time.Now().Add(30 * time.Second)}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomes[0].Failed || outcomes[0].FaultKind != "config-error" {
+		t.Fatalf("outcome: %+v", outcomes[0])
+	}
+	if st.faulted != 1 || st.failed != 0 {
+		t.Fatalf("faulted=%d failed=%d", st.faulted, st.failed)
+	}
+}
+
+// queryServerCount sums boards across every target.
+func TestQueryServerCount(t *testing.T) {
+	fa := &fakeDaemon{}
+	fb := &fakeDaemon{}
+	sa, sb := fa.server(t), fb.server(t)
+	ts := newTargetSet([]string{sa.URL, sb.URL})
+	st := &stats{codes: map[int]int{}}
+	if n := queryServerCount(ts, time.Now().Add(10*time.Second), st); n != 4 {
+		t.Fatalf("queryServerCount = %d, want 4 (2 boards x 2 targets)", n)
+	}
+}

@@ -1,0 +1,397 @@
+package main
+
+// Trace modes: -record generates an open-loop workload trace offline;
+// -trace replays a recorded trace against live daemons and runs the
+// deterministic results pipeline over the measured outcomes.
+//
+// The division of labor with internal/loadgen: this file owns the wall
+// clock (pacing submissions, HTTP, Retry-After windows) and produces
+// one virtual-time Outcome per trace entry; every reported number —
+// latency quantiles, throughput curve, saturation point — comes from
+// loadgen's virtual replay model over those outcomes, so the emitted
+// CSV/JSON is byte-identical across runs of the same trace.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type genConfig struct {
+	jobs    int
+	arrival string
+	mean    time.Duration
+	on, off time.Duration
+	seed    uint64
+	tenants int
+}
+
+// runRecord generates a trace per the -gen-* flags and writes it.
+func runRecord(path string, gc genConfig) int {
+	cfg := loadgen.GenConfig{
+		Arrival:      gc.arrival,
+		Jobs:         gc.jobs,
+		MeanInterval: sim.Time(gc.mean.Nanoseconds()),
+		OnMean:       sim.Time(gc.on.Nanoseconds()),
+		OffMean:      sim.Time(gc.off.Nanoseconds()),
+		Seed:         gc.seed,
+		Mix:          loadgen.DefaultMix(gc.tenants),
+	}
+	tr, err := loadgen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	data, err := tr.EncodeJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	fmt.Printf("vfpgaload: recorded %d entries over %s across %d tenants to %s\n",
+		len(tr.Entries), time.Duration(tr.Duration()).Round(time.Millisecond), len(tr.Tenants), path)
+	return 0
+}
+
+type traceOpts struct {
+	speedup    float64
+	pace       float64
+	servers    int
+	slo        string
+	csvOut     string
+	jsonOut    string
+	admitRate  float64
+	admitBurst float64
+	deadline   time.Time
+	checkLint  bool
+}
+
+// traceReport is the -json-out payload of a trace replay.
+type traceReport struct {
+	Trace      string                   `json:"trace"`
+	Summary    loadgen.ReplaySummary    `json:"summary"`
+	Curve      []loadgen.CurvePoint     `json:"curve,omitempty"`
+	Saturation *loadgen.SaturationPoint `json:"saturation,omitempty"`
+}
+
+// runTrace replays the recorded trace against the target set and runs
+// the results pipeline. Exit is nonzero on any untyped job failure,
+// transport error, lint-dirty result (with -check-lint), or — when
+// -slo is set — a baseline replay that violates it.
+func runTrace(ts *targetSet, path string, opts traceOpts) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	tr, err := workload.DecodeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	st := &stats{codes: map[int]int{}}
+	srvs := opts.servers
+	if srvs <= 0 {
+		if srvs = queryServerCount(ts, opts.deadline, st); srvs <= 0 {
+			fmt.Fprintln(os.Stderr, "vfpgaload: could not count boards via /v1/boards; pass -servers")
+			return 1
+		}
+	}
+
+	outcomes, err := executeTrace(ts, tr, opts, st)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+
+	cfg := loadgen.ModelConfig{
+		Servers: srvs, Speedup: opts.speedup,
+		AdmitRate: opts.admitRate, AdmitBurst: opts.admitBurst,
+	}
+	res, err := loadgen.Replay(tr, outcomes, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+		return 1
+	}
+	report := traceReport{Trace: path, Summary: res.Summary}
+
+	bad := false
+	if opts.slo != "" {
+		slo, err := loadgen.ParseSLO(opts.slo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+			return 1
+		}
+		curve, err := loadgen.Curve(tr, outcomes, cfg, loadgen.DefaultCurveSpeedups, slo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+			return 1
+		}
+		sat, err := loadgen.Saturate(tr, outcomes, cfg, slo,
+			loadgen.SaturateLo, loadgen.SaturateHi, loadgen.SaturateIters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+			return 1
+		}
+		report.Curve, report.Saturation = curve, &sat
+		if !slo.Met(&res.Summary) {
+			fmt.Fprintf(os.Stderr, "vfpgaload: SLO %s violated: p99=%s\n",
+				opts.slo, time.Duration(res.Summary.P99Ns))
+			bad = true
+		}
+	}
+
+	if opts.csvOut != "" {
+		f, err := os.Create(opts.csvOut)
+		if err == nil {
+			err = loadgen.WriteCSV(f, res)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+			return 1
+		}
+	}
+	if opts.jsonOut != "" {
+		out, err := loadgen.EncodeSummary(report)
+		if err == nil {
+			err = os.WriteFile(opts.jsonOut, out, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vfpgaload: %v\n", err)
+			return 1
+		}
+	}
+
+	s := res.Summary
+	fmt.Printf("vfpgaload: trace %s: %d jobs, %d completed, %d failed, %d throttled (virtual replay, speedup %.2f, %d servers)\n",
+		path, s.Jobs, s.Completed, s.Failed, s.Throttled, s.Speedup, s.Servers)
+	fmt.Printf("  latency p50=%s p95=%s p99=%s max=%s\n",
+		time.Duration(s.P50Ns), time.Duration(s.P95Ns), time.Duration(s.P99Ns), time.Duration(s.MaxNs))
+	fmt.Printf("  offered %.2f jobs/s, achieved %.2f jobs/s, makespan %s\n",
+		s.OfferedPerSec, s.AchievedPerSec, time.Duration(s.MakespanNs).Round(time.Millisecond))
+	if report.Saturation != nil {
+		sat := report.Saturation
+		fmt.Printf("  saturation under %s: speedup %.2f (%.2f jobs/s offered, p99=%s), met=%v saturated=%v\n",
+			sat.SLO, sat.Point.Speedup, sat.Point.OfferedPerSec, time.Duration(sat.Point.P99Ns), sat.Met, sat.Saturated)
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fmt.Printf("  wire: %d submitted, %d completed, %d faulted, %d transport errors, %d retries after 429\n",
+		st.submitted, st.completed, st.faulted, st.transport, st.retries)
+	if st.failed > 0 || st.transport > 0 {
+		bad = true
+	}
+	if opts.checkLint && st.lintDirty > 0 {
+		fmt.Printf("  lint-dirty results: %d\n", st.lintDirty)
+		bad = true
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// executeTrace submits every entry (paced open-loop when -pace > 0,
+// round-robin across the targets) and collects one virtual Outcome per
+// entry. Submissions do not wait for each other: pacing follows the
+// recorded arrival clock, not completions.
+func executeTrace(ts *targetSet, tr *workload.Trace, opts traceOpts, st *stats) ([]loadgen.Outcome, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	outcomes := make([]loadgen.Outcome, len(tr.Entries))
+	errs := make([]error, len(tr.Entries))
+	// Bound in-flight jobs so huge traces cannot exhaust sockets; 64 is
+	// far beyond any pool's aggregate queue depth.
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if opts.pace > 0 {
+			due := start.Add(time.Duration(float64(e.At) / opts.pace))
+			if d := time.Until(due); d > 0 {
+				sleep(d)
+			}
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, e *workload.TraceEntry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outcomes[i], errs[i] = submitAndAwait(client, ts, e.Tenant, &e.Spec, opts, st)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("entry %d (%s/%s): %w", i, tr.Entries[i].Tenant, tr.Entries[i].Spec.Scenario, err)
+		}
+	}
+	return outcomes, nil
+}
+
+// submitAndAwait runs one trace entry over the wire: submit (honoring
+// Retry-After windows), poll to a terminal state, and convert the
+// result into a virtual Outcome. A typed injected-fault failure is an
+// outcome; an untyped failure or exhausted transport is an error.
+func submitAndAwait(client *http.Client, ts *targetSet, tenant string, spec *workload.Spec, opts traceOpts, st *stats) (loadgen.Outcome, error) {
+	body, err := json.Marshal(serve.SubmitRequest{Tenant: tenant, Workload: *spec})
+	if err != nil {
+		panic(err) // trace specs passed Validate; marshal cannot fail
+	}
+	var sub serve.SubmitResponse
+	var tgt *target
+	for {
+		if time.Now().After(opts.deadline) {
+			return loadgen.Outcome{}, fmt.Errorf("deadline exceeded before submit")
+		}
+		t, wait := ts.pick()
+		if t == nil {
+			st.noteThrottleWait(tenant, wait)
+			sleep(wait)
+			continue
+		}
+		resp, err := doReq(client, http.MethodPost, t.url+"/v1/jobs", body, opts.deadline)
+		if err != nil {
+			st.mu.Lock()
+			st.transport++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, err
+		}
+		code := resp.StatusCode
+		st.code(code)
+		if code == http.StatusTooManyRequests {
+			t.noteThrottled(retryAfterWait(resp))
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, fmt.Errorf("submit: HTTP %d: %w", code, err)
+		}
+		if code != http.StatusAccepted {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, fmt.Errorf("submit: HTTP %d", code)
+		}
+		t.noteSubmitted()
+		tgt = t
+		break
+	}
+	st.mu.Lock()
+	st.submitted++
+	st.mu.Unlock()
+
+	acceptedAt := time.Now()
+	var waited time.Duration
+	for {
+		if time.Now().After(opts.deadline) {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, fmt.Errorf("deadline exceeded polling job %s", sub.ID)
+		}
+		resp, err := doReq(client, http.MethodGet, tgt.url+"/v1/jobs/"+sub.ID, nil, opts.deadline)
+		if err != nil {
+			st.mu.Lock()
+			st.transport++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, err
+		}
+		st.code(resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := retryAfterWait(resp)
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			st.noteThrottleWait(tenant, wait)
+			waited += wait
+			sleep(wait)
+			continue
+		}
+		var js serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&js)
+		resp.Body.Close()
+		if err != nil {
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, fmt.Errorf("poll job %s: %w", sub.ID, err)
+		}
+		switch js.State {
+		case serve.StateDone:
+			if js.Result == nil {
+				st.mu.Lock()
+				st.failed++
+				st.mu.Unlock()
+				return loadgen.Outcome{}, fmt.Errorf("job %s done without a result", sub.ID)
+			}
+			st.noteService(tenant, time.Since(acceptedAt)-waited)
+			st.mu.Lock()
+			st.completed++
+			if opts.checkLint && !js.Result.LintClean {
+				st.lintDirty++
+			}
+			st.mu.Unlock()
+			return loadgen.Outcome{Service: js.Result.Makespan}, nil
+		case serve.StateFailed:
+			if js.FaultKind != "" {
+				// A typed chaos-campaign casualty is data for the model's
+				// error breakdown, not an infrastructure failure.
+				st.mu.Lock()
+				st.faulted++
+				st.mu.Unlock()
+				return loadgen.Outcome{Failed: true, FaultKind: js.FaultKind}, nil
+			}
+			st.mu.Lock()
+			st.failed++
+			st.mu.Unlock()
+			return loadgen.Outcome{}, fmt.Errorf("job %s failed: %s", sub.ID, js.Error)
+		}
+		sleep(20 * time.Millisecond)
+	}
+}
+
+// queryServerCount sums the board counts of every target's /v1/boards.
+func queryServerCount(ts *targetSet, deadline time.Time, st *stats) int {
+	client := &http.Client{Timeout: 30 * time.Second}
+	total := 0
+	for _, t := range ts.targets {
+		resp, err := doReq(client, http.MethodGet, t.url+"/v1/boards", nil, deadline)
+		if err != nil {
+			st.mu.Lock()
+			st.transport++
+			st.mu.Unlock()
+			return -1
+		}
+		var infos []serve.BoardInfo
+		err = json.NewDecoder(resp.Body).Decode(&infos)
+		resp.Body.Close()
+		if err != nil {
+			return -1
+		}
+		total += len(infos)
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Arrival process names understood by Generate.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalOnOff   = "onoff"
+)
+
+// MixEntry weights one (tenant, scenario) pair in the generated stream.
+type MixEntry struct {
+	Tenant   string `json:"tenant"`
+	Scenario string `json:"scenario"`
+	Weight   int    `json:"weight"`
+}
+
+// GenConfig parameterizes trace generation: an arrival process plus a
+// per-tenant scenario mix. Everything is virtual time and seeded rng, so
+// a config is a pure recipe: Generate is a function, and regenerating a
+// committed trace from its recorded config must reproduce it byte for
+// byte (the golden trace test pins that).
+type GenConfig struct {
+	// Arrival is the process: ArrivalPoisson (exponential inter-arrival
+	// times with mean MeanInterval) or ArrivalOnOff (bursts: during an
+	// exponential on-phase of mean OnMean, arrivals come at MeanInterval;
+	// exponential off-phases of mean OffMean are silent).
+	Arrival string `json:"arrival"`
+	// Jobs is the number of entries to generate.
+	Jobs int `json:"jobs"`
+	// MeanInterval is the mean inter-arrival time while arrivals flow.
+	MeanInterval sim.Time `json:"mean_interval_ns"`
+	// OnMean and OffMean shape the on-off process; ignored for poisson.
+	OnMean  sim.Time `json:"on_mean_ns,omitempty"`
+	OffMean sim.Time `json:"off_mean_ns,omitempty"`
+	// Seed drives both the arrival clock and the mix picks, on split
+	// streams so one does not perturb the other.
+	Seed uint64 `json:"seed"`
+	// Mix is the weighted (tenant, scenario) pool; every scenario uses
+	// its builtin default parameters, fully spelled out in the trace.
+	Mix []MixEntry `json:"mix"`
+}
+
+// DefaultMix spreads every builtin scenario family across the given
+// number of tenants ("tenant-0".."tenant-N-1"), weight 1 each: the
+// widest per-tenant scenario mix the registry offers.
+func DefaultMix(tenants int) []MixEntry {
+	var mix []MixEntry
+	for i := 0; i < tenants; i++ {
+		for _, sc := range workload.Scenarios() {
+			mix = append(mix, MixEntry{Tenant: fmt.Sprintf("tenant-%d", i), Scenario: sc, Weight: 1})
+		}
+	}
+	return mix
+}
+
+func (c *GenConfig) validate() error {
+	switch c.Arrival {
+	case ArrivalPoisson:
+	case ArrivalOnOff:
+		if c.OnMean <= 0 || c.OffMean <= 0 {
+			return fmt.Errorf("loadgen: onoff arrivals need positive on/off means")
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q (have %q, %q)", c.Arrival, ArrivalPoisson, ArrivalOnOff)
+	}
+	if c.Jobs <= 0 {
+		return fmt.Errorf("loadgen: generation needs jobs > 0")
+	}
+	if c.MeanInterval <= 0 {
+		return fmt.Errorf("loadgen: generation needs a positive mean interval")
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("loadgen: generation needs a non-empty mix")
+	}
+	for _, m := range c.Mix {
+		if m.Tenant == "" || m.Weight <= 0 {
+			return fmt.Errorf("loadgen: mix entry needs a tenant and positive weight")
+		}
+		if _, err := workload.BuiltinSpec(m.Scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generate records one trace from the config: seeded, deterministic,
+// strict-decodable. The arrival clock and the mix picks draw from split
+// rng streams, so changing the mix does not move the timestamps.
+func Generate(cfg GenConfig) (*workload.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	clock := root.Split()
+	picks := root.Split()
+
+	totalWeight := 0
+	tenantSet := map[string]bool{}
+	for _, m := range cfg.Mix {
+		totalWeight += m.Weight
+		tenantSet[m.Tenant] = true
+	}
+	tenants := make([]string, 0, len(tenantSet))
+	for t := range tenantSet {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+
+	tr := &workload.Trace{Version: workload.TraceVersion, Seed: cfg.Seed, Tenants: tenants}
+	t := sim.Time(0)
+	on := true
+	phaseEnd := sim.Time(0)
+	if cfg.Arrival == ArrivalOnOff {
+		phaseEnd = exp(clock, cfg.OnMean)
+	}
+	for len(tr.Entries) < cfg.Jobs {
+		switch cfg.Arrival {
+		case ArrivalPoisson:
+			t += exp(clock, cfg.MeanInterval)
+		case ArrivalOnOff:
+			if !on {
+				t = phaseEnd
+				phaseEnd = t + exp(clock, cfg.OnMean)
+				on = true
+				continue
+			}
+			dt := exp(clock, cfg.MeanInterval)
+			if t+dt > phaseEnd {
+				t = phaseEnd
+				phaseEnd = t + exp(clock, cfg.OffMean)
+				on = false
+				continue
+			}
+			t += dt
+		}
+		pick := picks.Intn(totalWeight)
+		var chosen MixEntry
+		for _, m := range cfg.Mix {
+			if pick < m.Weight {
+				chosen = m
+				break
+			}
+			pick -= m.Weight
+		}
+		spec, err := workload.BuiltinSpec(chosen.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		tr.Entries = append(tr.Entries, workload.TraceEntry{At: t, Tenant: chosen.Tenant, Spec: spec})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgen: generated trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// exp draws an exponentially distributed duration with the given mean.
+func exp(src *rng.Source, mean sim.Time) sim.Time {
+	return sim.Time(src.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,156 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func poissonConfig(jobs int) loadgen.GenConfig {
+	return loadgen.GenConfig{
+		Arrival:      loadgen.ArrivalPoisson,
+		Jobs:         jobs,
+		MeanInterval: sim.Time(1 * 1e6), // 1ms
+		Seed:         42,
+		Mix:          loadgen.DefaultMix(3),
+	}
+}
+
+func interArrivals(tr *workload.Trace) []float64 {
+	gaps := make([]float64, 0, len(tr.Entries))
+	prev := sim.Time(0)
+	for _, e := range tr.Entries {
+		gaps = append(gaps, float64(e.At-prev))
+		prev = e.At
+	}
+	return gaps
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Poisson arrivals must be exponential: sample mean near MeanInterval
+// and coefficient of variation near 1.
+func TestPoissonInterArrivalShape(t *testing.T) {
+	cfg := poissonConfig(20000)
+	tr, err := loadgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != cfg.Jobs {
+		t.Fatalf("generated %d entries, want %d", len(tr.Entries), cfg.Jobs)
+	}
+	mean, std := meanStd(interArrivals(tr))
+	want := float64(cfg.MeanInterval)
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("inter-arrival mean = %.0f ns, want within 3%% of %.0f", mean, want)
+	}
+	cv := std / mean
+	if cv < 0.95 || cv > 1.05 {
+		t.Fatalf("inter-arrival CV = %.3f, want ~1 for exponential gaps", cv)
+	}
+}
+
+// On-off arrivals must be bursty: overall rate diluted by the duty
+// cycle On/(On+Off), and gap CV well above the Poisson 1.
+func TestOnOffDutyCycleShape(t *testing.T) {
+	cfg := loadgen.GenConfig{
+		Arrival:      loadgen.ArrivalOnOff,
+		Jobs:         20000,
+		MeanInterval: sim.Time(100 * 1e3), // 0.1ms while on
+		OnMean:       sim.Time(10 * 1e6),  // 10ms bursts
+		OffMean:      sim.Time(10 * 1e6),  // 10ms silences
+		Seed:         7,
+		Mix:          loadgen.DefaultMix(2),
+	}
+	tr, err := loadgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duty cycle 0.5 => effective mean gap ~ MeanInterval/0.5.
+	mean, std := meanStd(interArrivals(tr))
+	want := float64(cfg.MeanInterval) * (float64(cfg.OnMean+cfg.OffMean) / float64(cfg.OnMean))
+	if math.Abs(mean-want)/want > 0.10 {
+		t.Fatalf("on-off effective mean gap = %.0f ns, want within 10%% of %.0f", mean, want)
+	}
+	if cv := std / mean; cv < 2 {
+		t.Fatalf("on-off gap CV = %.3f, want >= 2 (burstier than Poisson)", cv)
+	}
+}
+
+// Same config must regenerate the identical trace, byte for byte, and
+// the mix stream must not perturb the arrival clock.
+func TestGenerateDeterministicAndSplitStreams(t *testing.T) {
+	cfg := poissonConfig(500)
+	a, err := loadgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := a.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := b.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aw, bw) {
+		t.Fatal("same GenConfig produced different traces")
+	}
+
+	narrow := cfg
+	narrow.Mix = []loadgen.MixEntry{{Tenant: "solo", Scenario: "multimedia", Weight: 1}}
+	c, err := loadgen.Generate(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Entries {
+		if a.Entries[i].At != c.Entries[i].At {
+			t.Fatalf("entry %d: changing the mix moved the arrival clock (%d vs %d)", i, a.Entries[i].At, c.Entries[i].At)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	base := poissonConfig(10)
+	cases := []struct {
+		name   string
+		mutate func(*loadgen.GenConfig)
+	}{
+		{"unknown arrival", func(c *loadgen.GenConfig) { c.Arrival = "lognormal" }},
+		{"zero jobs", func(c *loadgen.GenConfig) { c.Jobs = 0 }},
+		{"zero interval", func(c *loadgen.GenConfig) { c.MeanInterval = 0 }},
+		{"empty mix", func(c *loadgen.GenConfig) { c.Mix = nil }},
+		{"bad scenario", func(c *loadgen.GenConfig) { c.Mix[0].Scenario = "nope" }},
+		{"empty tenant", func(c *loadgen.GenConfig) { c.Mix[0].Tenant = "" }},
+		{"zero weight", func(c *loadgen.GenConfig) { c.Mix[0].Weight = 0 }},
+		{"onoff without phases", func(c *loadgen.GenConfig) { c.Arrival = loadgen.ArrivalOnOff }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := poissonConfig(10)
+			cfg.Mix = append([]loadgen.MixEntry(nil), base.Mix...)
+			tc.mutate(&cfg)
+			if _, err := loadgen.Generate(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

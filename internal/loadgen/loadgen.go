@@ -1,0 +1,62 @@
+// Package loadgen is the open-loop, trace-driven load harness of the
+// serving stack: arrival-process generators that record workload.Trace
+// files, and a deterministic replay pipeline that turns a trace plus the
+// measured outcome of each submission into latency quantiles, per-tenant
+// error/throttle breakdowns, offered-vs-achieved throughput curves, and
+// a saturation point under a declared latency SLO.
+//
+// The split that makes replay reproducible: executing a trace entry on
+// the serving stack yields a virtual-time Outcome (the job's makespan is
+// a pure function of the spec — the warm-board equivalence suite pins
+// that), and everything else — queueing, admission, latency, saturation
+// — is computed here in virtual time by a K-server FIFO model. Real
+// submissions happen at the wall-clock boundary (cmd/vfpgaload paces
+// them open-loop against a live daemon); the numbers the harness emits
+// are all virtual, so the same trace file and speedup produce
+// byte-identical CSV and JSON results on every run, single node or
+// fleet. This package is therefore under the determinism contract:
+//
+//vfpgavet:deterministic
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Outcome is what actually running one trace entry on the serving stack
+// produced: the job's virtual makespan, and whether it failed (with the
+// typed injected-fault kind when the failure was a chaos-campaign
+// casualty). Outcomes are pure values: equal specs yield equal outcomes.
+type Outcome struct {
+	Service   sim.Time `json:"service_ns"`
+	Failed    bool     `json:"failed,omitempty"`
+	FaultKind string   `json:"fault_kind,omitempty"`
+}
+
+// RunFunc executes one submission on the serving stack and reports its
+// outcome. A non-nil error aborts the whole replay (infrastructure
+// broke); a job that merely failed comes back as Outcome.Failed.
+type RunFunc func(tenant string, spec *workload.Spec) (Outcome, error)
+
+// Execute runs every trace entry through run, in entry order, and
+// returns the per-entry outcomes the model consumes. Implementations
+// that memoize by spec (serve.NewDirectRunner) make this cheap for
+// traces with repeated specs.
+func Execute(tr *workload.Trace, run RunFunc) ([]Outcome, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(tr.Entries))
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		o, err := run(e.Tenant, &e.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: entry %d (%s/%s): %w", i, e.Tenant, e.Spec.Scenario, err)
+		}
+		out[i] = o
+	}
+	return out, nil
+}

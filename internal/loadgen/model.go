@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Request outcome labels in CSV/JSON results.
+const (
+	OutcomeOK        = "ok"
+	OutcomeFailed    = "failed"
+	OutcomeThrottled = "throttled"
+)
+
+// ModelConfig parameterizes one replay of a trace through the virtual
+// K-server queueing model.
+type ModelConfig struct {
+	// Servers is K: how many boards serve the FIFO queue.
+	Servers int `json:"servers"`
+	// Speedup divides every arrival timestamp: 2.0 offers the trace at
+	// twice its recorded rate. Service times are unchanged, so speedup is
+	// the offered-load knob the saturation search turns.
+	Speedup float64 `json:"speedup"`
+	// AdmitRate/AdmitBurst configure the per-tenant virtual token bucket
+	// (tokens per virtual second / bucket capacity). Zero rate disables
+	// admission control; requests arriving to an empty bucket are
+	// throttled (the virtual 429) and never reach a server.
+	AdmitRate  float64 `json:"admit_rate,omitempty"`
+	AdmitBurst float64 `json:"admit_burst,omitempty"`
+}
+
+func (c *ModelConfig) validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("loadgen: model needs servers > 0")
+	}
+	if !(c.Speedup > 0) {
+		return fmt.Errorf("loadgen: model needs speedup > 0")
+	}
+	if c.AdmitRate < 0 || c.AdmitBurst < 0 {
+		return fmt.Errorf("loadgen: admission rate/burst must be non-negative")
+	}
+	if c.AdmitRate > 0 && c.AdmitBurst < 1 {
+		return fmt.Errorf("loadgen: admission burst must be >= 1 when rate is set")
+	}
+	return nil
+}
+
+// Request is one trace entry's fate in a replay: when it arrived (after
+// speedup scaling), how long it queued, its service time, end-to-end
+// latency, and how it ended.
+type Request struct {
+	Seq       int      `json:"seq"`
+	Tenant    string   `json:"tenant"`
+	Scenario  string   `json:"scenario"`
+	Arrival   sim.Time `json:"arrival_ns"`
+	Wait      sim.Time `json:"wait_ns"`
+	Service   sim.Time `json:"service_ns"`
+	Latency   sim.Time `json:"latency_ns"`
+	Outcome   string   `json:"outcome"`
+	FaultKind string   `json:"fault_kind,omitempty"`
+}
+
+// TenantStats is the per-tenant slice of a replay: counts by outcome,
+// fault-kind breakdown, and latency quantiles over served requests.
+type TenantStats struct {
+	Tenant    string         `json:"tenant"`
+	Submitted int            `json:"submitted"`
+	Completed int            `json:"completed"`
+	Failed    int            `json:"failed"`
+	Throttled int            `json:"throttled"`
+	Faults    map[string]int `json:"faults,omitempty"`
+	P50Ns     int64          `json:"p50_ns"`
+	P95Ns     int64          `json:"p95_ns"`
+	P99Ns     int64          `json:"p99_ns"`
+	MaxNs     int64          `json:"max_ns"`
+	MeanNs    int64          `json:"mean_ns"`
+}
+
+// ReplaySummary is the aggregate view of one replay — everything the
+// bench record and SLO checks need, without the per-request rows.
+type ReplaySummary struct {
+	Servers        int           `json:"servers"`
+	Speedup        float64       `json:"speedup"`
+	Jobs           int           `json:"jobs"`
+	Completed      int           `json:"completed"`
+	Failed         int           `json:"failed"`
+	Throttled      int           `json:"throttled"`
+	OfferedPerSec  float64       `json:"offered_per_sec"`
+	AchievedPerSec float64       `json:"achieved_per_sec"`
+	MakespanNs     int64         `json:"makespan_ns"`
+	P50Ns          int64         `json:"p50_ns"`
+	P95Ns          int64         `json:"p95_ns"`
+	P99Ns          int64         `json:"p99_ns"`
+	MaxNs          int64         `json:"max_ns"`
+	MeanNs         int64         `json:"mean_ns"`
+	Tenants        []TenantStats `json:"tenants"`
+}
+
+// Result is one full replay: the summary plus every request row.
+type Result struct {
+	Summary  ReplaySummary `json:"summary"`
+	Requests []Request     `json:"requests"`
+}
+
+type tenantAcc struct {
+	stats TenantStats
+	rec   *LatencyRecorder
+}
+
+// Replay pushes the trace through the virtual queueing model: arrivals
+// at At/Speedup, per-tenant token-bucket admission, then a K-server FIFO
+// where each admitted request takes the earliest-free server and holds
+// it for its measured virtual service time. outcomes must be positional
+// per trace entry (from Execute). Everything is integer virtual time or
+// order-fixed float arithmetic, so equal inputs give equal Results,
+// byte for byte.
+func Replay(tr *workload.Trace, outcomes []Outcome, cfg ModelConfig) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(outcomes) != len(tr.Entries) {
+		return nil, fmt.Errorf("loadgen: %d outcomes for %d trace entries", len(outcomes), len(tr.Entries))
+	}
+
+	free := make([]sim.Time, cfg.Servers)
+	type bucket struct {
+		tokens float64
+		last   sim.Time
+	}
+	buckets := map[string]*bucket{}
+	accs := map[string]*tenantAcc{}
+	for _, t := range tr.Tenants {
+		buckets[t] = &bucket{tokens: cfg.AdmitBurst}
+		accs[t] = &tenantAcc{stats: TenantStats{Tenant: t}, rec: NewLatencyRecorder()}
+	}
+
+	total := NewLatencyRecorder()
+	res := &Result{Requests: make([]Request, 0, len(tr.Entries))}
+	var makespan sim.Time
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		o := outcomes[i]
+		arrival := sim.Time(float64(e.At) / cfg.Speedup)
+		req := Request{Seq: i, Tenant: e.Tenant, Scenario: e.Spec.Scenario, Arrival: arrival}
+		acc := accs[e.Tenant]
+		acc.stats.Submitted++
+
+		admitted := true
+		if cfg.AdmitRate > 0 {
+			b := buckets[e.Tenant]
+			b.tokens += float64(arrival-b.last) * cfg.AdmitRate / 1e9
+			if b.tokens > cfg.AdmitBurst {
+				b.tokens = cfg.AdmitBurst
+			}
+			b.last = arrival
+			if b.tokens >= 1 {
+				b.tokens--
+			} else {
+				admitted = false
+			}
+		}
+		if !admitted {
+			req.Outcome = OutcomeThrottled
+			acc.stats.Throttled++
+			res.Requests = append(res.Requests, req)
+			continue
+		}
+
+		// Earliest-free server; FIFO order is trace order.
+		srv := 0
+		for s := 1; s < cfg.Servers; s++ {
+			if free[s] < free[srv] {
+				srv = s
+			}
+		}
+		start := arrival
+		if free[srv] > start {
+			start = free[srv]
+		}
+		finish := start + o.Service
+		free[srv] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+		req.Wait = start - arrival
+		req.Service = o.Service
+		req.Latency = finish - arrival
+		if o.Failed {
+			req.Outcome = OutcomeFailed
+			req.FaultKind = o.FaultKind
+			acc.stats.Failed++
+			if o.FaultKind != "" {
+				if acc.stats.Faults == nil {
+					acc.stats.Faults = map[string]int{}
+				}
+				acc.stats.Faults[o.FaultKind]++
+			}
+		} else {
+			req.Outcome = OutcomeOK
+			acc.stats.Completed++
+		}
+		acc.rec.Observe(req.Latency)
+		total.Observe(req.Latency)
+		res.Requests = append(res.Requests, req)
+	}
+
+	sum := ReplaySummary{
+		Servers:    cfg.Servers,
+		Speedup:    cfg.Speedup,
+		Jobs:       len(tr.Entries),
+		MakespanNs: int64(makespan),
+		P50Ns:      int64(total.Quantile(0.50)),
+		P95Ns:      int64(total.Quantile(0.95)),
+		P99Ns:      int64(total.Quantile(0.99)),
+		MaxNs:      int64(total.Max()),
+	}
+	if total.Count() > 0 {
+		sum.MeanNs = total.Sum() / total.Count()
+	}
+	for _, t := range tr.Tenants { // Tenants is validated unique; sorted emission
+		acc := accs[t]
+		acc.stats.P50Ns = int64(acc.rec.Quantile(0.50))
+		acc.stats.P95Ns = int64(acc.rec.Quantile(0.95))
+		acc.stats.P99Ns = int64(acc.rec.Quantile(0.99))
+		acc.stats.MaxNs = int64(acc.rec.Max())
+		if acc.rec.Count() > 0 {
+			acc.stats.MeanNs = acc.rec.Sum() / acc.rec.Count()
+		}
+		sum.Completed += acc.stats.Completed
+		sum.Failed += acc.stats.Failed
+		sum.Throttled += acc.stats.Throttled
+		sum.Tenants = append(sum.Tenants, acc.stats)
+	}
+	sort.Slice(sum.Tenants, func(i, j int) bool { return sum.Tenants[i].Tenant < sum.Tenants[j].Tenant })
+
+	// Offered load is arrivals over the (scaled) arrival span; achieved
+	// is completions over the full makespan. Spans are clamped to 1 ns so
+	// single-entry traces stay finite.
+	span := sim.Time(float64(tr.Duration()) / cfg.Speedup)
+	if span < 1 {
+		span = 1
+	}
+	sum.OfferedPerSec = float64(len(tr.Entries)) / (float64(span) / 1e9)
+	mk := makespan
+	if mk < 1 {
+		mk = 1
+	}
+	sum.AchievedPerSec = float64(sum.Completed) / (float64(mk) / 1e9)
+	res.Summary = sum
+	return res, nil
+}

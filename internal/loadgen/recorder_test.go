@@ -1,0 +1,118 @@
+package loadgen_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// exactQuantile is the brute-force nearest-rank quantile the recorder's
+// bucketed answer is checked against.
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// The recorder must bound every quantile from above with relative error
+// at most 1/16 (its bucket width), across distributions that stress both
+// the unit buckets and the log-linear range.
+func TestRecorderQuantileVsBruteForce(t *testing.T) {
+	distributions := map[string]func(src *rng.Source) int64{
+		"uniform-small": func(src *rng.Source) int64 { return src.Int63n(64) },
+		"uniform-wide":  func(src *rng.Source) int64 { return src.Int63n(50_000_000) },
+		"exponential":   func(src *rng.Source) int64 { return int64(src.ExpFloat64() * 5e6) },
+		"bimodal": func(src *rng.Source) int64 {
+			if src.Bool() {
+				return 1_000 + src.Int63n(100)
+			}
+			return 80_000_000 + src.Int63n(1_000_000)
+		},
+	}
+	names := make([]string, 0, len(distributions))
+	for name := range distributions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		draw := distributions[name]
+		t.Run(name, func(t *testing.T) {
+			src := rng.New(11)
+			rec := loadgen.NewLatencyRecorder()
+			vals := make([]int64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				v := draw(src)
+				vals = append(vals, v)
+				rec.Observe(sim.Time(v))
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0} {
+				exact := exactQuantile(vals, q)
+				got := int64(rec.Quantile(q))
+				if got < exact {
+					t.Fatalf("q=%v: recorder %d below exact %d (must bound from above)", q, got, exact)
+				}
+				if limit := exact + exact/16 + 1; got > limit {
+					t.Fatalf("q=%v: recorder %d exceeds exact %d by more than 1/16", q, got, exact)
+				}
+			}
+			if got, want := rec.Count(), int64(len(vals)); got != want {
+				t.Fatalf("Count = %d, want %d", got, want)
+			}
+			if got, want := int64(rec.Min()), vals[0]; got != want {
+				t.Fatalf("Min = %d, want %d", got, want)
+			}
+			if got, want := int64(rec.Max()), vals[len(vals)-1]; got != want {
+				t.Fatalf("Max = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestRecorderEmptyAndClamp(t *testing.T) {
+	rec := loadgen.NewLatencyRecorder()
+	if rec.Quantile(0.99) != 0 || rec.Min() != 0 || rec.Max() != 0 || rec.Count() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	rec.Observe(-5)
+	if rec.Min() != 0 || rec.Max() != 0 || rec.Count() != 1 {
+		t.Fatal("negative observation must clamp to zero")
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	a := loadgen.NewLatencyRecorder()
+	b := loadgen.NewLatencyRecorder()
+	whole := loadgen.NewLatencyRecorder()
+	src := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		v := sim.Time(src.Int63n(10_000_000))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merge lost counts")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %d != whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}

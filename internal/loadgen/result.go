@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// csvHeader is the fixed column set of per-request result CSVs.
+const csvHeader = "seq,tenant,scenario,arrival_ns,wait_ns,service_ns,latency_ns,outcome,fault_kind\n"
+
+// WriteCSV emits one row per request in seq order, preceded by the
+// header. All values are integers or plain labels, so equal Results
+// write byte-identical CSVs.
+func WriteCSV(w io.Writer, res *Result) error {
+	if _, err := io.WriteString(w, csvHeader); err != nil {
+		return fmt.Errorf("loadgen: write csv: %w", err)
+	}
+	for i := range res.Requests {
+		r := &res.Requests[i]
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%d,%s,%s\n",
+			r.Seq, r.Tenant, r.Scenario, int64(r.Arrival), int64(r.Wait), int64(r.Service), int64(r.Latency), r.Outcome, r.FaultKind)
+		if err != nil {
+			return fmt.Errorf("loadgen: write csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// EncodeSummary renders any result/summary/bench value as canonical
+// indented JSON with a trailing newline — the byte form golden tests
+// compare against.
+func EncodeSummary(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encode summary: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SLO is a parsed latency objective like "p99<50ms": a quantile of the
+// end-to-end latency distribution that must stay strictly below a bound.
+type SLO struct {
+	Quantile float64
+	Bound    sim.Time
+	spec     string
+}
+
+// ParseSLO parses "p<quantile><<duration>", e.g. "p99<50ms", "p50<1ms",
+// "p99.9<2s". The duration uses Go syntax (time.ParseDuration).
+func ParseSLO(s string) (SLO, error) {
+	lhs, rhs, ok := strings.Cut(s, "<")
+	if !ok || !strings.HasPrefix(lhs, "p") {
+		return SLO{}, fmt.Errorf("loadgen: SLO %q must look like p99<50ms", s)
+	}
+	pct, err := strconv.ParseFloat(lhs[1:], 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return SLO{}, fmt.Errorf("loadgen: SLO %q needs a quantile in (0, 100)", s)
+	}
+	d, err := time.ParseDuration(rhs)
+	if err != nil {
+		return SLO{}, fmt.Errorf("loadgen: SLO %q needs a duration bound: %w", s, err)
+	}
+	if d <= 0 {
+		return SLO{}, fmt.Errorf("loadgen: SLO %q needs a positive duration bound", s)
+	}
+	return SLO{Quantile: pct / 100, Bound: sim.Time(d.Nanoseconds()), spec: s}, nil
+}
+
+// String returns the original spec.
+func (s SLO) String() string { return s.spec }
+
+// Met reports whether the summary's latency quantile is strictly below
+// the bound, per the "<" in the spec.
+func (s SLO) Met(sum *ReplaySummary) bool {
+	return s.quantileOf(sum) < s.Bound
+}
+
+func (s SLO) quantileOf(sum *ReplaySummary) sim.Time {
+	// The summary carries the three canonical quantiles; anything else
+	// maps to the nearest one at or above the requested point, erring
+	// toward the stricter (higher) quantile.
+	switch {
+	case s.Quantile <= 0.50:
+		return sim.Time(sum.P50Ns)
+	case s.Quantile <= 0.95:
+		return sim.Time(sum.P95Ns)
+	case s.Quantile <= 0.99:
+		return sim.Time(sum.P99Ns)
+	default:
+		return sim.Time(sum.MaxNs)
+	}
+}

@@ -208,6 +208,17 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	m.int(svcFamily+"_sum", svcSum)
 	m.int(svcFamily+"_count", svcCount)
 
+	// The same service-time sample sliced per tenant: the load harness
+	// reads these to cross-check its per-tenant latency breakdowns.
+	tenantSvcFamily := "vfpgad_tenant_service_time_ns"
+	m.family("vfpgad_tenant_service_time_ns", "Virtual service time of completed jobs by tenant (makespan, ns).", "summary")
+	for _, ts := range s.pool.TenantServiceStats() {
+		m.int("vfpgad_tenant_service_time_ns", ts.P50, "tenant", ts.Tenant, "quantile", "0.5")
+		m.int("vfpgad_tenant_service_time_ns", ts.P95, "tenant", ts.Tenant, "quantile", "0.95")
+		m.int(tenantSvcFamily+"_sum", ts.Sum, "tenant", ts.Tenant)
+		m.int(tenantSvcFamily+"_count", ts.Count, "tenant", ts.Tenant)
+	}
+
 	// Device-side ledger counters accumulated across jobs, per board.
 	m.family("vfpgad_ledger_ops_total", "Residency-ledger operations across all jobs.", "counter")
 	for i, agg := range aggs {

@@ -137,6 +137,8 @@ func TestMetricsWellFormed(t *testing.T) {
 		`vfpgad_admission_total{tenant="alpha",decision="throttled"} 1`,
 		`vfpgad_jobs_total{tenant="alpha",outcome="completed"} 2`,
 		`vfpgad_jobs_total{tenant="beta",outcome="completed"} 1`,
+		`vfpgad_tenant_service_time_ns_count{tenant="alpha"} 2`,
+		`vfpgad_tenant_service_time_ns_count{tenant="beta"} 1`,
 		`vfpgad_build_info{version="test"} 1`,
 	} {
 		if !strings.Contains(text, want+"\n") {

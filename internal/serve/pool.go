@@ -306,15 +306,24 @@ type Pool struct {
 	requeues int64 // jobs handed to another board after a quarantine
 	draining bool
 	// svc samples completed jobs' virtual service time (makespan, ns)
-	// across all boards, feeding the /metrics summary. Observations are
-	// retained for quantiles; one float per job is fine at this scale.
-	svc *stats.Sample
+	// across all boards, feeding the /metrics summary; tenantSvc holds
+	// the same sample sliced per tenant. Observations are retained for
+	// quantiles; one float per job is fine at this scale.
+	svc       *stats.Sample
+	tenantSvc map[string]*stats.Sample
 }
 
-// observeService records one completed job's virtual service time.
-func (p *Pool) observeService(ns int64) {
+// observeService records one completed job's virtual service time,
+// both in the pool-wide sample and the tenant's slice of it.
+func (p *Pool) observeService(tenant string, ns int64) {
 	p.mu.Lock()
 	p.svc.Observe(float64(ns))
+	ts := p.tenantSvc[tenant]
+	if ts == nil {
+		ts = stats.NewSample(true)
+		p.tenantSvc[tenant] = ts
+	}
+	ts.Observe(float64(ns))
 	p.mu.Unlock()
 }
 
@@ -325,6 +334,35 @@ func (p *Pool) ServiceStats() (p50, p95, sum, count int64) {
 	defer p.mu.Unlock()
 	return int64(p.svc.Quantile(0.5)), int64(p.svc.Quantile(0.95)),
 		int64(p.svc.Sum()), p.svc.Count()
+}
+
+// TenantServiceSummary is one tenant's slice of the service-time
+// sample, in virtual nanoseconds.
+type TenantServiceSummary struct {
+	Tenant string
+	P50    int64
+	P95    int64
+	Sum    int64
+	Count  int64
+}
+
+// TenantServiceStats returns per-tenant service-time summaries, sorted
+// by tenant so emission order is deterministic.
+func (p *Pool) TenantServiceStats() []TenantServiceSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TenantServiceSummary, 0, len(p.tenantSvc))
+	for tenant, s := range p.tenantSvc {
+		out = append(out, TenantServiceSummary{
+			Tenant: tenant,
+			P50:    int64(s.Quantile(0.5)),
+			P95:    int64(s.Quantile(0.95)),
+			Sum:    int64(s.Sum()),
+			Count:  s.Count(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // NewPool builds a pool over the given boards. Call Start before
@@ -349,6 +387,7 @@ func NewPool(cfgs []BoardConfig, opts PoolOptions) (*Pool, error) {
 		compactBudget:    opts.CompactBudget,
 		jobs:             map[string]*Job{},
 		svc:              stats.NewSample(true),
+		tenantSvc:        map[string]*stats.Sample{},
 	}
 	for i, bc := range cfgs {
 		if err := bc.Validate(); err != nil {
@@ -503,7 +542,7 @@ func (p *Pool) runOne(b *board, j *Job) {
 	if err != nil {
 		p.outcomes.NoteFailed(j.tenant)
 	} else {
-		p.observeService(int64(res.Makespan))
+		p.observeService(j.tenant, int64(res.Makespan))
 		p.outcomes.NoteCompleted(j.tenant)
 	}
 	j.finish(res, err)

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/compile"
 	"repro/internal/fault"
+	"repro/internal/loadgen"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -76,6 +78,46 @@ func (bc *BoardConfig) Validate() error {
 		return fmt.Errorf("serve: queue depth must be positive")
 	}
 	return nil
+}
+
+// NewDirectRunner returns a loadgen.RunFunc that executes each spec on
+// a board built from bc: the same cold path as runJob, memoized by the
+// spec's canonical JSON. Memoization is sound because a job's result is
+// a pure function of (config, spec) — the warm-board equivalence suite
+// pins that — so a trace with repeated specs costs one simulation per
+// distinct spec. A fault escalation is a job outcome (Failed with the
+// typed kind); any other error is infrastructure and aborts the replay.
+// The returned func keeps single-goroutine state: call it from one
+// goroutine (loadgen.Execute does).
+func NewDirectRunner(bc BoardConfig) (loadgen.RunFunc, error) {
+	if err := bc.Validate(); err != nil {
+		return nil, err
+	}
+	cache := compile.NewStripCache(compile.DefaultCacheCapacity)
+	memo := map[string]loadgen.Outcome{}
+	return func(tenant string, spec *workload.Spec) (loadgen.Outcome, error) {
+		key, err := json.Marshal(spec)
+		if err != nil {
+			return loadgen.Outcome{}, fmt.Errorf("serve: canonicalize spec: %w", err)
+		}
+		if o, ok := memo[string(key)]; ok {
+			return o, nil
+		}
+		res, err := runJob(cache, bc, spec, false)
+		var o loadgen.Outcome
+		switch {
+		case err == nil:
+			o = loadgen.Outcome{Service: res.Makespan}
+		default:
+			esc, ok := fault.AsEscalation(err)
+			if !ok {
+				return loadgen.Outcome{}, err
+			}
+			o = loadgen.Outcome{Failed: true, FaultKind: esc.Kind.String()}
+		}
+		memo[string(key)] = o
+		return o, nil
+	}, nil
 }
 
 // runJob executes one workload spec on a freshly built board and

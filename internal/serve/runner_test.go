@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/workload"
+)
+
+// NewDirectRunner must report the same virtual makespan the cold path
+// produces, and memoize by spec so repeated entries are free.
+func TestDirectRunnerMatchesColdPath(t *testing.T) {
+	bc := DefaultBoardConfig()
+	run, err := NewDirectRunner(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.BuiltinSpec("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := run("alpha", &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failed || first.Service <= 0 {
+		t.Fatalf("direct run outcome: %+v", first)
+	}
+	again, err := run("beta", &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("memoized outcome diverged: %+v vs %+v", again, first)
+	}
+	res, err := runJob(compile.NewStripCache(compile.DefaultCacheCapacity), bc, &spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != first.Service {
+		t.Fatalf("runner makespan %d != cold path %d", first.Service, res.Makespan)
+	}
+}
+
+func TestDirectRunnerRejectsBadConfig(t *testing.T) {
+	bc := DefaultBoardConfig()
+	bc.Manager = "bogus"
+	if _, err := NewDirectRunner(bc); err == nil {
+		t.Fatal("invalid board config accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package workload_test
+
+// Fuzz target for the trace wire format, mirroring FuzzSpecDecode:
+// DecodeTrace on arbitrary bytes must never panic, must reject what it
+// cannot represent (bad versions, unknown fields, non-monotonic
+// timestamps, undeclared tenants), and for every input it accepts the
+// canonical re-encoding must round-trip to a byte-identical canonical
+// form — the property the byte-identical replay layer rests on.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func FuzzTraceDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{"version":"vfpga-trace/v1","seed":1,"tenants":["a"],"entries":[{"at_ns":0,"tenant":"a","workload":{"scenario":"multimedia"}}]}`,
+		`{"version":"vfpga-trace/v1","seed":0,"tenants":["a","b"],"entries":[{"at_ns":5,"tenant":"a","workload":{"scenario":"telecom","telecom":{"sessions":4}}},{"at_ns":5,"tenant":"b","workload":{"scenario":"storage"}}]}`,
+		`{"version":"vfpga-trace/v2","seed":1,"tenants":["a"],"entries":[{"at_ns":0,"tenant":"a","workload":{"scenario":"multimedia"}}]}`,
+		`{"version":"vfpga-trace/v1","seed":1,"tenants":["a"],"entries":[{"at_ns":9,"tenant":"a","workload":{"scenario":"multimedia"}},{"at_ns":3,"tenant":"a","workload":{"scenario":"multimedia"}}]}`,
+		`{"version":"vfpga-trace/v1","seed":1,"tenants":["a"],"entries":[{"at_ns":0,"tenant":"b","workload":{"scenario":"multimedia"}}]}`,
+		`{"version":"vfpga-trace/v1","seed":1,"tenants":[],"entries":[]}`,
+		`{"version":"vfpga-trace/v1","seed":1,"tenants":["a"],"entries":[{"at_ns":0,"tenant":"a","workload":{"scenario":"multimedia"},"bogus":1}]}`,
+		`{}`,
+		`not json at all`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := workload.DecodeTrace(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		canonical, err := tr.EncodeJSON()
+		if err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := workload.DecodeTrace(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-decode: %v\n%s", err, canonical)
+		}
+		stable, err := again.EncodeJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(canonical, stable) {
+			t.Fatalf("canonical form is not a fixpoint:\n first %s\nsecond %s", canonical, stable)
+		}
+	})
+}

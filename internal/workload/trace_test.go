@@ -1,0 +1,120 @@
+package workload_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func validTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	mm, err := workload.BuiltinSpec("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := workload.BuiltinSpec("telecom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &workload.Trace{
+		Version: workload.TraceVersion,
+		Seed:    7,
+		Tenants: []string{"alpha", "beta"},
+		Entries: []workload.TraceEntry{
+			{At: 0, Tenant: "alpha", Spec: mm},
+			{At: 1500, Tenant: "beta", Spec: tc},
+			{At: 1500, Tenant: "alpha", Spec: mm}, // equal timestamps are legal
+			{At: 9000, Tenant: "beta", Spec: tc},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := validTrace(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if got, want := tr.Duration(), sim.Time(9000); got != want {
+		t.Fatalf("Duration = %d, want %d", got, want)
+	}
+	wire, err := tr.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := workload.DecodeTrace(wire)
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v", err)
+	}
+	stable, err := again.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != string(stable) {
+		t.Fatalf("canonical form is not a fixpoint:\n first %s\nsecond %s", wire, stable)
+	}
+}
+
+func TestTraceTypedErrors(t *testing.T) {
+	base := validTrace(t)
+	cases := []struct {
+		name   string
+		mutate func(*workload.Trace)
+		want   error
+	}{
+		{"bad version", func(tr *workload.Trace) { tr.Version = "vfpga-trace/v0" }, workload.ErrTraceVersion},
+		{"no entries", func(tr *workload.Trace) { tr.Entries = nil }, workload.ErrTraceEmpty},
+		{"no tenants", func(tr *workload.Trace) { tr.Tenants = nil }, workload.ErrTraceEmpty},
+		{"duplicate tenant", func(tr *workload.Trace) { tr.Tenants = []string{"alpha", "alpha"} }, workload.ErrTraceTenant},
+		{"empty tenant name", func(tr *workload.Trace) { tr.Tenants = []string{""} }, workload.ErrTraceTenant},
+		{"undeclared tenant", func(tr *workload.Trace) { tr.Entries[1].Tenant = "gamma" }, workload.ErrTraceTenant},
+		{"time reversal", func(tr *workload.Trace) { tr.Entries[3].At = 100 }, workload.ErrTraceOrder},
+		{"negative time", func(tr *workload.Trace) { tr.Entries[0].At = -1 }, workload.ErrTraceOrder},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := validTrace(t)
+			tc.mutate(tr)
+			err := tr.Validate()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+			// The same typed error must survive a decode of the wire form.
+			wire, merr := tr.EncodeJSON()
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			if _, derr := workload.DecodeTrace(wire); !errors.Is(derr, tc.want) {
+				t.Fatalf("DecodeTrace = %v, want %v", derr, tc.want)
+			}
+		})
+	}
+	_ = base
+}
+
+func TestTraceRejectsUnknownFields(t *testing.T) {
+	tr := validTrace(t)
+	wire, err := tr.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		strings.Replace(string(wire), `"version"`, `"bogus": 1, "version"`, 1),
+		strings.Replace(string(wire), `"at_ns"`, `"at_millis": 2, "at_ns"`, 1),
+		strings.Replace(string(wire), `"scenario"`, `"scnario"`, 1),
+	} {
+		if _, err := workload.DecodeTrace([]byte(bad)); err == nil {
+			t.Fatalf("unknown field accepted:\n%s", bad)
+		}
+	}
+}
+
+func TestTraceRejectsInvalidSpec(t *testing.T) {
+	tr := validTrace(t)
+	tr.Entries[0].Spec = workload.Spec{Scenario: "no-such-scenario"}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("entry with unknown scenario accepted")
+	}
+}
